@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# full bechamel timing runs plus all paper artifacts (~5 min)
+bench:
+	dune exec bench/main.exe
+
+# every table and figure at full workload sizes (~2 min)
+experiments:
+	dune exec bin/experiments.exe -- all
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/daemon_hardening.exe
+	dune exec examples/debugging_workflow.exe
+	dune exec examples/custom_allocator.exe
+	dune exec examples/scheme_tour.exe
+
+clean:
+	dune clean

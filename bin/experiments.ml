@@ -1,0 +1,42 @@
+(* Regenerate any of the paper's tables/figures by id.
+
+   Usage:
+     experiments table1|table3|table4|fig1|fig2|mscc|memory|ablations|all
+       [--quick]  run workloads at reduced sizes *)
+
+let usage () =
+  prerr_endline
+    "usage: experiments <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|all> [--quick]";
+  exit 2
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let targets = List.filter (fun a -> a <> "--quick") args in
+  let targets = if targets = [] then usage () else targets in
+  let targets =
+    if List.mem "all" targets then
+      [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
+        "sweep"; "ablations" ]
+    else targets
+  in
+  List.iter
+    (fun t ->
+      let out =
+        match t with
+        | "table1" -> Harness.Exp_table1.(render (run ()))
+        | "table3" -> Harness.Exp_table3.(render (run ()))
+        | "table4" -> Harness.Exp_table4.(render (run ()))
+        | "fig1" -> Harness.Exp_fig1.(render (run ~quick ()))
+        | "fig2" -> Harness.Exp_fig2.(render (run ~quick ()))
+        | "mscc" -> Harness.Exp_mscc.(render (run ~quick ()))
+        | "memory" -> Harness.Exp_memory.(render (run ~quick ()))
+        | "sweep" -> Harness.Exp_sweep.(render (run ()))
+        | "ablations" -> Harness.Exp_ablation.render ()
+        | other ->
+            Printf.eprintf "unknown experiment %s\n" other;
+            exit 2
+      in
+      print_endline out;
+      print_newline ())
+    targets

@@ -1,0 +1,220 @@
+(* softbound — command-line driver.
+
+   Compile a MiniC source file, optionally instrument it with SoftBound,
+   run it on the simulated machine, and report the outcome and cost
+   statistics.
+
+     softbound run prog.c --mode=full --facility=shadow -- arg1 arg2
+     softbound run prog.c --unprotected
+     softbound run prog.c --checker=mudflap
+     softbound dump-ir prog.c [--instrumented]
+     softbound check prog.c            # exit 0 iff no violation  *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- shared arguments ---- *)
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("full", Softbound.Full_checking);
+                  ("store-only", Softbound.Store_only) ])
+        Softbound.Full_checking
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Checking mode: $(b,full) or $(b,store-only).")
+
+let facility_arg =
+  Arg.(
+    value
+    & opt (enum [ ("shadow", Softbound.Shadow_space);
+                  ("hash", Softbound.Hash_table) ])
+        Softbound.Shadow_space
+    & info [ "facility" ] ~docv:"F"
+        ~doc:"Metadata organization: $(b,shadow) or $(b,hash).")
+
+let unprotected_arg =
+  Arg.(
+    value & flag
+    & info [ "unprotected" ] ~doc:"Run without any instrumentation.")
+
+let checker_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("jones-kelly", `Jk); ("memcheck", `Mc);
+                        ("mudflap", `Mf); ("mscc", `Mscc) ]))
+        None
+    & info [ "checker" ] ~docv:"TOOL"
+        ~doc:
+          "Run under a baseline tool instead of SoftBound: \
+           $(b,jones-kelly), $(b,memcheck), $(b,mudflap) or $(b,mscc).")
+
+let no_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Disable bounds shrinking at struct-field access.")
+
+let fptr_sigs_arg =
+  Arg.(
+    value & flag
+    & info [ "fptr-sigs" ]
+        ~doc:
+          "Enable dynamic function-pointer signature checking (the            paper's future-work extension).")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+let prog_args =
+  Arg.(
+    value & pos_right 0 string []
+    & info [] ~docv:"ARGS" ~doc:"Arguments passed to the program's main().")
+
+let opts_of ?(fptr_sigs = false) mode facility no_shrink =
+  {
+    Softbound.Config.default with
+    mode;
+    facility;
+    shrink_bounds = not no_shrink;
+    fptr_signatures = fptr_sigs;
+  }
+
+let scheme_of unprotected checker mode facility no_shrink fptr_sigs =
+  if unprotected then Harness.Runner.Unprotected
+  else
+    match checker with
+    | Some `Jk -> Harness.Runner.Jones_kelly
+    | Some `Mc -> Harness.Runner.Memcheck
+    | Some `Mf -> Harness.Runner.Mudflap
+    | Some `Mscc -> Harness.Runner.Mscc
+    | None ->
+        Harness.Runner.Softbound (opts_of ~fptr_sigs mode facility no_shrink)
+
+let report_err f =
+  try f () with
+  | Cminus.Lexer.Lex_error (m, l) ->
+      Printf.eprintf "lex error at %d:%d: %s\n" l.Cminus.Lexer.line l.col m;
+      exit 2
+  | Cminus.Parser.Parse_error (m, l) ->
+      Printf.eprintf "parse error at %d:%d: %s\n" l.Cminus.Lexer.line l.col m;
+      exit 2
+  | Cminus.Typecheck.Error (m, l) ->
+      Printf.eprintf "type error at %d:%d: %s\n" l.Cminus.Lexer.line l.col m;
+      exit 2
+  | Cminus.Ctypes.Type_error m ->
+      Printf.eprintf "type error: %s\n" m;
+      exit 2
+  | Sbir.Lower.Error m ->
+      Printf.eprintf "lowering error: %s\n" m;
+      exit 2
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let doc = "compile, (optionally) instrument, and execute a program" in
+  let f src unprotected checker mode facility no_shrink fptr_sigs stats args =
+    report_err (fun () ->
+        let m = Softbound.compile (read_file src) in
+        let scheme =
+          scheme_of unprotected checker mode facility no_shrink fptr_sigs
+        in
+        let r = Harness.Runner.run ~argv:args scheme m in
+        print_string r.stdout_text;
+        Printf.eprintf "[%s] %s\n"
+          (Harness.Runner.scheme_name scheme)
+          (Interp.State.string_of_outcome r.outcome);
+        if stats then begin
+          let s = r.stats in
+          Printf.eprintf
+            "insts=%d cycles=%d loads=%d stores=%d ptr-ops=%d checks=%d \
+             meta=%d/%d cache-miss=%.1f%% resident=%dKiB heap-peak=%dKiB\n"
+            s.Interp.State.insts s.cycles s.mem_reads s.mem_writes
+            s.ptr_mem_ops s.checks s.meta_loads s.meta_stores
+            (100.0
+            *. float_of_int r.cache_misses
+            /. float_of_int (max 1 (r.cache_hits + r.cache_misses)))
+            (r.resident_bytes / 1024) (r.heap_peak / 1024)
+        end;
+        match r.outcome with
+        | Interp.State.Exit n -> exit n
+        | Interp.State.Trapped _ -> exit 125)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const f $ src_arg $ unprotected_arg $ checker_arg $ mode_arg
+      $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ stats_arg $ prog_args)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let doc =
+    "run under SoftBound (full checking unless $(b,--mode) overrides); \
+     exit 0 iff no spatial violation"
+  in
+  let f src mode facility =
+    report_err (fun () ->
+        let m = Softbound.compile (read_file src) in
+        let r =
+          Softbound.run_protected ~opts:(opts_of mode facility false) m
+        in
+        match r.outcome with
+        | Interp.State.Trapped (Interp.State.Bounds_violation _ as t) ->
+            Printf.printf "VIOLATION: %s\n" (Interp.State.string_of_trap t);
+            exit 1
+        | Interp.State.Trapped t ->
+            Printf.printf "TRAP: %s\n" (Interp.State.string_of_trap t);
+            exit 3
+        | Interp.State.Exit _ ->
+            print_endline "OK: no spatial violations detected";
+            exit 0)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const f $ src_arg $ mode_arg $ facility_arg)
+
+(* ---- dump-ir ---- *)
+
+let dump_cmd =
+  let doc = "print the IR (optionally after SoftBound instrumentation)" in
+  let instrumented =
+    Arg.(
+      value & flag
+      & info [ "instrumented" ] ~doc:"Apply the SoftBound pass first.")
+  in
+  let no_inline =
+    Arg.(value & flag & info [ "no-inline" ] ~doc:"Skip the inliner.")
+  in
+  let f src instr no_inline mode facility =
+    report_err (fun () ->
+        let m = Softbound.compile ~inline:(not no_inline) (read_file src) in
+        let m =
+          if instr then
+            Softbound.instrument ~opts:(opts_of mode facility false) m
+          else m
+        in
+        print_string (Sbir.Pretty_ir.dump_module m))
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc)
+    Term.(
+      const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg)
+
+let main =
+  let doc = "SoftBound: complete spatial memory safety for C (simulated)" in
+  Cmd.group
+    (Cmd.info "softbound" ~version:"1.0.0" ~doc)
+    [ run_cmd; check_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval main)

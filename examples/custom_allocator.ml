@@ -1,0 +1,82 @@
+(* Using the programmer API: setbound() for custom memory allocators
+   (paper sections 3.1 and 5.2).
+
+   A pool allocator hands out sub-regions of one big malloc'd arena.  By
+   default every sub-allocation inherits the *arena's* bounds, so
+   overflows from one pool object into its neighbour are invisible.  A
+   single setbound() call in the allocator narrows each object to its
+   own extent — and the overflow is caught.
+
+   Run with:  dune exec examples/custom_allocator.exe *)
+
+let pool_without_setbound =
+  {|
+char *arena;
+int arena_used;
+
+void *pool_alloc(int size) {
+  char *p = arena + arena_used;
+  arena_used += (size + 15) / 16 * 16;
+  return (void*)p;
+}
+
+int main(void) {
+  arena = (char*)malloc(1024);
+  arena_used = 0;
+  char *a = (char*)pool_alloc(16);
+  char *b = (char*)pool_alloc(16);
+  b[0] = 'B';
+  a[16] = 'X';      /* overflows object a into object b! */
+  printf("b[0] is now %c\n", b[0]);
+  return 0;
+}
+|}
+
+let pool_with_setbound =
+  {|
+char *arena;
+int arena_used;
+
+void *pool_alloc(int size) {
+  char *p = arena + arena_used;
+  arena_used += (size + 15) / 16 * 16;
+  setbound(p, size);   /* <- one line: narrow to this object's extent */
+  return (void*)p;
+}
+
+int main(void) {
+  arena = (char*)malloc(1024);
+  arena_used = 0;
+  char *a = (char*)pool_alloc(16);
+  char *b = (char*)pool_alloc(16);
+  b[0] = 'B';
+  a[16] = 'X';
+  printf("b[0] is now %c\n", b[0]);
+  return 0;
+}
+|}
+
+let () =
+  print_endline "Custom allocators and setbound()\n";
+
+  let plain = Softbound.run_protected (Softbound.compile pool_without_setbound) in
+  Printf.printf
+    "pool allocator without setbound, under SoftBound:\n  %s\n  %s\n"
+    (String.trim plain.stdout_text)
+    (Interp.State.string_of_outcome plain.outcome);
+  print_endline
+    "  (the overflow stays inside the arena's bounds, so it is missed —\n\
+    \   object b was silently corrupted)\n";
+
+  let bounded = Softbound.run_protected (Softbound.compile pool_with_setbound) in
+  Printf.printf "pool allocator with setbound(p, size):\n  %s\n"
+    (Interp.State.string_of_outcome bounded.outcome);
+  print_endline
+    "  (each pool object now carries its own bounds; the cross-object\n\
+    \   write aborts at the faulting store)";
+
+  (* setbound is a no-op when the program runs uninstrumented *)
+  let un = Softbound.run_unprotected (Softbound.compile pool_with_setbound) in
+  Printf.printf
+    "\nuninstrumented run of the same source: %s (setbound is a no-op)\n"
+    (Interp.State.string_of_outcome un.outcome)

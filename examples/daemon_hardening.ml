@@ -1,0 +1,153 @@
+(* Case study (paper section 6.4): applying SoftBound to network daemons
+   without touching their source.
+
+   The paper transformed a small FTP server and an HTTP server and ran
+   them unmodified, with no false positives.  Here two daemon-style
+   request loops — an FTP-flavoured command parser and an HTTP-flavoured
+   request handler — are run over benign traffic (must behave
+   identically under SoftBound) and over attack traffic (the classic
+   long-request overflow must be caught before it lands).
+
+   Run with:  dune exec examples/daemon_hardening.exe *)
+
+let ftp_server =
+  {|
+/* tinyftp-style command loop: reads lines, dispatches on the verb.
+   The CWD handler has the classic bug: a fixed path buffer and an
+   unchecked strcpy of the argument. */
+char cur_dir[32];
+int logged_in;
+
+void handle_user(char *arg) {
+  logged_in = 1;
+  printf("230 user %s logged in\n", arg);
+}
+
+void handle_cwd(char *arg) {
+  char path[32];
+  strcpy(path, cur_dir);
+  strcat(path, "/");
+  strcat(path, arg);          /* <- no length check: CVE material */
+  strcpy(cur_dir, path);
+  printf("250 cwd ok: %s\n", cur_dir);
+}
+
+void handle_retr(char *arg) {
+  printf("150 sending %s\n", arg);
+  printf("226 done\n");
+}
+
+int main(void) {
+  char line[128];
+  strcpy(cur_dir, "~");
+  logged_in = 0;
+  while (sim_recv(line, 128) >= 0) {
+    char *sp = strchr(line, ' ');
+    char *arg = "";
+    if (sp != NULL) { *sp = 0; arg = sp + 1; }
+    if (strcmp(line, "USER") == 0) handle_user(arg);
+    else if (strcmp(line, "CWD") == 0) handle_cwd(arg);
+    else if (strcmp(line, "RETR") == 0) handle_retr(arg);
+    else if (strcmp(line, "QUIT") == 0) { printf("221 bye\n"); return 0; }
+    else printf("500 unknown command\n");
+  }
+  return 0;
+}
+|}
+
+let http_server =
+  {|
+/* nhttpd-style request handler: parses the request line into fixed
+   buffers with bounded copies — correct code that must not trip any
+   false positive under instrumentation. */
+int requests_served;
+
+void serve(char *req) {
+  char method[8];
+  char path[64];
+  int i = 0;
+  int j = 0;
+  while (req[i] && req[i] != ' ' && i < 7) { method[i] = req[i]; i++; }
+  method[i] = 0;
+  if (req[i] == ' ') i++;
+  while (req[i] && req[i] != ' ' && j < 63) { path[j] = req[i]; i++; j++; }
+  path[j] = 0;
+  if (strcmp(method, "GET") == 0) {
+    printf("HTTP/1.0 200 OK (%s)\n", path);
+  } else {
+    printf("HTTP/1.0 501 not implemented (%s)\n", method);
+  }
+  requests_served++;
+}
+
+int main(void) {
+  char line[256];
+  while (sim_recv(line, 256) > 0) serve(line);
+  printf("served %d requests\n", requests_served);
+  return 0;
+}
+|}
+
+let benign_ftp =
+  [ "USER alice"; "CWD docs"; "RETR paper.pdf"; "QUIT" ]
+
+let attack_ftp =
+  [
+    "USER eve";
+    "CWD "
+    ^ String.concat "/" (List.init 12 (fun _ -> "AAAAAAAAAA"));
+  ]
+
+let benign_http =
+  [ "GET /index.html HTTP/1.0"; "GET /img/logo.png HTTP/1.0";
+    "POST /form HTTP/1.0" ]
+
+let run ?(opts = Softbound.Config.default) ~protected inputs m =
+  let cfg = { Interp.State.default_config with inputs } in
+  if protected then Softbound.run_protected ~opts ~cfg m
+  else Softbound.run_unprotected ~cfg m
+
+let () =
+  print_endline "Daemon hardening case study (paper section 6.4)\n";
+
+  let ftp = Softbound.compile ftp_server in
+  let http = Softbound.compile http_server in
+
+  (* 1. compatibility: benign traffic, identical behaviour *)
+  let ftp_plain = run ~protected:false benign_ftp ftp in
+  let ftp_prot = run ~protected:true benign_ftp ftp in
+  Printf.printf "[ftp] benign traffic, unmodified source: output %s\n"
+    (if ftp_plain.stdout_text = ftp_prot.stdout_text
+        && ftp_prot.outcome = Interp.State.Exit 0
+     then "IDENTICAL under SoftBound (no false positives)"
+     else "DIFFERS (!)" );
+  print_string ftp_prot.stdout_text;
+
+  let http_plain = run ~protected:false benign_http http in
+  let http_prot = run ~protected:true benign_http http in
+  Printf.printf "\n[http] benign traffic: output %s\n"
+    (if http_plain.stdout_text = http_prot.stdout_text then
+       "IDENTICAL under SoftBound"
+     else "DIFFERS (!)");
+  print_string http_prot.stdout_text;
+
+  (* 2. the attack: a CWD argument long enough to smash the stack *)
+  Printf.printf "\n[ftp] oversized CWD, unprotected: %s\n"
+    (Interp.State.string_of_outcome (run ~protected:false attack_ftp ftp).outcome);
+  Printf.printf "[ftp] oversized CWD, SoftBound full: %s\n"
+    (Interp.State.string_of_outcome (run ~protected:true attack_ftp ftp).outcome);
+  Printf.printf "[ftp] oversized CWD, store-only: %s\n"
+    (Interp.State.string_of_outcome
+       (run ~protected:true ~opts:Softbound.Config.store_only attack_ftp ftp)
+         .outcome);
+
+  (* 3. the overhead price of protecting the daemon *)
+  let base = run ~protected:false benign_ftp ftp in
+  let prot = run ~protected:true benign_ftp ftp in
+  Printf.printf
+    "\n[ftp] simulated cycles: %d unprotected vs %d protected (%.0f%% overhead)\n"
+    base.stats.Interp.State.cycles prot.stats.Interp.State.cycles
+    (100.0
+    *. (float_of_int prot.stats.Interp.State.cycles
+        /. float_of_int base.stats.Interp.State.cycles
+       -. 1.0))

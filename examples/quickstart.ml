@@ -1,0 +1,65 @@
+(* Quickstart: compile a C program, run it unprotected, watch it corrupt
+   memory; run it under SoftBound, watch the overflow get caught at the
+   faulting store with precise bounds.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+/* The paper's motivating example (section 2.1): an array inside a
+   struct sits right next to a function pointer.  An unchecked strcpy
+   through a pointer to the array overwrites the function pointer. */
+typedef struct {
+  char str[8];
+  void (*func)(void);
+} node_t;
+
+void greet(void) { printf("hello from greet()\n"); }
+
+int main(void) {
+  node_t node;
+  char *ptr = node.str;
+  node.func = greet;
+  strcpy(ptr, "overflow...");   /* 12 bytes into an 8-byte field */
+  node.func();                  /* where does this go now? */
+  return 0;
+}
+|}
+
+let show title (r : Interp.Vm.result) =
+  Printf.printf "--- %s ---\n" title;
+  if r.stdout_text <> "" then print_string r.stdout_text;
+  Printf.printf "outcome: %s\n" (Interp.State.string_of_outcome r.outcome);
+  Printf.printf "executed %d instructions, %d simulated cycles\n\n"
+    r.stats.Interp.State.insts r.stats.Interp.State.cycles
+
+let () =
+  print_endline "SoftBound quickstart\n====================\n";
+
+  (* 1. compile once: MiniC -> typed AST -> IR (+ inlining) *)
+  let m = Softbound.compile source in
+
+  (* 2. unprotected: the overflow silently smashes node.func *)
+  show "unprotected" (Softbound.run_unprotected m);
+
+  (* 3. full checking: the strcpy aborts before any corruption, because
+     `ptr` carries the *field's* bounds (8 bytes), not the struct's *)
+  show "softbound, full checking" (Softbound.run_protected m);
+
+  (* 4. store-only checking: cheaper, still catches this (it's a write) *)
+  show "softbound, store-only"
+    (Softbound.run_protected ~opts:Softbound.Config.store_only m);
+
+  (* 5. the same, with the hash-table metadata organization *)
+  show "softbound, hash-table metadata"
+    (Softbound.run_protected
+       ~opts:
+         { Softbound.Config.default with
+           facility = Softbound.Config.Hash_table }
+       m);
+
+  print_endline
+    "The overflow is a *sub-object* overflow: it never leaves the\n\
+     struct, so object-granularity tools cannot see it.  SoftBound's\n\
+     per-pointer bounds, narrowed at field access, catch it at the\n\
+     faulting byte."

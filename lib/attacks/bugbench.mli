@@ -1,0 +1,29 @@
+(** BugBench-style buggy programs (Lu et al.), as evaluated in Table 4.
+
+    Small but working kernels of the original benchmarks with their
+    documented memory bugs, calibrated so each bug's *class* matches the
+    detection pattern of Table 4 (see DESIGN.md's substitution table for
+    the heap-vs-stack calibration of gzip/polymorph). *)
+
+type program = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC program; runs to completion unprotected *)
+  bug_kind : [ `Read_overflow | `Store_overflow ];
+}
+
+val go : program
+(** Read overflow of an array inside a struct — only complete checking
+    sees it. *)
+
+val compress : program
+(** Store overflow into stack frame padding — invisible to heap-only
+    tools. *)
+
+val polymorph : program
+(** Heap strcpy overflow — every tool class catches it. *)
+
+val gzip : program
+(** Heap filename overflow — every tool class catches it. *)
+
+val all : program list

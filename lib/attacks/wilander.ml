@@ -1,0 +1,378 @@
+(* The 18 synthetic attacks of Wilander & Kamkar (NDSS 2003), as evaluated
+   in the paper's Table 3.
+
+   Each attack is a MiniC program that genuinely corrupts control data in
+   simulated memory.  Run unprotected, the program hijacks control flow
+   (the VM reports [Hijack] — either the payload function executes, or
+   the return-token / saved-frame-pointer / longjmp-buffer validation
+   observes attacker-controlled values).  Run under SoftBound, every
+   attack involves at least one out-of-bounds write, so both full and
+   store-only checking abort with a bounds violation before the
+   corruption lands.
+
+   The programs rely on the simulator's deterministic frame layout
+   (slots in declaration order growing upward, spilled parameters above
+   locals, then saved frame pointer and return token) — just as the
+   original suite relies on gcc's x86 stack layout.
+
+   Common scaffolding:
+   - [payload()] calls the [attack_success] builtin, which the VM turns
+     into a [Hijack] trap: executing it is the proof of arbitrary code
+     execution;
+   - [safe()] is the function pointers legitimately point to. *)
+
+type attack = {
+  id : int;
+  technique : string;  (** Table 3 row group *)
+  target : string;  (** Table 3 row *)
+  source : string;
+}
+
+let prologue =
+  {|
+void payload(void) { attack_success(); }
+void safe(void) { }
+|}
+
+let mk id technique target body =
+  { id; technique; target; source = prologue ^ body }
+
+(* ------------------------------------------------------------------ *)
+(* Group A: buffer overflow on the stack, all the way to the target.   *)
+(* Frame of vuln(): buf at offset 0; with only buf (16 bytes) the       *)
+(* saved frame pointer sits at buf+16 and the return token at buf+24.   *)
+(* ------------------------------------------------------------------ *)
+
+let stack_all_the_way =
+  [
+    mk 1 "Buffer overflow on stack all the way to the target"
+      "Return address"
+      {|
+void vuln(void) {
+  char buf[16];
+  long *p = (long*)buf;
+  int i;
+  /* spray the payload address over saved bp and return token */
+  for (i = 0; i < 4; i++) p[i] = (long)payload;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 2 "Buffer overflow on stack all the way to the target"
+      "Old base pointer"
+      {|
+long fake_frame[4];
+void vuln(void) {
+  char buf[16];
+  long *p = (long*)buf;
+  /* overwrite only the saved frame pointer with a fake frame */
+  p[2] = (long)fake_frame;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 3 "Buffer overflow on stack all the way to the target"
+      "Function ptr local variable"
+      {|
+void vuln(void) {
+  char buf[16];
+  void (*fp)(void);
+  void (**force)(void) = &fp;   /* keep fp in memory, above buf */
+  long *p = (long*)buf;
+  fp = safe;
+  p[2] = (long)payload;          /* buf+16 = fp's slot */
+  fp();
+  force = force;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 4 "Buffer overflow on stack all the way to the target"
+      "Function ptr parameter"
+      {|
+void vuln(void (*fp)(void)) {
+  char buf[16];
+  void (**force)(void) = &fp;   /* spill the parameter above the locals */
+  long *p = (long*)buf;
+  p[2] = (long)payload;          /* buf+16 = spilled fp */
+  fp();
+  force = force;
+}
+int main(void) { vuln(safe); return 0; }
+|};
+    mk 5 "Buffer overflow on stack all the way to the target"
+      "Longjmp buffer local variable"
+      {|
+void vuln(void) {
+  char buf[16];
+  jmp_buf jb;
+  long *p = (long*)buf;
+  if (setjmp(jb) == 0) {
+    p[2] = (long)payload;        /* jb[0]: token */
+    p[3] = (long)payload;        /* jb[1]: saved pc */
+    longjmp(jb, 1);
+  }
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 6 "Buffer overflow on stack all the way to the target"
+      "Longjmp buffer function parameter"
+      {|
+/* the longjmp buffer lives in the caller's frame; the callee's overflow
+   walks through its own frame (16B buf + 16B control) into it */
+void vuln(long *jb) {
+  char buf[16];
+  long *p = (long*)buf;
+  p[4] = (long)payload;          /* caller's jb[0] */
+  p[5] = (long)payload;          /* caller's jb[1] */
+}
+int main(void) {
+  jmp_buf jb;
+  if (setjmp(jb) == 0) {
+    vuln(jb);
+    longjmp(jb, 1);
+  }
+  return 0;
+}
+|};
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Group B: buffer overflow on heap / BSS / data, all the way.          *)
+(* ------------------------------------------------------------------ *)
+
+let heap_all_the_way =
+  [
+    mk 7 "Buffer overflow on heap/BSS/data all the way to the target"
+      "Function pointer"
+      {|
+typedef struct { void (*fp)(void); } fobj;
+int main(void) {
+  char *buf = (char*)malloc(16);
+  fobj *o = (fobj*)malloc(sizeof(fobj));
+  long *p = (long*)buf;
+  o->fp = safe;
+  /* the allocator places o 32 bytes after buf (16B block + 16B gap) */
+  p[4] = (long)payload;
+  o->fp();
+  return 0;
+}
+|};
+    mk 8 "Buffer overflow on heap/BSS/data all the way to the target"
+      "Longjmp buffer"
+      {|
+char gbuf[16];     /* data segment, laid out just before gjb */
+jmp_buf gjb;
+int main(void) {
+  long *p = (long*)gbuf;
+  if (setjmp(gjb) == 0) {
+    p[2] = (long)payload;        /* gjb[0] */
+    p[3] = (long)payload;        /* gjb[1] */
+    longjmp(gjb, 1);
+  }
+  return 0;
+}
+|};
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Group C: overflow a data pointer on the stack, then write through    *)
+(* it into the target.                                                  *)
+(* Frame of vuln(): buf 0..16, ptr slot 16..24 (kept in memory), then   *)
+(* later slots / control data.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stack_pointer_redirect =
+  [
+    mk 9 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Return address"
+      {|
+long dummy;
+void vuln(void) {
+  char buf[16];
+  long *ptr;
+  long **force = &ptr;           /* ptr lives at buf+16 */
+  ptr = &dummy;
+  /* frame: buf(16) + ptr(8) -> frame size 32; token at buf+40 */
+  ((long**)buf)[2] = (long*)(buf + 40);
+  *ptr = (long)payload;          /* write through the corrupted pointer */
+  force = force;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 10 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Base pointer"
+      {|
+long dummy;
+void vuln(void) {
+  char buf[16];
+  long *ptr;
+  long **force = &ptr;
+  ptr = &dummy;
+  ((long**)buf)[2] = (long*)(buf + 32);   /* saved frame pointer */
+  *ptr = (long)payload;
+  force = force;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 11 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Function pointer variable"
+      {|
+long dummy;
+void vuln(void) {
+  char buf[16];
+  long *ptr;
+  void (*fp)(void);
+  long **force1 = &ptr;
+  void (**force2)(void) = &fp;   /* fp at buf+24 */
+  ptr = &dummy;
+  fp = safe;
+  ((long**)buf)[2] = (long*)(buf + 24);
+  *ptr = (long)payload;
+  fp();
+  force1 = force1; force2 = force2;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 12 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Function pointer parameter"
+      {|
+long dummy;
+void vuln(void (*fp)(void)) {
+  char buf[16];
+  long *ptr;
+  long **force1 = &ptr;
+  void (**force2)(void) = &fp;   /* parameter spilled at buf+24 */
+  ptr = &dummy;
+  ((long**)buf)[2] = (long*)(buf + 24);
+  *ptr = (long)payload;
+  fp();
+  force1 = force1; force2 = force2;
+}
+int main(void) { vuln(safe); return 0; }
+|};
+    mk 13 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Longjmp buffer variable"
+      {|
+long dummy;
+void vuln(void) {
+  char buf[16];
+  long *ptr;
+  jmp_buf jb;                    /* jb at buf+24 */
+  long **force = &ptr;
+  ptr = &dummy;
+  if (setjmp(jb) == 0) {
+    ((long**)buf)[2] = (long*)(buf + 24);
+    ptr[0] = (long)payload;      /* jb[0] */
+    ptr[1] = (long)payload;      /* jb[1] */
+    longjmp(jb, 1);
+  }
+  force = force;
+}
+int main(void) { vuln(); return 0; }
+|};
+    mk 14 "Buffer overflow of a pointer on stack and then pointing to target"
+      "Longjmp buffer function parameter"
+      {|
+/* craft a fake jmp_buf inside the buffer, then overflow the spilled
+   jb parameter so it points at the fake */
+void vuln(long *jb) {
+  char buf[32];
+  long **force = &jb;            /* jb parameter spilled at buf+32 */
+  ((long*)buf)[0] = (long)payload;   /* fake token */
+  ((long*)buf)[1] = (long)payload;   /* fake pc */
+  ((long**)buf)[4] = (long*)buf;     /* overwrite the spilled parameter */
+  longjmp(jb, 1);
+  force = force;
+}
+int main(void) {
+  jmp_buf jb;
+  if (setjmp(jb) == 0) vuln(jb);
+  return 0;
+}
+|};
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Group D: overflow a data pointer on heap / BSS, then write through.  *)
+(* ------------------------------------------------------------------ *)
+
+let heap_pointer_redirect =
+  [
+    mk 15 "Buffer overflow of pointer on heap/BSS and then pointing to target"
+      "Return address"
+      {|
+typedef struct { char buf[16]; long *ptr; } hobj;
+long dummy;
+void vuln(hobj *o) {
+  char canary[8];
+  long *p = (long*)o->buf;
+  canary[0] = 'x';
+  /* heap overflow inside the object corrupts o->ptr */
+  p[2] = (long)(canary + 24);    /* frame 16 + control 8 -> token */
+  *(o->ptr) = (long)payload;
+}
+int main(void) {
+  hobj *o = (hobj*)malloc(sizeof(hobj));
+  o->ptr = &dummy;
+  vuln(o);
+  return 0;
+}
+|};
+    mk 16 "Buffer overflow of pointer on heap/BSS and then pointing to target"
+      "Old base pointer"
+      {|
+typedef struct { char buf[16]; long *ptr; } hobj;
+long dummy;
+void vuln(hobj *o) {
+  char canary[8];
+  long *p = (long*)o->buf;
+  canary[0] = 'x';
+  p[2] = (long)(canary + 16);    /* saved frame pointer */
+  *(o->ptr) = (long)payload;
+}
+int main(void) {
+  hobj *o = (hobj*)malloc(sizeof(hobj));
+  o->ptr = &dummy;
+  vuln(o);
+  return 0;
+}
+|};
+    mk 17 "Buffer overflow of pointer on heap/BSS and then pointing to target"
+      "Function pointer"
+      {|
+typedef struct { char buf[16]; long *ptr; } hobj;
+long dummy;
+void (*gfp)(void);
+int main(void) {
+  hobj *o = (hobj*)malloc(sizeof(hobj));
+  long *p = (long*)o->buf;
+  o->ptr = &dummy;
+  gfp = safe;
+  p[2] = (long)&gfp;             /* overflow o->buf into o->ptr */
+  *(o->ptr) = (long)payload;
+  gfp();
+  return 0;
+}
+|};
+    mk 18 "Buffer overflow of pointer on heap/BSS and then pointing to target"
+      "Longjmp buffer"
+      {|
+typedef struct { char buf[16]; long *ptr; } hobj;
+long dummy;
+jmp_buf gjb;
+int main(void) {
+  hobj *o = (hobj*)malloc(sizeof(hobj));
+  long *p = (long*)o->buf;
+  o->ptr = &dummy;
+  if (setjmp(gjb) == 0) {
+    p[2] = (long)gjb;            /* overflow o->buf into o->ptr */
+    o->ptr[0] = (long)payload;
+    o->ptr[1] = (long)payload;
+    longjmp(gjb, 1);
+  }
+  return 0;
+}
+|};
+  ]
+
+let all : attack list =
+  stack_all_the_way @ heap_all_the_way @ stack_pointer_redirect
+  @ heap_pointer_redirect

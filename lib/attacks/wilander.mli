@@ -1,0 +1,19 @@
+(** The 18 synthetic attacks of Wilander & Kamkar (NDSS 2003), as
+    evaluated in the paper's Table 3.
+
+    Each attack genuinely corrupts control data in simulated memory when
+    run unprotected (the VM observes the hijack); under SoftBound every
+    attack involves an out-of-bounds write and aborts in both full and
+    store-only modes.  The programs rely on the simulator's deterministic
+    frame layout, just as the original suite relies on gcc's x86 stack
+    layout. *)
+
+type attack = {
+  id : int;  (** 1..18, in the paper's row order *)
+  technique : string;  (** Table 3 row group *)
+  target : string;  (** Table 3 row *)
+  source : string;  (** MiniC program *)
+}
+
+val all : attack list
+(** All 18 attacks, in Table 3 order. *)

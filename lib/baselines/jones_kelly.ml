@@ -1,0 +1,56 @@
+(* Jones & Kelly-style object-table bounds checker (paper section 2.1).
+
+   Every allocation (heap block, stack slot, global) is registered in a
+   splay tree.  Pointer *arithmetic* is checked: the result must stay
+   within (or one past) the object containing the source pointer.
+   Dereferences of addresses inside some live object pass.
+
+   Characteristic strengths/weaknesses reproduced here:
+   - no source changes, unchanged memory layout (it is a VM plugin);
+   - the splay tree on the hot path is the performance bottleneck;
+   - sub-object overflows are invisible: [&node.str] and [&node] are the
+     same object, so an overflow within [node] is never flagged (the
+     paper's motivating example). *)
+
+open Interp.State
+
+let make () : checker =
+  let objects = Splay.create () in
+  let handle = function
+    | Ev_alloc { base; size; _ } ->
+        let path = Splay.insert objects ~base ~size in
+        (2 + (2 * path), None)
+    | Ev_free { base; _ } ->
+        let path = Splay.remove objects ~base in
+        (2 + (2 * path), None)
+    | Ev_ptr_arith { src; dst } -> (
+        match Splay.find_containing objects src with
+        | None ->
+            (* source not derived from a tracked object (e.g. integer
+               provenance): JK has nothing to say *)
+            (2 + (2 * Splay.last_path objects), None)
+        | Some (base, size) ->
+            let cost = 2 + (2 * Splay.last_path objects) in
+            (* one-past-the-end is legal C and JK pads objects to allow it *)
+            if dst >= base && dst <= base + size then (cost, None)
+            else
+              ( cost,
+                Some
+                  (Printf.sprintf
+                     "pointer arithmetic leaves object [0x%x,+%d): 0x%x" base
+                     size dst) ))
+    | Ev_access { addr; size; _ } -> (
+        match Splay.find_containing objects addr with
+        | Some (base, osize) ->
+            let cost = 2 + (2 * Splay.last_path objects) in
+            if addr + size <= base + osize then (cost, None)
+            else
+              ( cost,
+                Some
+                  (Printf.sprintf "access of %d bytes at 0x%x crosses object end"
+                     size addr) )
+        | None ->
+            ( 2 + (2 * Splay.last_path objects),
+              Some (Printf.sprintf "access to untracked address 0x%x" addr) ))
+  in
+  { ck_name = "jones-kelly"; ck_handle = handle }

@@ -1,0 +1,57 @@
+(* Memcheck (Valgrind)-style checker (Table 4's "Valgrind" column).
+
+   Tracks *heap* addressability only: accesses must land inside a live
+   heap block; the guard gaps the allocator leaves between blocks act as
+   red zones, and freed blocks stay poisoned until reused.
+
+   The defining blind spot reproduced here (and visible in Table 4): no
+   tracking of stack or global objects, so overflows there go unnoticed —
+   "Valgrind does not detect overflows on the stack, leading to its
+   failure to detect some of the bugs" (section 6.2). *)
+
+open Interp.State
+
+module IMap = Map.Make (Int)
+
+type block = { bsize : int; blive : bool }
+
+let make () : checker =
+  let blocks = ref IMap.empty in
+  let redzone = 16 in
+  let handle = function
+    | Ev_alloc { base; size; kind = AHeap } ->
+        blocks := IMap.add base { bsize = size; blive = true } !blocks;
+        (4, None)
+    | Ev_free { base; kind = AHeap; _ } ->
+        (match IMap.find_opt base !blocks with
+        | Some b -> blocks := IMap.add base { b with blive = false } !blocks
+        | None -> ());
+        (4, None)
+    | Ev_alloc _ | Ev_free _ -> (0, None) (* stack/globals: not tracked *)
+    | Ev_ptr_arith _ -> (0, None) (* Memcheck does not check arithmetic *)
+    | Ev_access { addr; size; _ } -> (
+        (* only judge addresses inside the heap segment *)
+        if
+          addr < Machine.Layout.heap_base
+          || addr >= Machine.Layout.heap_base + 0x0004_0000_0000
+        then (1, None)
+        else
+          match IMap.find_last_opt (fun b -> b <= addr) !blocks with
+          | None -> (2, None)
+          | Some (base, b) ->
+              if b.blive && addr + size <= base + b.bsize then (2, None)
+              else if not b.blive && addr < base + b.bsize then
+                ( 2,
+                  Some
+                    (Printf.sprintf "use of freed heap block at 0x%x" addr) )
+              else if addr < base + b.bsize + redzone then
+                ( 2,
+                  Some
+                    (Printf.sprintf
+                       "heap block overrun: access [0x%x,+%d) runs %d bytes past block [0x%x,+%d)"
+                       addr size
+                       (addr + size - (base + b.bsize))
+                       base b.bsize) )
+              else (2, None))
+  in
+  { ck_name = "memcheck-like"; ck_handle = handle }

@@ -1,0 +1,70 @@
+(* GCC Mudflap-style checker (Table 4's "MudFlap" column).
+
+   Mudflap instruments every dereference and validates it against a
+   database of live objects — heap blocks, stack objects and globals
+   alike (unlike Memcheck it does see the stack).  Like every
+   object-granularity tool it cannot see *sub-object* overflows: an
+   access that stays inside the enclosing object is fine by construction
+   (section 2.1's array-inside-struct example).
+
+   The object database here is a chunked hash index (Mudflap itself uses
+   a lookup cache in front of a tree; the cost charged models a cache
+   hit plus occasional deeper search). *)
+
+open Interp.State
+
+let chunk_bits = 6 (* 64-byte chunks *)
+
+let make () : checker =
+  (* chunk index -> (base, size) list of overlapping objects *)
+  let index : (int, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
+  let chunks_of base size =
+    let lo = base lsr chunk_bits in
+    let hi = (base + max 1 size - 1) lsr chunk_bits in
+    (lo, hi)
+  in
+  let add base size =
+    let lo, hi = chunks_of base size in
+    for c = lo to hi do
+      let cur = Option.value (Hashtbl.find_opt index c) ~default:[] in
+      Hashtbl.replace index c ((base, size) :: cur)
+    done
+  in
+  let del base size =
+    let lo, hi = chunks_of base size in
+    for c = lo to hi do
+      match Hashtbl.find_opt index c with
+      | None -> ()
+      | Some l ->
+          Hashtbl.replace index c
+            (List.filter (fun (b, _) -> b <> base) l)
+    done
+  in
+  let handle = function
+    | Ev_alloc { base; size; _ } ->
+        add base size;
+        (3, None)
+    | Ev_free { base; size; _ } ->
+        del base size;
+        (3, None)
+    | Ev_ptr_arith _ -> (0, None)
+    | Ev_access { addr; size; _ } ->
+        let c = addr lsr chunk_bits in
+        (* any object containing [addr] necessarily overlaps addr's chunk *)
+        let candidates =
+          Option.value (Hashtbl.find_opt index c) ~default:[]
+        in
+        let ok =
+          List.exists
+            (fun (b, s) -> addr >= b && addr + size <= b + s)
+            candidates
+        in
+        let cost = 3 + (List.length candidates / 4) in
+        if ok then (cost, None)
+        else
+          ( cost,
+            Some
+              (Printf.sprintf "access at 0x%x is not within any live object"
+                 addr) )
+  in
+  { ck_name = "mudflap-like"; ck_handle = handle }

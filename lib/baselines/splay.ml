@@ -1,0 +1,152 @@
+(* A splay tree over half-open intervals, keyed by base address.
+
+   This is the data structure the object-table approaches use for their
+   object lookup (paper section 2.1: "the object-lookup table is often
+   implemented as a splay tree, which can be a performance bottleneck").
+   Each operation reports the length of the access path it walked; the
+   Jones–Kelly baseline charges that as its bookkeeping cost, so the
+   splay-tree bottleneck shows up in simulated cycles exactly where the
+   paper says it hurts.
+
+   Classic purely functional splay (zig / zig-zig / zig-zag), wrapped in
+   a small mutable record. *)
+
+type tree = Leaf | Node of tree * int * int * tree  (** l, base, size, r *)
+
+type t = {
+  mutable root : tree;
+  mutable count : int;
+  mutable last_path : int;
+}
+
+let create () = { root = Leaf; count = 0; last_path = 0 }
+
+let clear t =
+  t.root <- Leaf;
+  t.count <- 0;
+  t.last_path <- 0
+
+let size t = t.count
+
+(* Splay [k] to the root (or the last node on the search path if [k] is
+   absent), counting visited nodes in [steps]. *)
+let splay_tree (steps : int ref) (k : int) (tr : tree) : tree =
+  let rec go t =
+    match t with
+    | Leaf -> Leaf
+    | Node (l, kx, vx, r) -> (
+        incr steps;
+        if k = kx then t
+        else if k < kx then
+          match l with
+          | Leaf -> t
+          | Node (ll, ky, vy, lr) ->
+              incr steps;
+              if k = ky then Node (ll, ky, vy, Node (lr, kx, vx, r))
+              else if k < ky then (
+                match go ll with
+                | Leaf -> Node (ll, ky, vy, Node (lr, kx, vx, r))
+                | Node (a, kz, vz, b) ->
+                    Node (a, kz, vz, Node (b, ky, vy, Node (lr, kx, vx, r))))
+              else (
+                match go lr with
+                | Leaf -> Node (ll, ky, vy, Node (lr, kx, vx, r))
+                | Node (a, kz, vz, b) ->
+                    Node (Node (ll, ky, vy, a), kz, vz, Node (b, kx, vx, r)))
+        else
+          match r with
+          | Leaf -> t
+          | Node (rl, ky, vy, rr) ->
+              incr steps;
+              if k = ky then Node (Node (l, kx, vx, rl), ky, vy, rr)
+              else if k > ky then (
+                match go rr with
+                | Leaf -> Node (Node (l, kx, vx, rl), ky, vy, rr)
+                | Node (a, kz, vz, b) ->
+                    Node (Node (Node (l, kx, vx, rl), ky, vy, a), kz, vz, b))
+              else (
+                match go rl with
+                | Leaf -> Node (Node (l, kx, vx, rl), ky, vy, rr)
+                | Node (a, kz, vz, b) ->
+                    Node (Node (l, kx, vx, a), kz, vz, Node (b, ky, vy, rr))))
+  in
+  go tr
+
+let splay t k =
+  let steps = ref 0 in
+  t.root <- splay_tree steps k t.root;
+  t.last_path <- !steps
+
+(** Insert (or resize) the interval starting at [base]; returns the path
+    length walked. *)
+let insert t ~base ~size =
+  splay t base;
+  (match t.root with
+  | Leaf ->
+      t.root <- Node (Leaf, base, size, Leaf);
+      t.count <- t.count + 1
+  | Node (l, k, _, r) when k = base -> t.root <- Node (l, k, size, r)
+  | Node (l, k, v, r) ->
+      if base < k then begin
+        t.root <- Node (l, base, size, Node (Leaf, k, v, r));
+        t.count <- t.count + 1
+      end
+      else begin
+        t.root <- Node (Node (l, k, v, Leaf), base, size, r);
+        t.count <- t.count + 1
+      end);
+  t.last_path
+
+(** Remove the interval at exactly [base]; returns the path length. *)
+let remove t ~base =
+  splay t base;
+  (match t.root with
+  | Node (l, k, _, r) when k = base -> (
+      match l with
+      | Leaf ->
+          t.root <- r;
+          t.count <- t.count - 1
+      | _ ->
+          let steps = ref 0 in
+          (* splay the max of [l] up, then hang [r] off it *)
+          let l' = splay_tree steps max_int l in
+          t.last_path <- t.last_path + !steps;
+          (match l' with
+          | Node (a, k', v', Leaf) -> t.root <- Node (a, k', v', r)
+          | _ -> assert false);
+          t.count <- t.count - 1)
+  | _ -> ());
+  t.last_path
+
+(** The interval containing [addr], if any; returns ((base, size), path). *)
+let find_containing t addr : (int * int) option =
+  splay t addr;
+  match t.root with
+  | Leaf -> None
+  | Node (l, k, v, _) ->
+      if k <= addr then if addr < k + v then Some (k, v) else None
+      else begin
+        (* the candidate is the predecessor: max of the left subtree *)
+        let rec max_of t path =
+          match t with
+          | Leaf -> (None, path)
+          | Node (_, k, v, Leaf) -> (Some (k, v), path + 1)
+          | Node (_, _, _, r) -> max_of r (path + 1)
+        in
+        let res, extra = max_of l 0 in
+        t.last_path <- t.last_path + extra;
+        match res with
+        | Some (k, v) when addr < k + v -> Some (k, v)
+        | _ -> None
+      end
+
+let last_path t = t.last_path
+
+(** In-order fold, for tests. *)
+let fold f t acc =
+  let rec go tr acc =
+    match tr with
+    | Leaf -> acc
+    | Node (l, k, v, r) -> go r (f k v (go l acc))
+  in
+  go t.root acc

@@ -1,0 +1,36 @@
+(** A splay tree over half-open address intervals, keyed by base address.
+
+    The data structure behind the object-table approaches' lookup (paper
+    section 2.1: "the object-lookup table is often implemented as a splay
+    tree, which can be a performance bottleneck").  Every operation
+    reports the length of the access path it walked ({!last_path}); the
+    Jones–Kelly baseline charges that as its bookkeeping cost, so the
+    splay-tree bottleneck appears in simulated cycles exactly where the
+    paper says it hurts. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val size : t -> int
+(** Number of intervals currently stored. *)
+
+val insert : t -> base:int -> size:int -> int
+(** Insert (or resize) the interval starting at [base]; returns the
+    access-path length walked. *)
+
+val remove : t -> base:int -> int
+(** Remove the interval at exactly [base] (no-op if absent); returns the
+    access-path length. *)
+
+val find_containing : t -> int -> (int * int) option
+(** [find_containing t addr] is the [(base, size)] of the interval
+    containing [addr], if any.  Splays, so repeated nearby queries are
+    cheap. *)
+
+val last_path : t -> int
+(** Access-path length of the most recent operation. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** In-order fold over [(base, size)] pairs. *)

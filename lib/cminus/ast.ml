@@ -1,0 +1,108 @@
+(* Untyped abstract syntax for MiniC, produced by the parser.
+
+   The typechecker ({!Typecheck}) elaborates this into the typed AST
+   ({!Tast}) consumed by IR lowering. *)
+
+type loc = Lexer.loc
+
+type unop =
+  | Uneg   (** arithmetic negation [-e] *)
+  | Unot   (** logical not [!e] *)
+  | Ubnot  (** bitwise not [~e] *)
+[@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr
+  | Blt | Bgt | Ble | Bge | Beq | Bne
+  | Bband | Bbxor | Bbor
+  | Bland | Blor
+[@@deriving show { with_path = false }, eq]
+
+type expr = { edesc : edesc; eloc : loc }
+
+and edesc =
+  | Eintlit of int64 * Ctypes.ikind
+  | Efloatlit of float * Ctypes.fkind
+  | Echarlit of char
+  | Estrlit of string
+  | Eident of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of binop option * expr * expr  (** [e1 = e2] or [e1 op= e2] *)
+  | Econd of expr * expr * expr
+  | Ecast of Ctypes.ty * expr
+  | Esizeof_ty of Ctypes.ty
+  | Esizeof_e of expr
+  | Eaddrof of expr
+  | Ederef of expr
+  | Eindex of expr * expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Ecall of expr * expr list
+  | Eincrdecr of bool * bool * expr
+      (** [Eincrdecr (is_incr, is_prefix, lvalue)] *)
+  | Ecomma of expr * expr
+
+type init = Iexpr of expr | Ilist of init list
+
+type decl = {
+  dty : Ctypes.ty;
+  dname : string;
+  dinit : init option;
+  dstatic : bool;  (** a [static] local: function-scoped name, static storage *)
+  dloc : loc;
+}
+
+type stmt = { sdesc : sdesc; sloc : loc }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of forinit * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sswitch of expr * case list
+  | Sempty
+
+and case = {
+  cvals : expr list;  (** constant case labels; [[]] means [default] *)
+  cis_default : bool;
+  cbody : stmt list;
+}
+
+and forinit = Fnone | Fdecl of decl list | Fexpr of expr
+
+type fundef = {
+  fname : string;
+  fret : Ctypes.ty;
+  fparams : (Ctypes.ty * string) list;
+  fvariadic : bool;
+  fbody : stmt list;
+  floc : loc;
+}
+
+type gdef =
+  | Gfun of fundef
+  | Gfundecl of {
+      name : string;
+      sg : Ctypes.fsig;
+      loc : loc;
+    }
+  | Gvar of {
+      gty : Ctypes.ty;
+      gname : string;
+      ginit : init option;
+      gextern : bool;
+      gloc : loc;
+    }
+
+(** A parsed translation unit.  Composite/typedef/enum definitions have
+    already been entered into [penv] by the parser (they are needed during
+    parsing to disambiguate declarations from expressions). *)
+type program = { defs : gdef list; penv : Ctypes.env }

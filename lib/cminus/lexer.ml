@@ -1,0 +1,359 @@
+(* Hand-written lexer for MiniC.
+
+   Preprocessor directives (lines starting with [#]) are skipped so that
+   sources carrying [#include] lines lex cleanly — MiniC has an implicit
+   libc instead of a preprocessor. *)
+
+type loc = { line : int; col : int }
+
+let pp_loc fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+let no_loc = { line = 0; col = 0 }
+
+exception Lex_error of string * loc
+
+let lex_error loc fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (s, loc))) fmt
+
+type lexed = { tok : Token.t; loc : loc }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let cur_loc st = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '#' when st.pos = st.bol || all_blank_before st ->
+      (* preprocessor line: skip to end of line *)
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = cur_loc st in
+      advance st;
+      advance st;
+      let rec find () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            find ()
+        | None, _ -> lex_error start "unterminated comment"
+      in
+      find ();
+      skip_trivia st
+  | _ -> ()
+
+and all_blank_before st =
+  let rec go i =
+    if i >= st.pos then true
+    else
+      match st.src.[i] with ' ' | '\t' -> go (i + 1) | _ -> false
+  in
+  go st.bol
+
+let read_escape st loc =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some 'a' -> advance st; '\007'
+  | Some 'b' -> advance st; '\b'
+  | Some 'f' -> advance st; '\012'
+  | Some 'v' -> advance st; '\011'
+  | Some 'x' ->
+      advance st;
+      let v = ref 0 in
+      let n = ref 0 in
+      while (match peek st with Some c when is_hex c -> true | _ -> false) do
+        let c = Option.get (peek st) in
+        let d =
+          if is_digit c then Char.code c - Char.code '0'
+          else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+        in
+        v := (!v * 16) + d;
+        incr n;
+        advance st
+      done;
+      if !n = 0 then lex_error loc "empty hex escape";
+      Char.chr (!v land 0xff)
+  | Some c -> lex_error loc "unknown escape sequence \\%c" c
+  | None -> lex_error loc "unterminated escape"
+
+let lex_number st =
+  let loc = cur_loc st in
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c when is_hex c -> true | _ -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    let v =
+      try Int64.of_string text
+      with _ -> lex_error loc "bad hex literal %s" text
+    in
+    (* optional suffix *)
+    let kind = ref Ctypes.IInt in
+    (match peek st with
+    | Some ('l' | 'L') -> advance st; kind := Ctypes.ILong
+    | Some ('u' | 'U') -> advance st; kind := Ctypes.IUInt
+    | _ -> ());
+    Token.INT_LIT (v, !kind)
+  end
+  else begin
+    while (match peek st with Some c when is_digit c -> true | _ -> false) do
+      advance st
+    done;
+    let is_float =
+      (peek st = Some '.' && (match peek2 st with Some c -> is_digit c | None -> false))
+      || peek st = Some '.'
+      || (match peek st with Some ('e' | 'E') -> true | _ -> false)
+    in
+    if is_float then begin
+      if peek st = Some '.' then begin
+        advance st;
+        while (match peek st with Some c when is_digit c -> true | _ -> false) do
+          advance st
+        done
+      end;
+      (match peek st with
+      | Some ('e' | 'E') ->
+          advance st;
+          (match peek st with
+          | Some ('+' | '-') -> advance st
+          | _ -> ());
+          while (match peek st with Some c when is_digit c -> true | _ -> false) do
+            advance st
+          done
+      | _ -> ());
+      let text = String.sub st.src start (st.pos - start) in
+      let v =
+        try float_of_string text
+        with _ -> lex_error loc "bad float literal %s" text
+      in
+      match peek st with
+      | Some ('f' | 'F') ->
+          advance st;
+          Token.FLOAT_LIT (v, Ctypes.FFloat)
+      | _ -> Token.FLOAT_LIT (v, Ctypes.FDouble)
+    end
+    else begin
+      let text = String.sub st.src start (st.pos - start) in
+      let v =
+        try Int64.of_string text
+        with _ -> lex_error loc "bad int literal %s" text
+      in
+      let kind = ref Ctypes.IInt in
+      let rec suffixes () =
+        match peek st with
+        | Some ('l' | 'L') ->
+            advance st;
+            kind := (if Ctypes.ikind_signed !kind then Ctypes.ILong else Ctypes.IULong);
+            suffixes ()
+        | Some ('u' | 'U') ->
+            advance st;
+            kind := (if !kind = Ctypes.ILong then Ctypes.IULong else Ctypes.IUInt);
+            suffixes ()
+        | _ -> ()
+      in
+      suffixes ();
+      Token.INT_LIT (v, !kind)
+    end
+  end
+
+let lex_one st : lexed option =
+  skip_trivia st;
+  let loc = cur_loc st in
+  match peek st with
+  | None -> None
+  | Some c ->
+      let tok =
+        if is_digit c then lex_number st
+        else if is_ident_start c then begin
+          let start = st.pos in
+          while (match peek st with Some c when is_ident_char c -> true | _ -> false) do
+            advance st
+          done;
+          let text = String.sub st.src start (st.pos - start) in
+          match List.assoc_opt text Token.keyword_table with
+          | Some kw -> kw
+          | None -> Token.IDENT text
+        end
+        else if c = '\'' then begin
+          advance st;
+          let ch =
+            match peek st with
+            | Some '\\' ->
+                advance st;
+                read_escape st loc
+            | Some c ->
+                advance st;
+                c
+            | None -> lex_error loc "unterminated char literal"
+          in
+          (match peek st with
+          | Some '\'' -> advance st
+          | _ -> lex_error loc "unterminated char literal");
+          Token.CHAR_LIT ch
+        end
+        else if c = '"' then begin
+          advance st;
+          let buf = Buffer.create 16 in
+          let rec go () =
+            match peek st with
+            | Some '"' -> advance st
+            | Some '\\' ->
+                advance st;
+                Buffer.add_char buf (read_escape st loc);
+                go ()
+            | Some c ->
+                advance st;
+                Buffer.add_char buf c;
+                go ()
+            | None -> lex_error loc "unterminated string literal"
+          in
+          go ();
+          (* adjacent string literal concatenation *)
+          let rec concat () =
+            skip_trivia st;
+            match peek st with
+            | Some '"' ->
+                advance st;
+                let rec go () =
+                  match peek st with
+                  | Some '"' -> advance st
+                  | Some '\\' ->
+                      advance st;
+                      Buffer.add_char buf (read_escape st loc);
+                      go ()
+                  | Some c ->
+                      advance st;
+                      Buffer.add_char buf c;
+                      go ()
+                  | None -> lex_error loc "unterminated string literal"
+                in
+                go ();
+                concat ()
+            | _ -> ()
+          in
+          concat ();
+          Token.STRING_LIT (Buffer.contents buf)
+        end
+        else begin
+          let two a = advance st; advance st; a in
+          let three a = advance st; advance st; advance st; a in
+          let one a = advance st; a in
+          match (c, peek2 st) with
+          | '.', Some '.'
+            when st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '.' ->
+              three Token.ELLIPSIS
+          | '+', Some '+' -> two Token.PLUSPLUS
+          | '+', Some '=' -> two Token.PLUSEQ
+          | '+', _ -> one Token.PLUS
+          | '-', Some '-' -> two Token.MINUSMINUS
+          | '-', Some '=' -> two Token.MINUSEQ
+          | '-', Some '>' -> two Token.ARROW
+          | '-', _ -> one Token.MINUS
+          | '*', Some '=' -> two Token.STAREQ
+          | '*', _ -> one Token.STAR
+          | '/', Some '=' -> two Token.SLASHEQ
+          | '/', _ -> one Token.SLASH
+          | '%', Some '=' -> two Token.PERCENTEQ
+          | '%', _ -> one Token.PERCENT
+          | '&', Some '&' -> two Token.ANDAND
+          | '&', Some '=' -> two Token.AMPEQ
+          | '&', _ -> one Token.AMP
+          | '|', Some '|' -> two Token.OROR
+          | '|', Some '=' -> two Token.PIPEEQ
+          | '|', _ -> one Token.PIPE
+          | '^', Some '=' -> two Token.CARETEQ
+          | '^', _ -> one Token.CARET
+          | '~', _ -> one Token.TILDE
+          | '!', Some '=' -> two Token.NE
+          | '!', _ -> one Token.BANG
+          | '<', Some '<' ->
+              if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '='
+              then three Token.SHLEQ
+              else two Token.SHL
+          | '<', Some '=' -> two Token.LE
+          | '<', _ -> one Token.LT
+          | '>', Some '>' ->
+              if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '='
+              then three Token.SHREQ
+              else two Token.SHR
+          | '>', Some '=' -> two Token.GE
+          | '>', _ -> one Token.GT
+          | '=', Some '=' -> two Token.EQEQ
+          | '=', _ -> one Token.ASSIGN
+          | '?', _ -> one Token.QUESTION
+          | ':', _ -> one Token.COLON
+          | ',', _ -> one Token.COMMA
+          | ';', _ -> one Token.SEMI
+          | '(', _ -> one Token.LPAREN
+          | ')', _ -> one Token.RPAREN
+          | '{', _ -> one Token.LBRACE
+          | '}', _ -> one Token.RBRACE
+          | '[', _ -> one Token.LBRACKET
+          | ']', _ -> one Token.RBRACKET
+          | '.', _ -> one Token.DOT
+          | c, _ -> lex_error loc "unexpected character %C" c
+        end
+      in
+      Some { tok; loc }
+
+(** Tokenize a full source string.  The result always ends with [EOF]. *)
+let tokenize (src : string) : lexed array =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let acc = ref [] in
+  let rec go () =
+    match lex_one st with
+    | Some l ->
+        acc := l :: !acc;
+        go ()
+    | None -> ()
+  in
+  go ();
+  let eof = { tok = Token.EOF; loc = cur_loc st } in
+  Array.of_list (List.rev (eof :: !acc))

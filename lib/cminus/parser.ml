@@ -1,0 +1,878 @@
+(* Hand-written recursive-descent parser for MiniC.
+
+   The parser owns a {!Ctypes.env} while parsing because C's grammar needs
+   the set of typedef names to disambiguate declarations from expressions
+   (the classic [(T)*x] problem). *)
+
+open Ast
+
+exception Parse_error of string * loc
+
+let parse_error loc fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (s, loc))) fmt
+
+type state = {
+  toks : Lexer.lexed array;
+  mutable idx : int;
+  env : Ctypes.env;
+}
+
+let peek st = st.toks.(st.idx).tok
+let peek_at st n =
+  let i = st.idx + n in
+  if i < Array.length st.toks then st.toks.(i).tok else Token.EOF
+
+let loc st = st.toks.(st.idx).loc
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    parse_error (loc st) "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let eat_ident st =
+  match peek st with
+  | Token.IDENT s -> advance st; s
+  | t -> parse_error (loc st) "expected identifier but found %s" (Token.to_string t)
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Type specifiers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_typedef_name st s = Hashtbl.mem st.env.Ctypes.typedefs s
+
+(** Does the current token start a declaration? *)
+let starts_type st =
+  match peek st with
+  | Token.KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_UNSIGNED
+  | KW_SIGNED | KW_FLOAT | KW_DOUBLE | KW_STRUCT | KW_UNION | KW_ENUM
+  | KW_CONST ->
+      true
+  | Token.IDENT s -> is_typedef_name st s
+  | _ -> false
+
+let fresh_anon =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "$anon%d" !n
+
+(* Forward declarations for mutual recursion. *)
+let rec parse_specifiers st : Ctypes.ty =
+  (* Consume any 'const' qualifiers (ignored). *)
+  let rec skip_quals () = if accept st Token.KW_CONST then skip_quals () in
+  skip_quals ();
+  let l = loc st in
+  let ty =
+    match peek st with
+    | Token.KW_VOID -> advance st; Ctypes.Tvoid
+    | Token.KW_CHAR -> advance st; Ctypes.Tint IChar
+    | Token.KW_FLOAT -> advance st; Ctypes.Tfloat FFloat
+    | Token.KW_DOUBLE -> advance st; Ctypes.Tfloat FDouble
+    | Token.KW_SIGNED | Token.KW_UNSIGNED | Token.KW_SHORT | Token.KW_INT
+    | Token.KW_LONG ->
+        parse_int_specifier st
+    | Token.KW_STRUCT | Token.KW_UNION ->
+        let is_struct = peek st = Token.KW_STRUCT in
+        advance st;
+        parse_comp st ~is_struct
+    | Token.KW_ENUM ->
+        advance st;
+        parse_enum st
+    | Token.IDENT s when is_typedef_name st s ->
+        advance st;
+        Ctypes.Tnamed s
+    | t -> parse_error l "expected type specifier, found %s" (Token.to_string t)
+  in
+  skip_quals ();
+  ty
+
+and parse_int_specifier st : Ctypes.ty =
+  (* Collect a run of {signed, unsigned, short, int, long}. *)
+  let signedness = ref None and longs = ref 0 and shorts = ref 0 in
+  let ints = ref 0 and chars = ref 0 in
+  let rec go () =
+    match peek st with
+    | Token.KW_SIGNED -> advance st; signedness := Some true; go ()
+    | Token.KW_UNSIGNED -> advance st; signedness := Some false; go ()
+    | Token.KW_SHORT -> advance st; incr shorts; go ()
+    | Token.KW_LONG -> advance st; incr longs; go ()
+    | Token.KW_INT -> advance st; incr ints; go ()
+    | Token.KW_CHAR -> advance st; incr chars; go ()
+    | Token.KW_CONST -> advance st; go ()
+    | _ -> ()
+  in
+  go ();
+  let signed = match !signedness with Some b -> b | None -> true in
+  let open Ctypes in
+  if !chars > 0 then Tint (if signed then IChar else IUChar)
+  else if !shorts > 0 then Tint (if signed then IShort else IUShort)
+  else if !longs > 0 then Tint (if signed then ILong else IULong)
+  else Tint (if signed then IInt else IUInt)
+
+and parse_comp st ~is_struct : Ctypes.ty =
+  let name =
+    match peek st with
+    | Token.IDENT s -> advance st; s
+    | _ -> fresh_anon ()
+  in
+  if peek st = Token.LBRACE then begin
+    advance st;
+    let fields = ref [] in
+    while peek st <> Token.RBRACE do
+      let base = parse_specifiers st in
+      let rec decls () =
+        let n, wrap = parse_declarator st ~abstract:false in
+        let fname = Option.get n in
+        fields := (fname, wrap base) :: !fields;
+        if accept st Token.COMMA then decls ()
+      in
+      decls ();
+      eat st Token.SEMI
+    done;
+    eat st Token.RBRACE;
+    ignore (Ctypes.define_comp st.env ~is_struct name (List.rev !fields))
+  end;
+  if is_struct then Ctypes.Tstruct name else Ctypes.Tunion name
+
+and parse_enum st : Ctypes.ty =
+  (match peek st with
+  | Token.IDENT _ -> advance st
+  | _ -> ());
+  if peek st = Token.LBRACE then begin
+    advance st;
+    let next = ref 0L in
+    let rec go () =
+      match peek st with
+      | Token.RBRACE -> ()
+      | Token.IDENT name ->
+          advance st;
+          if accept st Token.ASSIGN then begin
+            let e = parse_conditional st in
+            next := eval_const st e
+          end;
+          Hashtbl.replace st.env.Ctypes.enums name !next;
+          next := Int64.add !next 1L;
+          if accept st Token.COMMA then go ()
+      | t -> parse_error (loc st) "bad enum member %s" (Token.to_string t)
+    in
+    go ();
+    eat st Token.RBRACE
+  end;
+  Ctypes.Tint IInt
+
+(* ------------------------------------------------------------------ *)
+(* Declarators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a declarator.  Returns the declared name (or [None] for an
+    abstract declarator) and a function that builds the full type from the
+    base specifier type. *)
+and parse_declarator st ~abstract : string option * (Ctypes.ty -> Ctypes.ty) =
+  let rec stars () =
+    if accept st Token.STAR then begin
+      let rec skip_quals () = if accept st Token.KW_CONST then skip_quals () in
+      skip_quals ();
+      let inner = stars () in
+      fun t -> inner (Ctypes.Tptr t)
+    end
+    else fun t -> t
+  in
+  let ptr_wrap = stars () in
+  let name, dir_wrap = parse_direct_declarator st ~abstract in
+  (name, fun t -> dir_wrap (ptr_wrap t))
+
+and parse_direct_declarator st ~abstract :
+    string option * (Ctypes.ty -> Ctypes.ty) =
+  let name, inner_wrap =
+    match peek st with
+    | Token.IDENT s ->
+        advance st;
+        (Some s, fun t -> t)
+    | Token.LPAREN
+      when (match peek_at st 1 with
+           | Token.STAR | Token.LPAREN -> true
+           | Token.IDENT s ->
+               (* '(' IDENT: nested declarator only if not a typedef name,
+                  a typedef name here means a parameter list. *)
+               not (is_typedef_name st s)
+           | _ -> false) ->
+        advance st;
+        let n, w = parse_declarator st ~abstract in
+        eat st Token.RPAREN;
+        (n, w)
+    | _ when abstract -> (None, fun t -> t)
+    | t -> parse_error (loc st) "expected declarator, found %s" (Token.to_string t)
+  in
+  let rec suffixes acc =
+    match peek st with
+    | Token.LBRACKET ->
+        advance st;
+        let n =
+          if peek st = Token.RBRACKET then -1 (* incomplete: decays to ptr *)
+          else
+            let e = parse_conditional st in
+            Int64.to_int (eval_const st e)
+        in
+        eat st Token.RBRACKET;
+        suffixes ((fun t -> Ctypes.Tarray (t, n)) :: acc)
+    | Token.LPAREN ->
+        advance st;
+        let params, variadic = parse_params st in
+        eat st Token.RPAREN;
+        suffixes
+          ((fun t ->
+             Ctypes.Tfunc { ret = t; params = List.map snd params; variadic })
+          :: acc)
+    | _ -> List.rev acc
+  in
+  let sufs = suffixes [] in
+  let suffix_wrap t = List.fold_right (fun s acc -> s acc) sufs t in
+  (name, fun t -> inner_wrap (suffix_wrap t))
+
+(** Parameter list (already inside parens).  Returns (name, ty) pairs with
+    arrays decayed to pointers, plus the variadic flag. *)
+and parse_params st : (string * Ctypes.ty) list * bool =
+  if peek st = Token.RPAREN then ([], false)
+  else if peek st = Token.KW_VOID && peek_at st 1 = Token.RPAREN then begin
+    advance st;
+    ([], false)
+  end
+  else begin
+    let params = ref [] and variadic = ref false in
+    let rec go () =
+      if accept st Token.ELLIPSIS then variadic := true
+      else begin
+        let base = parse_specifiers st in
+        let n, wrap = parse_declarator st ~abstract:true in
+        let ty = wrap base in
+        let ty =
+          match ty with
+          | Ctypes.Tarray (t, _) -> Ctypes.Tptr t
+          | Ctypes.Tfunc _ -> Ctypes.Tptr ty
+          | t -> t
+        in
+        params := (Option.value n ~default:"", ty) :: !params;
+        if accept st Token.COMMA then go ()
+      end
+    in
+    go ();
+    (List.rev !params, !variadic)
+  end
+
+(** Parse a type-name (for casts and sizeof). *)
+and parse_type_name st : Ctypes.ty =
+  let base = parse_specifiers st in
+  let _, wrap = parse_declarator st ~abstract:true in
+  wrap base
+
+(* ------------------------------------------------------------------ *)
+(* Constant expression evaluation (array sizes, enum values, case labels) *)
+(* ------------------------------------------------------------------ *)
+
+and eval_const st (e : expr) : int64 =
+  let ev = eval_const st in
+  match e.edesc with
+  | Eintlit (v, _) -> v
+  | Echarlit c -> Int64.of_int (Char.code c)
+  | Eident s -> (
+      match Hashtbl.find_opt st.env.Ctypes.enums s with
+      | Some v -> v
+      | None -> parse_error e.eloc "%s is not a constant" s)
+  | Eunop (Uneg, a) -> Int64.neg (ev a)
+  | Eunop (Ubnot, a) -> Int64.lognot (ev a)
+  | Eunop (Unot, a) -> if ev a = 0L then 1L else 0L
+  | Ebinop (op, a, b) -> (
+      let x = ev a and y = ev b in
+      let open Int64 in
+      match op with
+      | Badd -> add x y
+      | Bsub -> sub x y
+      | Bmul -> mul x y
+      | Bdiv ->
+          if y = 0L then parse_error e.eloc "division by zero in constant"
+          else div x y
+      | Bmod ->
+          if y = 0L then parse_error e.eloc "modulo by zero in constant"
+          else rem x y
+      | Bshl -> shift_left x (to_int y)
+      | Bshr -> shift_right x (to_int y)
+      | Bband -> logand x y
+      | Bbor -> logor x y
+      | Bbxor -> logxor x y
+      | Blt -> if x < y then 1L else 0L
+      | Bgt -> if x > y then 1L else 0L
+      | Ble -> if x <= y then 1L else 0L
+      | Bge -> if x >= y then 1L else 0L
+      | Beq -> if x = y then 1L else 0L
+      | Bne -> if x <> y then 1L else 0L
+      | Bland -> if x <> 0L && y <> 0L then 1L else 0L
+      | Blor -> if x <> 0L || y <> 0L then 1L else 0L)
+  | Econd (c, a, b) -> if ev c <> 0L then ev a else ev b
+  | Ecast (_, a) -> ev a
+  | Esizeof_ty t -> Int64.of_int (Ctypes.size_of st.env t)
+  | _ -> parse_error e.eloc "expression is not constant"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and mk l d = { edesc = d; eloc = l }
+
+and parse_expr st : expr =
+  let l = loc st in
+  let e = parse_assignment st in
+  if peek st = Token.COMMA then begin
+    advance st;
+    let e2 = parse_expr st in
+    mk l (Ecomma (e, e2))
+  end
+  else e
+
+and parse_assignment st : expr =
+  let l = loc st in
+  let lhs = parse_conditional st in
+  let mkassign op =
+    advance st;
+    let rhs = parse_assignment st in
+    mk l (Eassign (op, lhs, rhs))
+  in
+  match peek st with
+  | Token.ASSIGN -> mkassign None
+  | Token.PLUSEQ -> mkassign (Some Badd)
+  | Token.MINUSEQ -> mkassign (Some Bsub)
+  | Token.STAREQ -> mkassign (Some Bmul)
+  | Token.SLASHEQ -> mkassign (Some Bdiv)
+  | Token.PERCENTEQ -> mkassign (Some Bmod)
+  | Token.AMPEQ -> mkassign (Some Bband)
+  | Token.PIPEEQ -> mkassign (Some Bbor)
+  | Token.CARETEQ -> mkassign (Some Bbxor)
+  | Token.SHLEQ -> mkassign (Some Bshl)
+  | Token.SHREQ -> mkassign (Some Bshr)
+  | _ -> lhs
+
+and parse_conditional st : expr =
+  let l = loc st in
+  let c = parse_logical_or st in
+  if accept st Token.QUESTION then begin
+    let a = parse_expr st in
+    eat st Token.COLON;
+    let b = parse_conditional st in
+    mk l (Econd (c, a, b))
+  end
+  else c
+
+and parse_binop_level st ~ops ~next : expr =
+  let l = loc st in
+  let rec go lhs =
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        go (mk l (Ebinop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (next st)
+
+and parse_logical_or st =
+  parse_binop_level st ~ops:[ (Token.OROR, Blor) ] ~next:parse_logical_and
+
+and parse_logical_and st =
+  parse_binop_level st ~ops:[ (Token.ANDAND, Bland) ] ~next:parse_bitor
+
+and parse_bitor st =
+  parse_binop_level st ~ops:[ (Token.PIPE, Bbor) ] ~next:parse_bitxor
+
+and parse_bitxor st =
+  parse_binop_level st ~ops:[ (Token.CARET, Bbxor) ] ~next:parse_bitand
+
+and parse_bitand st =
+  parse_binop_level st ~ops:[ (Token.AMP, Bband) ] ~next:parse_equality
+
+and parse_equality st =
+  parse_binop_level st
+    ~ops:[ (Token.EQEQ, Beq); (Token.NE, Bne) ]
+    ~next:parse_relational
+
+and parse_relational st =
+  parse_binop_level st
+    ~ops:[ (Token.LT, Blt); (Token.GT, Bgt); (Token.LE, Ble); (Token.GE, Bge) ]
+    ~next:parse_shift
+
+and parse_shift st =
+  parse_binop_level st
+    ~ops:[ (Token.SHL, Bshl); (Token.SHR, Bshr) ]
+    ~next:parse_additive
+
+and parse_additive st =
+  parse_binop_level st
+    ~ops:[ (Token.PLUS, Badd); (Token.MINUS, Bsub) ]
+    ~next:parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binop_level st
+    ~ops:[ (Token.STAR, Bmul); (Token.SLASH, Bdiv); (Token.PERCENT, Bmod) ]
+    ~next:parse_unary
+
+and parse_unary st : expr =
+  let l = loc st in
+  match peek st with
+  | Token.PLUS ->
+      advance st;
+      parse_unary st
+  | Token.MINUS ->
+      advance st;
+      mk l (Eunop (Uneg, parse_unary st))
+  | Token.BANG ->
+      advance st;
+      mk l (Eunop (Unot, parse_unary st))
+  | Token.TILDE ->
+      advance st;
+      mk l (Eunop (Ubnot, parse_unary st))
+  | Token.STAR ->
+      advance st;
+      mk l (Ederef (parse_unary st))
+  | Token.AMP ->
+      advance st;
+      mk l (Eaddrof (parse_unary st))
+  | Token.PLUSPLUS ->
+      advance st;
+      mk l (Eincrdecr (true, true, parse_unary st))
+  | Token.MINUSMINUS ->
+      advance st;
+      mk l (Eincrdecr (false, true, parse_unary st))
+  | Token.KW_SIZEOF ->
+      advance st;
+      if peek st = Token.LPAREN && starts_type_at st 1 then begin
+        advance st;
+        let ty = parse_type_name st in
+        eat st Token.RPAREN;
+        mk l (Esizeof_ty ty)
+      end
+      else mk l (Esizeof_e (parse_unary st))
+  | Token.LPAREN when starts_type_at st 1 ->
+      advance st;
+      let ty = parse_type_name st in
+      eat st Token.RPAREN;
+      mk l (Ecast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and starts_type_at st n =
+  match peek_at st n with
+  | Token.KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_UNSIGNED
+  | KW_SIGNED | KW_FLOAT | KW_DOUBLE | KW_STRUCT | KW_UNION | KW_ENUM
+  | KW_CONST ->
+      true
+  | Token.IDENT s -> is_typedef_name st s
+  | _ -> false
+
+and parse_postfix st : expr =
+  let e = parse_primary st in
+  parse_postfix_suffixes st e
+
+and parse_postfix_suffixes st e : expr =
+  let l = loc st in
+  match peek st with
+  | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      eat st Token.RBRACKET;
+      parse_postfix_suffixes st (mk l (Eindex (e, idx)))
+  | Token.LPAREN ->
+      advance st;
+      let args = ref [] in
+      if peek st <> Token.RPAREN then begin
+        let rec go () =
+          args := parse_assignment st :: !args;
+          if accept st Token.COMMA then go ()
+        in
+        go ()
+      end;
+      eat st Token.RPAREN;
+      parse_postfix_suffixes st (mk l (Ecall (e, List.rev !args)))
+  | Token.DOT ->
+      advance st;
+      let f = eat_ident st in
+      parse_postfix_suffixes st (mk l (Efield (e, f)))
+  | Token.ARROW ->
+      advance st;
+      let f = eat_ident st in
+      parse_postfix_suffixes st (mk l (Earrow (e, f)))
+  | Token.PLUSPLUS ->
+      advance st;
+      parse_postfix_suffixes st (mk l (Eincrdecr (true, false, e)))
+  | Token.MINUSMINUS ->
+      advance st;
+      parse_postfix_suffixes st (mk l (Eincrdecr (false, false, e)))
+  | _ -> e
+
+and parse_primary st : expr =
+  let l = loc st in
+  match peek st with
+  | Token.INT_LIT (v, k) ->
+      advance st;
+      mk l (Eintlit (v, k))
+  | Token.FLOAT_LIT (v, k) ->
+      advance st;
+      mk l (Efloatlit (v, k))
+  | Token.CHAR_LIT c ->
+      advance st;
+      mk l (Echarlit c)
+  | Token.STRING_LIT s ->
+      advance st;
+      mk l (Estrlit s)
+  | Token.IDENT s ->
+      advance st;
+      mk l (Eident s)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      eat st Token.RPAREN;
+      e
+  | t -> parse_error l "expected expression, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Initializers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_init st : init =
+  if peek st = Token.LBRACE then begin
+    advance st;
+    let items = ref [] in
+    if peek st <> Token.RBRACE then begin
+      let rec go () =
+        items := parse_init st :: !items;
+        if accept st Token.COMMA && peek st <> Token.RBRACE then go ()
+      in
+      go ()
+    end;
+    eat st Token.RBRACE;
+    Ilist (List.rev !items)
+  end
+  else Iexpr (parse_assignment st)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and parse_decl_list ?(dstatic = false) st : decl list =
+  let base = parse_specifiers st in
+  let decls = ref [] in
+  let rec go () =
+    let dloc = loc st in
+    let n, wrap = parse_declarator st ~abstract:false in
+    let dname = Option.get n in
+    let dty = wrap base in
+    let dinit = if accept st Token.ASSIGN then Some (parse_init st) else None in
+    decls := { dty; dname; dinit; dstatic; dloc } :: !decls;
+    if accept st Token.COMMA then go ()
+  in
+  go ();
+  List.rev !decls
+
+and parse_stmt st : stmt =
+  let l = loc st in
+  let mks d = { sdesc = d; sloc = l } in
+  match peek st with
+  | Token.SEMI ->
+      advance st;
+      mks Sempty
+  | Token.LBRACE ->
+      advance st;
+      let stmts = ref [] in
+      while peek st <> Token.RBRACE do
+        stmts := parse_stmt st :: !stmts
+      done;
+      eat st Token.RBRACE;
+      mks (Sblock (List.rev !stmts))
+  | Token.KW_IF ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      let then_ = parse_stmt st in
+      let else_ = if accept st Token.KW_ELSE then Some (parse_stmt st) else None in
+      mks (Sif (c, then_, else_))
+  | Token.KW_WHILE ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      mks (Swhile (c, parse_stmt st))
+  | Token.KW_DO ->
+      advance st;
+      let body = parse_stmt st in
+      eat st Token.KW_WHILE;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      eat st Token.SEMI;
+      mks (Sdo (body, c))
+  | Token.KW_FOR ->
+      advance st;
+      eat st Token.LPAREN;
+      let init =
+        if peek st = Token.SEMI then (advance st; Fnone)
+        else if starts_type st then begin
+          let d = parse_decl_list st in
+          eat st Token.SEMI;
+          Fdecl d
+        end
+        else begin
+          let e = parse_expr st in
+          eat st Token.SEMI;
+          Fexpr e
+        end
+      in
+      let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+      eat st Token.SEMI;
+      let step = if peek st = Token.RPAREN then None else Some (parse_expr st) in
+      eat st Token.RPAREN;
+      mks (Sfor (init, cond, step, parse_stmt st))
+  | Token.KW_RETURN ->
+      advance st;
+      let e = if peek st = Token.SEMI then None else Some (parse_expr st) in
+      eat st Token.SEMI;
+      mks (Sreturn e)
+  | Token.KW_BREAK ->
+      advance st;
+      eat st Token.SEMI;
+      mks Sbreak
+  | Token.KW_CONTINUE ->
+      advance st;
+      eat st Token.SEMI;
+      mks Scontinue
+  | Token.KW_SWITCH ->
+      advance st;
+      eat st Token.LPAREN;
+      let e = parse_expr st in
+      eat st Token.RPAREN;
+      eat st Token.LBRACE;
+      let cases = ref [] in
+      while peek st <> Token.RBRACE do
+        let cis_default = ref false in
+        let cvals = ref [] in
+        let rec labels () =
+          match peek st with
+          | Token.KW_CASE ->
+              advance st;
+              cvals := parse_conditional st :: !cvals;
+              eat st Token.COLON;
+              labels ()
+          | Token.KW_DEFAULT ->
+              advance st;
+              eat st Token.COLON;
+              cis_default := true;
+              labels ()
+          | _ -> ()
+        in
+        labels ();
+        if !cvals = [] && not !cis_default then
+          parse_error (loc st) "expected case or default label";
+        let body = ref [] in
+        while
+          peek st <> Token.RBRACE
+          && peek st <> Token.KW_CASE
+          && peek st <> Token.KW_DEFAULT
+        do
+          body := parse_stmt st :: !body
+        done;
+        cases :=
+          { cvals = List.rev !cvals; cis_default = !cis_default;
+            cbody = List.rev !body }
+          :: !cases
+      done;
+      eat st Token.RBRACE;
+      mks (Sswitch (e, List.rev !cases))
+  | Token.KW_TYPEDEF ->
+      advance st;
+      let base = parse_specifiers st in
+      let n, wrap = parse_declarator st ~abstract:false in
+      Hashtbl.replace st.env.Ctypes.typedefs (Option.get n) (wrap base);
+      eat st Token.SEMI;
+      mks Sempty
+  | Token.KW_STATIC ->
+      (* static local: static storage duration, function-local scope *)
+      advance st;
+      let d = parse_decl_list ~dstatic:true st in
+      eat st Token.SEMI;
+      mks (Sdecl d)
+  | _ when starts_type st ->
+      (* Could be a declaration or a struct/union/enum definition. *)
+      let d = parse_decl_or_type st in
+      (match d with
+      | [] -> mks Sempty
+      | ds -> mks (Sdecl ds))
+  | _ ->
+      let e = parse_expr st in
+      eat st Token.SEMI;
+      mks (Sexpr e)
+
+(** Parse either a declaration list or a pure type definition ending in
+    [;] with no declarators (e.g. [struct foo { ... };]). *)
+and parse_decl_or_type st : decl list =
+  let base = parse_specifiers st in
+  if peek st = Token.SEMI then begin
+    advance st;
+    []
+  end
+  else begin
+    let decls = ref [] in
+    let rec go () =
+      let dloc = loc st in
+      let n, wrap = parse_declarator st ~abstract:false in
+      let dname = Option.get n in
+      let dty = wrap base in
+      let dinit = if accept st Token.ASSIGN then Some (parse_init st) else None in
+      decls := { dty; dname; dinit; dstatic = false; dloc } :: !decls;
+      if accept st Token.COMMA then go ()
+    in
+    go ();
+    eat st Token.SEMI;
+    List.rev !decls
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec skip_to_matching_rparen st depth =
+  match peek st with
+  | Token.LPAREN ->
+      advance st;
+      skip_to_matching_rparen st (depth + 1)
+  | Token.RPAREN ->
+      advance st;
+      if depth > 1 then skip_to_matching_rparen st (depth - 1)
+  | Token.EOF -> parse_error (loc st) "unexpected eof in parameter list"
+  | _ ->
+      advance st;
+      skip_to_matching_rparen st depth
+
+let parse_program_tokens (toks : Lexer.lexed array) : program =
+  let env = Ctypes.create_env () in
+  Builtins.seed_env env;
+  let st = { toks; idx = 0; env } in
+  let defs = ref [] in
+  (* Top-level parsing with special handling for function definitions so
+     that parameter names are retained. *)
+  let parse_top () =
+    let l = loc st in
+    match peek st with
+    | Token.KW_TYPEDEF ->
+        advance st;
+        let base = parse_specifiers st in
+        let rec go () =
+          let n, wrap = parse_declarator st ~abstract:false in
+          Hashtbl.replace st.env.Ctypes.typedefs (Option.get n) (wrap base);
+          if accept st Token.COMMA then go ()
+        in
+        go ();
+        eat st Token.SEMI
+    | _ ->
+        let is_extern = ref false in
+        let rec storage () =
+          match peek st with
+          | Token.KW_EXTERN ->
+              advance st;
+              is_extern := true;
+              storage ()
+          | Token.KW_STATIC ->
+              advance st;
+              storage ()
+          | _ -> ()
+        in
+        storage ();
+        let base = parse_specifiers st in
+        if accept st Token.SEMI then () (* pure type definition *)
+        else begin
+          (* Detect the simple function-definition shape:
+             stars* IDENT '(' ... ')' '{'  — parse it keeping param names. *)
+          let save = st.idx in
+          let rec count_stars n =
+            match peek st with
+            | Token.STAR ->
+                advance st;
+                count_stars (n + 1)
+            | _ -> n
+          in
+          let nstars = count_stars 0 in
+          let is_fundef =
+            match (peek st, peek_at st 1) with
+            | Token.IDENT _, Token.LPAREN ->
+                (* look ahead past the matching rparen *)
+                let save2 = st.idx in
+                advance st;
+                (* at LPAREN *)
+                skip_to_matching_rparen st 0;
+                let r = peek st = Token.LBRACE in
+                st.idx <- save2;
+                r
+            | _ -> false
+          in
+          if is_fundef then begin
+            let fname = eat_ident st in
+            eat st Token.LPAREN;
+            let params, variadic = parse_params st in
+            eat st Token.RPAREN;
+            let ret = ref base in
+            for _ = 1 to nstars do
+              ret := Ctypes.Tptr !ret
+            done;
+            eat st Token.LBRACE;
+            let stmts = ref [] in
+            while peek st <> Token.RBRACE do
+              stmts := parse_stmt st :: !stmts
+            done;
+            eat st Token.RBRACE;
+            let fparams = List.map (fun (n, t) -> (t, n)) params in
+            defs :=
+              Gfun
+                {
+                  fname;
+                  fret = !ret;
+                  fparams;
+                  fvariadic = variadic;
+                  fbody = List.rev !stmts;
+                  floc = l;
+                }
+              :: !defs
+          end
+          else begin
+            st.idx <- save;
+            let rec go () =
+              let gl = loc st in
+              let n, wrap = parse_declarator st ~abstract:false in
+              let gname =
+                match n with
+                | Some s -> s
+                | None -> parse_error gl "top-level declarator without a name"
+              in
+              let gty = wrap base in
+              (match gty with
+              | Ctypes.Tfunc sg ->
+                  defs := Gfundecl { name = gname; sg; loc = gl } :: !defs
+              | _ ->
+                  let ginit =
+                    if accept st Token.ASSIGN then Some (parse_init st) else None
+                  in
+                  defs :=
+                    Gvar { gty; gname; ginit; gextern = !is_extern; gloc = gl }
+                    :: !defs);
+              if accept st Token.COMMA then go ()
+            in
+            go ();
+            eat st Token.SEMI
+          end
+        end
+  in
+  while peek st <> Token.EOF do
+    parse_top ()
+  done;
+  { defs = List.rev !defs; penv = env }
+
+let parse_string (src : string) : program =
+  parse_program_tokens (Lexer.tokenize src)

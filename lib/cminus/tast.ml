@@ -1,0 +1,120 @@
+(* Typed abstract syntax, produced by {!Typecheck} and consumed by IR
+   lowering.
+
+   Compared to the raw AST, the typed AST:
+   - annotates every expression with its C type,
+   - renames locals to unique names (block scoping resolved),
+   - distinguishes pointer arithmetic ([Ptradd]) from integer arithmetic
+     (so the SoftBound pass sees pointer provenance explicitly),
+   - resolves struct field accesses to byte offsets,
+   - folds [sizeof] and enum constants,
+   - records which locals have their address taken (register promotion:
+     unaddressed scalar locals never touch simulated memory, matching the
+     paper's post-optimization instrumentation point). *)
+
+type unop = Ast.unop
+type binop = Ast.binop
+
+type var_kind = Vlocal | Vparam | Vglobal
+[@@deriving show { with_path = false }, eq]
+
+type var_ref = { vname : string; vty : Ctypes.ty; vkind : var_kind }
+
+type texpr = { tdesc : tdesc; tty : Ctypes.ty }
+
+and tdesc =
+  | Cint of int64  (** integer constant of type [tty] *)
+  | Cfloat of float
+  | Cstr of string  (** string literal; [tty] is [char*] (decayed) *)
+  | Cfunc of string  (** function designator, decayed to function pointer *)
+  | Lval of lval  (** read an lvalue *)
+  | Addrof of lval
+  | Unop of unop * texpr
+  | Binop of binop * texpr * texpr
+      (** arithmetic/bitwise/comparison on arithmetic operands, or
+          pointer equality/relational comparison *)
+  | Ptradd of texpr * texpr * int
+      (** [Ptradd (p, i, scale)]: p + i*scale bytes; [tty] is the pointer
+          type. Covers array indexing and pointer arithmetic. *)
+  | Fieldaddr of texpr * int * int
+      (** [Fieldaddr (p, offset, field_size)]: address of a struct/union
+          field.  Kept distinct from [Ptradd] because SoftBound *shrinks*
+          the bounds to the field here (paper section 3.1, "Shrinking
+          Pointer Bounds") — this is what defeats sub-object overflows. *)
+  | Ptrdiff of texpr * texpr * int  (** (p - q) / scale, type long *)
+  | Cond of texpr * texpr * texpr
+  | Cast of texpr  (** conversion to [tty] *)
+  | Call of callee * texpr list
+  | Assign of lval * texpr  (** value = stored value *)
+  | Assignop of binop * lval * texpr * Ctypes.ty
+      (** [lv op= e]; the extra type is the type at which the operation
+          is performed (after usual conversions) *)
+  | Incrdecr of bool * bool * lval * int
+      (** (is_incr, is_prefix, lv, scale): ++/-- with pointer scaling *)
+  | Comma of texpr * texpr
+  | Va_start of lval  (** bind the va cursor of the enclosing function *)
+  | Va_arg of lval * Ctypes.ty  (** fetch next vararg, advancing the cursor *)
+  | Setbound of lval * texpr
+      (** [setbound(p, n)]: programmer-directed bounds for the pointer
+          variable [p] (paper sections 3.1 and 5.2); a no-op when the
+          program runs uninstrumented *)
+
+and lval =
+  | Lvar of var_ref  (** named variable *)
+  | Lmem of texpr  (** *[addr-expr]; the lval's type is the pointee type *)
+
+and callee = { cfun : ccallee; csig : Ctypes.fsig }
+and ccallee = Cdirect of string | Cindirect of texpr
+
+type tstmt =
+  | Texpr of texpr
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+  | Tdowhile of tstmt list * texpr
+  | Tfor of tstmt list * texpr option * tstmt list * tstmt list
+  | Treturn of texpr option
+  | Tbreak
+  | Tcontinue
+  | Tblock of tstmt list
+  | Tswitch of texpr * (int64 list option * tstmt list) list
+      (** cases in source order; [None] labels the default case *)
+  | Tlocal_init of var_ref * init
+      (** initialize a (fresh) local; emitted where the decl appeared *)
+
+and init = Iscalar of texpr | Icomposite of (int * texpr) list
+      (** composite initializer flattened to (byte offset, scalar) pairs;
+          remaining bytes are zeroed *)
+
+type local = { lname : string; lty : Ctypes.ty; laddressed : bool }
+
+type tfundef = {
+  tfname : string;
+  tfsig : Ctypes.fsig;
+  tfparams : (string * Ctypes.ty) list;
+  tfaddressed_params : string list;
+      (** parameters whose address is taken: they need a frame slot *)
+  tflocals : local list;
+  tfbody : tstmt list;
+}
+
+type tglobal = {
+  tgname : string;
+  tgty : Ctypes.ty;
+  tginit : init option;
+}
+
+type tprogram = {
+  tfuns : tfundef list;
+  tglobals : tglobal list;
+  textern_funs : (string * Ctypes.fsig) list;
+      (** declared but not defined here: libc builtins or other units *)
+  tenv : Ctypes.env;
+}
+
+(** Type of an lvalue. *)
+let lval_ty = function
+  | Lvar v -> v.vty
+  | Lmem e -> (
+      match e.tty with
+      | Ctypes.Tptr t -> t
+      | _ -> invalid_arg "lval_ty: Lmem with non-pointer address")

@@ -1,0 +1,73 @@
+(* Token stream produced by the MiniC lexer. *)
+
+type t =
+  | INT_LIT of int64 * Ctypes.ikind
+  | FLOAT_LIT of float * Ctypes.fkind
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG
+  | KW_UNSIGNED | KW_SIGNED | KW_FLOAT | KW_DOUBLE
+  | KW_STRUCT | KW_UNION | KW_ENUM | KW_TYPEDEF
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SWITCH | KW_CASE | KW_DEFAULT
+  | KW_SIZEOF | KW_EXTERN | KW_STATIC | KW_CONST
+  (* punctuation and operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | GT | LE | GE | EQEQ | NE
+  | ANDAND | OROR | SHL | SHR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | ARROW | DOT | QUESTION | COLON | COMMA | SEMI
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | ELLIPSIS
+  | EOF
+
+let to_string = function
+  | INT_LIT (i, _) -> Int64.to_string i
+  | FLOAT_LIT (f, _) -> string_of_float f
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_VOID -> "void" | KW_CHAR -> "char" | KW_SHORT -> "short"
+  | KW_INT -> "int" | KW_LONG -> "long" | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed" | KW_FLOAT -> "float" | KW_DOUBLE -> "double"
+  | KW_STRUCT -> "struct" | KW_UNION -> "union" | KW_ENUM -> "enum"
+  | KW_TYPEDEF -> "typedef" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_DO -> "do" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SWITCH -> "switch" | KW_CASE -> "case" | KW_DEFAULT -> "default"
+  | KW_SIZEOF -> "sizeof" | KW_EXTERN -> "extern" | KW_STATIC -> "static"
+  | KW_CONST -> "const"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | SHL -> "<<" | SHR -> ">>"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | SLASHEQ -> "/=" | PERCENTEQ -> "%=" | AMPEQ -> "&=" | PIPEEQ -> "|="
+  | CARETEQ -> "^=" | SHLEQ -> "<<=" | SHREQ -> ">>="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | ARROW -> "->" | DOT -> "." | QUESTION -> "?" | COLON -> ":"
+  | COMMA -> "," | SEMI -> ";"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | ELLIPSIS -> "..."
+  | EOF -> "<eof>"
+
+let keyword_table : (string * t) list =
+  [
+    ("void", KW_VOID); ("char", KW_CHAR); ("short", KW_SHORT);
+    ("int", KW_INT); ("long", KW_LONG); ("unsigned", KW_UNSIGNED);
+    ("signed", KW_SIGNED); ("float", KW_FLOAT); ("double", KW_DOUBLE);
+    ("struct", KW_STRUCT); ("union", KW_UNION); ("enum", KW_ENUM);
+    ("typedef", KW_TYPEDEF); ("if", KW_IF); ("else", KW_ELSE);
+    ("while", KW_WHILE); ("do", KW_DO); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("switch", KW_SWITCH); ("case", KW_CASE); ("default", KW_DEFAULT);
+    ("sizeof", KW_SIZEOF); ("extern", KW_EXTERN); ("static", KW_STATIC);
+    ("const", KW_CONST);
+  ]

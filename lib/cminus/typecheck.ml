@@ -1,0 +1,914 @@
+(* Typechecker / elaborator: Ast -> Tast.
+
+   Responsibilities (see Tast for the full list): type annotation, implicit
+   conversion insertion, lvalue normalization, unique renaming of locals,
+   address-taken analysis, initializer flattening, constant folding of
+   sizeof / enum constants / case labels. *)
+
+open Ast
+module T = Tast
+
+exception Error of string * loc
+
+let err loc fmt = Format.kasprintf (fun s -> raise (Error (s, loc))) fmt
+
+type fun_info = { fi_sig : Ctypes.fsig; mutable fi_defined : bool }
+
+type ctx = {
+  env : Ctypes.env;
+  funs : (string, fun_info) Hashtbl.t;
+  globals : (string, Ctypes.ty) Hashtbl.t;
+  mutable scopes : (string, T.var_ref) Hashtbl.t list;
+  addressed : (string, unit) Hashtbl.t;  (* unique local names *)
+  mutable locals_acc : (string * Ctypes.ty) list;  (* reversed *)
+  mutable fresh : int;
+  mutable cur_ret : Ctypes.ty;
+  mutable cur_variadic : bool;
+  mutable cur_fname : string;
+  mutable static_acc : T.tglobal list;
+      (** globals synthesized from [static] locals, in reverse order *)
+}
+
+let resolve ctx t = Ctypes.resolve ctx.env t
+let size_of ctx t = Ctypes.size_of ctx.env t
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+let pop_scope ctx = ctx.scopes <- List.tl ctx.scopes
+
+let lookup_var ctx name =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+  in
+  go ctx.scopes
+
+let declare_local ctx name ty =
+  ctx.fresh <- ctx.fresh + 1;
+  let uname = Printf.sprintf "%s$%d" name ctx.fresh in
+  let vr = { T.vname = uname; vty = ty; vkind = T.Vlocal } in
+  (match ctx.scopes with
+  | s :: _ -> Hashtbl.replace s name vr
+  | [] -> invalid_arg "declare_local: no scope");
+  ctx.locals_acc <- (uname, ty) :: ctx.locals_acc;
+  vr
+
+let declare_param ctx name ty =
+  let vr = { T.vname = name; vty = ty; vkind = T.Vparam } in
+  (match ctx.scopes with
+  | s :: _ -> Hashtbl.replace s name vr
+  | [] -> invalid_arg "declare_param: no scope");
+  vr
+
+let mark_addressed ctx (lv : T.lval) =
+  match lv with
+  | T.Lvar v when v.vkind <> T.Vglobal ->
+      Hashtbl.replace ctx.addressed v.vname ()
+  | _ -> ()
+
+let mk d t : T.texpr = { T.tdesc = d; tty = t }
+
+let is_null_const (e : T.texpr) =
+  match e.T.tdesc with T.Cint 0L -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec convert ctx loc (e : T.texpr) (target : Ctypes.ty) : T.texpr =
+  let t1 = resolve ctx e.T.tty and t2 = resolve ctx target in
+  if Ctypes.equal_ty t1 t2 then e
+  else
+    match (t1, t2) with
+    | (Ctypes.Tint _ | Ctypes.Tfloat _), (Ctypes.Tint _ | Ctypes.Tfloat _) ->
+        mk (T.Cast e) target
+    | Ctypes.Tptr _, Ctypes.Tptr _ -> mk (T.Cast e) target
+    | Ctypes.Tint _, Ctypes.Tptr _ ->
+        (* 0 -> null pointer; other ints allowed (SoftBound gives them
+           NULL bounds, section 5.2 "Creating pointers from integers") *)
+        mk (T.Cast e) target
+    | Ctypes.Tptr _, Ctypes.Tint _ -> mk (T.Cast e) target
+    | Ctypes.Tstruct a, Ctypes.Tstruct b when a = b -> e
+    | Ctypes.Tunion a, Ctypes.Tunion b when a = b -> e
+    | Ctypes.Tvoid, Ctypes.Tvoid -> e
+    | _, Ctypes.Tvoid -> mk (T.Cast e) Ctypes.Tvoid
+    | _ ->
+        err loc "cannot convert %s to %s"
+          (Ctypes.string_of_ty e.T.tty)
+          (Ctypes.string_of_ty target)
+
+and promote_vararg ctx loc (e : T.texpr) : T.texpr =
+  match resolve ctx e.T.tty with
+  | Ctypes.Tfloat Ctypes.FFloat -> convert ctx loc e (Ctypes.Tfloat FDouble)
+  | Ctypes.Tint k when Ctypes.ikind_size k < 4 ->
+      convert ctx loc e (Ctypes.Tint (if Ctypes.ikind_signed k then IInt else IUInt))
+  | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Read the value of an lvalue, with array/function decay. *)
+let rvalue_of_lval ctx (lv : T.lval) : T.texpr =
+  let ty = T.lval_ty lv in
+  match resolve ctx ty with
+  | Ctypes.Tarray (elem, _) ->
+      mark_addressed ctx lv;
+      mk (T.Addrof lv) (Ctypes.Tptr elem)
+  | _ -> mk (T.Lval lv) ty
+
+let rec check_expr ctx (e : expr) : T.texpr =
+  let loc = e.eloc in
+  match e.edesc with
+  | Eintlit (v, k) -> mk (T.Cint v) (Ctypes.Tint k)
+  | Efloatlit (v, k) -> mk (T.Cfloat v) (Ctypes.Tfloat k)
+  | Echarlit c -> mk (T.Cint (Int64.of_int (Char.code c))) (Ctypes.Tint IInt)
+  | Estrlit s -> mk (T.Cstr s) (Ctypes.Tptr (Ctypes.Tint IChar))
+  | Eident "NULL" when lookup_var ctx "NULL" = None ->
+      mk (T.Cint 0L) (Ctypes.Tptr Ctypes.Tvoid)
+  | Eident name -> (
+      match lookup_var ctx name with
+      | Some vr -> rvalue_of_lval ctx (T.Lvar vr)
+      | None -> (
+          match Hashtbl.find_opt ctx.globals name with
+          | Some ty ->
+              rvalue_of_lval ctx
+                (T.Lvar { T.vname = name; vty = ty; vkind = T.Vglobal })
+          | None -> (
+              match Hashtbl.find_opt ctx.env.Ctypes.enums name with
+              | Some v -> mk (T.Cint v) (Ctypes.Tint IInt)
+              | None -> (
+                  match Hashtbl.find_opt ctx.funs name with
+                  | Some fi ->
+                      mk (T.Cfunc name) (Ctypes.Tptr (Ctypes.Tfunc fi.fi_sig))
+                  | None -> err loc "undefined identifier %s" name))))
+  | Eunop (Uneg, a) ->
+      let a' = check_expr ctx a in
+      let ty = arith_type ctx loc a' in
+      let ty =
+        match resolve ctx ty with
+        | Ctypes.Tint k when Ctypes.ikind_size k < 4 -> Ctypes.Tint IInt
+        | t -> t
+      in
+      mk (T.Unop (Uneg, convert ctx loc a' ty)) ty
+  | Eunop (Unot, a) ->
+      let a' = check_scalar ctx a in
+      mk (T.Unop (Unot, a')) (Ctypes.Tint IInt)
+  | Eunop (Ubnot, a) ->
+      let a' = check_expr ctx a in
+      let ty =
+        match resolve ctx a'.T.tty with
+        | Ctypes.Tint k when Ctypes.ikind_size k < 4 -> Ctypes.Tint IInt
+        | Ctypes.Tint _ -> a'.T.tty
+        | _ -> err loc "~ requires an integer operand"
+      in
+      mk (T.Unop (Ubnot, convert ctx loc a' ty)) ty
+  | Ebinop (op, a, b) -> check_binop ctx loc op a b
+  | Eassign (None, lhs, rhs) -> (
+      let lv = check_lval ctx lhs in
+      let lty = T.lval_ty lv in
+      match resolve ctx lty with
+      | Ctypes.Tstruct _ | Ctypes.Tunion _ ->
+          let rv = check_expr ctx rhs in
+          if not (Ctypes.compatible ctx.env lty rv.T.tty) then
+            err loc "struct assignment with mismatched types";
+          mk (T.Assign (lv, rv)) lty
+      | Ctypes.Tarray _ -> err loc "cannot assign to an array"
+      | _ ->
+          let rv = check_expr ctx rhs in
+          mk (T.Assign (lv, convert ctx loc rv lty)) lty)
+  | Eassign (Some op, lhs, rhs) ->
+      let lv = check_lval ctx lhs in
+      let lty = T.lval_ty lv in
+      let rv = check_expr ctx rhs in
+      (match (resolve ctx lty, op) with
+      | Ctypes.Tptr _, (Badd | Bsub) ->
+          if not (Ctypes.is_integer ctx.env rv.T.tty) then
+            err loc "pointer %s= requires integer rhs"
+              (if op = Badd then "+" else "-");
+          mk (T.Assignop (op, lv, convert ctx loc rv (Ctypes.Tint ILong), lty)) lty
+      | Ctypes.Tptr _, _ -> err loc "invalid compound assignment on pointer"
+      | _ ->
+          let opty =
+            match op with
+            | Bshl | Bshr -> (
+                match resolve ctx lty with
+                | Ctypes.Tint k when Ctypes.ikind_size k < 4 -> Ctypes.Tint IInt
+                | Ctypes.Tint _ -> lty
+                | _ -> err loc "shift on non-integer")
+            | _ -> Ctypes.common_arith ctx.env lty rv.T.tty
+          in
+          mk (T.Assignop (op, lv, convert ctx loc rv opty, opty)) lty)
+  | Econd (c, a, b) -> (
+      let c' = check_scalar ctx c in
+      let a' = check_expr ctx a in
+      let b' = check_expr ctx b in
+      let ta = resolve ctx a'.T.tty and tb = resolve ctx b'.T.tty in
+      match (ta, tb) with
+      | (Ctypes.Tint _ | Ctypes.Tfloat _), (Ctypes.Tint _ | Ctypes.Tfloat _) ->
+          let ty = Ctypes.common_arith ctx.env ta tb in
+          mk (T.Cond (c', convert ctx loc a' ty, convert ctx loc b' ty)) ty
+      | Ctypes.Tptr _, _ when is_null_const b' ->
+          mk (T.Cond (c', a', convert ctx loc b' a'.T.tty)) a'.T.tty
+      | _, Ctypes.Tptr _ when is_null_const a' ->
+          mk (T.Cond (c', convert ctx loc a' b'.T.tty, b')) b'.T.tty
+      | Ctypes.Tptr _, Ctypes.Tptr _ ->
+          mk (T.Cond (c', a', convert ctx loc b' a'.T.tty)) a'.T.tty
+      | Ctypes.Tvoid, Ctypes.Tvoid -> mk (T.Cond (c', a', b')) Ctypes.Tvoid
+      | _ -> err loc "incompatible branches of ?:")
+  | Ecast (ty, a) -> (
+      let a' = check_expr ctx a in
+      let t1 = resolve ctx a'.T.tty and t2 = resolve ctx ty in
+      match (t1, t2) with
+      | _, Ctypes.Tvoid -> mk (T.Cast a') ty
+      | (Ctypes.Tint _ | Ctypes.Tfloat _ | Ctypes.Tptr _),
+        (Ctypes.Tint _ | Ctypes.Tfloat _ | Ctypes.Tptr _) ->
+          if Ctypes.equal_ty t1 t2 then a' else mk (T.Cast a') ty
+      | _ -> err loc "invalid cast to %s" (Ctypes.string_of_ty ty))
+  | Esizeof_ty ty ->
+      mk (T.Cint (Int64.of_int (size_of ctx ty))) (Ctypes.Tint IULong)
+  | Esizeof_e a ->
+      (* sizeof does not evaluate its operand; we only need its type.  A
+         sub-check in a throwaway context copy would be cleaner but the
+         checker has no side effects beyond fresh names, so just check. *)
+      let saved = ctx.locals_acc in
+      let a' = check_sizeof_operand ctx a in
+      ctx.locals_acc <- saved;
+      mk (T.Cint (Int64.of_int (size_of ctx a'))) (Ctypes.Tint IULong)
+  | Eaddrof a -> (
+      match a.edesc with
+      | Eident f
+        when lookup_var ctx f = None
+             && not (Hashtbl.mem ctx.globals f)
+             && Hashtbl.mem ctx.funs f ->
+          let fi = Hashtbl.find ctx.funs f in
+          mk (T.Cfunc f) (Ctypes.Tptr (Ctypes.Tfunc fi.fi_sig))
+      | _ ->
+          let lv = check_lval ctx a in
+          mark_addressed ctx lv;
+          mk (T.Addrof lv) (Ctypes.Tptr (T.lval_ty lv)))
+  | Ederef a -> (
+      let a' = check_expr ctx a in
+      match resolve ctx a'.T.tty with
+      | Ctypes.Tptr p -> (
+          match resolve ctx p with
+          | Ctypes.Tfunc _ -> a' (* *f on a function pointer is a no-op *)
+          | _ -> rvalue_of_lval ctx (T.Lmem a'))
+      | _ -> err loc "dereference of non-pointer (%s)"
+               (Ctypes.string_of_ty a'.T.tty))
+  | Eindex (a, i) -> rvalue_of_lval ctx (index_lval ctx loc a i)
+  | Efield (a, f) -> rvalue_of_lval ctx (field_lval ctx loc a f)
+  | Earrow (a, f) -> rvalue_of_lval ctx (arrow_lval ctx loc a f)
+  | Ecall (f, args) -> check_call ctx loc f args
+  | Eincrdecr (is_incr, is_pre, a) -> (
+      let lv = check_lval ctx a in
+      let lty = T.lval_ty lv in
+      match resolve ctx lty with
+      | Ctypes.Tptr p ->
+          mk (T.Incrdecr (is_incr, is_pre, lv, size_of ctx p)) lty
+      | Ctypes.Tint _ | Ctypes.Tfloat _ ->
+          mk (T.Incrdecr (is_incr, is_pre, lv, 1)) lty
+      | _ -> err loc "++/-- requires scalar operand")
+  | Ecomma (a, b) ->
+      let a' = check_expr ctx a in
+      let b' = check_expr ctx b in
+      mk (T.Comma (a', b')) b'.T.tty
+
+(** Type of a sizeof operand (no code generated). *)
+and check_sizeof_operand ctx (e : expr) : Ctypes.ty =
+  match e.edesc with
+  | Eident name -> (
+      match lookup_var ctx name with
+      | Some vr -> vr.T.vty
+      | None -> (
+          match Hashtbl.find_opt ctx.globals name with
+          | Some ty -> ty
+          | None -> (check_expr ctx e).T.tty))
+  | Ederef a -> (
+      let t = check_sizeof_operand ctx a in
+      match resolve ctx t with
+      | Ctypes.Tptr p -> p
+      | Ctypes.Tarray (p, _) -> p
+      | _ -> err e.eloc "dereference of non-pointer in sizeof")
+  | Eindex (a, _) -> (
+      let t = check_sizeof_operand ctx a in
+      match resolve ctx t with
+      | Ctypes.Tptr p | Ctypes.Tarray (p, _) -> p
+      | _ -> err e.eloc "index of non-array in sizeof")
+  | Efield (a, f) -> (
+      let t = check_sizeof_operand ctx a in
+      match Ctypes.fields_of ctx.env t with
+      | Some comp -> (Ctypes.field_of_comp comp f).Ctypes.fty
+      | None -> err e.eloc "field access on non-struct in sizeof")
+  | Earrow (a, f) -> (
+      let t = check_sizeof_operand ctx a in
+      match resolve ctx t with
+      | Ctypes.Tptr p -> (
+          match Ctypes.fields_of ctx.env p with
+          | Some comp -> (Ctypes.field_of_comp comp f).Ctypes.fty
+          | None -> err e.eloc "-> on non-struct-pointer in sizeof")
+      | _ -> err e.eloc "-> on non-pointer in sizeof")
+  | _ -> (check_expr ctx e).T.tty
+
+and check_scalar ctx (e : expr) : T.texpr =
+  let e' = check_expr ctx e in
+  if Ctypes.is_scalar ctx.env e'.T.tty then e'
+  else err e.eloc "expected a scalar value, got %s"
+         (Ctypes.string_of_ty e'.T.tty)
+
+and arith_type ctx loc (e : T.texpr) : Ctypes.ty =
+  if Ctypes.is_arith ctx.env e.T.tty then e.T.tty
+  else err loc "expected an arithmetic value, got %s"
+         (Ctypes.string_of_ty e.T.tty)
+
+and check_binop ctx loc op a b : T.texpr =
+  let a' = check_expr ctx a in
+  let b' = check_expr ctx b in
+  let ta = resolve ctx a'.T.tty and tb = resolve ctx b'.T.tty in
+  let intres = Ctypes.Tint IInt in
+  match op with
+  | Bland | Blor ->
+      if not (Ctypes.is_scalar ctx.env ta && Ctypes.is_scalar ctx.env tb) then
+        err loc "&& / || require scalar operands";
+      mk (T.Binop (op, a', b')) intres
+  | Beq | Bne | Blt | Bgt | Ble | Bge -> (
+      match (ta, tb) with
+      | Ctypes.Tptr _, Ctypes.Tptr _ -> mk (T.Binop (op, a', b')) intres
+      | Ctypes.Tptr _, Ctypes.Tint _ ->
+          mk (T.Binop (op, a', convert ctx loc b' a'.T.tty)) intres
+      | Ctypes.Tint _, Ctypes.Tptr _ ->
+          mk (T.Binop (op, convert ctx loc a' b'.T.tty, b')) intres
+      | _ ->
+          let ty = Ctypes.common_arith ctx.env ta tb in
+          mk (T.Binop (op, convert ctx loc a' ty, convert ctx loc b' ty)) intres)
+  | Badd -> (
+      match (ta, tb) with
+      | Ctypes.Tptr p, Ctypes.Tint _ ->
+          mk (T.Ptradd (a', convert ctx loc b' (Ctypes.Tint ILong),
+                        size_of ctx p))
+            a'.T.tty
+      | Ctypes.Tint _, Ctypes.Tptr p ->
+          mk (T.Ptradd (b', convert ctx loc a' (Ctypes.Tint ILong),
+                        size_of ctx p))
+            b'.T.tty
+      | _ ->
+          let ty = Ctypes.common_arith ctx.env ta tb in
+          mk (T.Binop (op, convert ctx loc a' ty, convert ctx loc b' ty)) ty)
+  | Bsub -> (
+      match (ta, tb) with
+      | Ctypes.Tptr p, Ctypes.Tint _ ->
+          let negb =
+            mk (T.Unop (Uneg, convert ctx loc b' (Ctypes.Tint ILong)))
+              (Ctypes.Tint ILong)
+          in
+          mk (T.Ptradd (a', negb, size_of ctx p)) a'.T.tty
+      | Ctypes.Tptr p, Ctypes.Tptr _ ->
+          mk (T.Ptrdiff (a', b', size_of ctx p)) (Ctypes.Tint ILong)
+      | _ ->
+          let ty = Ctypes.common_arith ctx.env ta tb in
+          mk (T.Binop (op, convert ctx loc a' ty, convert ctx loc b' ty)) ty)
+  | Bmul | Bdiv ->
+      let ty = Ctypes.common_arith ctx.env ta tb in
+      mk (T.Binop (op, convert ctx loc a' ty, convert ctx loc b' ty)) ty
+  | Bmod | Bband | Bbor | Bbxor -> (
+      match (ta, tb) with
+      | Ctypes.Tint _, Ctypes.Tint _ ->
+          let ty = Ctypes.common_arith ctx.env ta tb in
+          mk (T.Binop (op, convert ctx loc a' ty, convert ctx loc b' ty)) ty
+      | _ -> err loc "integer operator applied to non-integers")
+  | Bshl | Bshr -> (
+      match (ta, tb) with
+      | Ctypes.Tint k, Ctypes.Tint _ ->
+          let ty =
+            if Ctypes.ikind_size k < 4 then Ctypes.Tint IInt else Ctypes.Tint k
+          in
+          mk
+            (T.Binop (op, convert ctx loc a' ty,
+                      convert ctx loc b' (Ctypes.Tint IInt)))
+            ty
+      | _ -> err loc "shift applied to non-integers")
+
+and index_lval ctx loc a i : T.lval =
+  let a' = check_expr ctx a in
+  let i' = check_expr ctx i in
+  if not (Ctypes.is_integer ctx.env i'.T.tty) then
+    err loc "array index must be an integer";
+  match resolve ctx a'.T.tty with
+  | Ctypes.Tptr p ->
+      let addr =
+        mk
+          (T.Ptradd (a', convert ctx loc i' (Ctypes.Tint ILong), size_of ctx p))
+          a'.T.tty
+      in
+      T.Lmem addr
+  | _ -> err loc "indexing a non-pointer (%s)" (Ctypes.string_of_ty a'.T.tty)
+
+and field_lval ctx loc a f : T.lval =
+  let lv = check_lval ctx a in
+  let lty = T.lval_ty lv in
+  match Ctypes.fields_of ctx.env lty with
+  | Some comp ->
+      let fld = Ctypes.field_of_comp comp f in
+      mark_addressed ctx lv;
+      let base = mk (T.Addrof lv) (Ctypes.Tptr lty) in
+      let addr =
+        mk
+          (T.Fieldaddr (base, fld.Ctypes.foffset, size_of ctx fld.Ctypes.fty))
+          (Ctypes.Tptr fld.Ctypes.fty)
+      in
+      T.Lmem addr
+  | None -> err loc ". applied to non-struct (%s)" (Ctypes.string_of_ty lty)
+
+and arrow_lval ctx loc a f : T.lval =
+  let a' = check_expr ctx a in
+  match resolve ctx a'.T.tty with
+  | Ctypes.Tptr p -> (
+      match Ctypes.fields_of ctx.env p with
+      | Some comp ->
+          let fld = Ctypes.field_of_comp comp f in
+          let addr =
+            mk
+              (T.Fieldaddr (a', fld.Ctypes.foffset, size_of ctx fld.Ctypes.fty))
+              (Ctypes.Tptr fld.Ctypes.fty)
+          in
+          T.Lmem addr
+      | None -> err loc "-> applied to pointer to non-struct")
+  | _ -> err loc "-> applied to non-pointer"
+
+and check_lval ctx (e : expr) : T.lval =
+  let loc = e.eloc in
+  match e.edesc with
+  | Eident name -> (
+      match lookup_var ctx name with
+      | Some vr -> T.Lvar vr
+      | None -> (
+          match Hashtbl.find_opt ctx.globals name with
+          | Some ty -> T.Lvar { T.vname = name; vty = ty; vkind = T.Vglobal }
+          | None -> err loc "undefined identifier %s" name))
+  | Ederef a -> (
+      let a' = check_expr ctx a in
+      match resolve ctx a'.T.tty with
+      | Ctypes.Tptr _ -> T.Lmem a'
+      | _ -> err loc "dereference of non-pointer")
+  | Eindex (a, i) -> index_lval ctx loc a i
+  | Efield (a, f) -> field_lval ctx loc a f
+  | Earrow (a, f) -> arrow_lval ctx loc a f
+  | _ -> err loc "expression is not an lvalue"
+
+and check_call ctx loc (f : expr) (args : expr list) : T.texpr =
+  (* va_* builtins are special-cased: they mutate their lvalue argument. *)
+  match (f.edesc, args) with
+  | Eident "va_start", [ arg ] ->
+      if not ctx.cur_variadic then
+        err loc "va_start used outside a variadic function";
+      let lv = check_lval ctx arg in
+      mk (T.Va_start lv) Ctypes.Tvoid
+  | Eident "va_end", [ _ ] -> mk (T.Cint 0L) (Ctypes.Tint IInt)
+  | Eident "setbound", [ p; n ] ->
+      let lv = check_lval ctx p in
+      if not (Ctypes.is_pointer ctx.env (T.lval_ty lv)) then
+        err loc "setbound requires a pointer variable";
+      mark_addressed ctx lv;
+      let n' = check_expr ctx n in
+      mk (T.Setbound (lv, convert ctx loc n' (Ctypes.Tint ILong))) Ctypes.Tvoid
+  | Eident "va_arg_int", [ arg ] ->
+      mk (T.Va_arg (check_lval ctx arg, Ctypes.Tint IInt)) (Ctypes.Tint IInt)
+  | Eident "va_arg_long", [ arg ] ->
+      mk (T.Va_arg (check_lval ctx arg, Ctypes.Tint ILong)) (Ctypes.Tint ILong)
+  | Eident "va_arg_double", [ arg ] ->
+      mk
+        (T.Va_arg (check_lval ctx arg, Ctypes.Tfloat FDouble))
+        (Ctypes.Tfloat FDouble)
+  | Eident "va_arg_ptr", [ arg ] ->
+      mk
+        (T.Va_arg (check_lval ctx arg, Ctypes.Tptr Ctypes.Tvoid))
+        (Ctypes.Tptr Ctypes.Tvoid)
+  | _ ->
+      let cfun, sg =
+        match f.edesc with
+        | Eident name when lookup_var ctx name = None
+                           && not (Hashtbl.mem ctx.globals name) -> (
+            match Hashtbl.find_opt ctx.funs name with
+            | Some fi -> (T.Cdirect name, fi.fi_sig)
+            | None -> err loc "call to undeclared function %s" name)
+        | _ -> (
+            let f' = check_expr ctx f in
+            match resolve ctx f'.T.tty with
+            | Ctypes.Tptr p -> (
+                match resolve ctx p with
+                | Ctypes.Tfunc sg -> (T.Cindirect f', sg)
+                | _ -> err loc "call of non-function pointer")
+            | Ctypes.Tfunc sg -> (T.Cindirect f', sg)
+            | _ -> err loc "call of non-function value")
+      in
+      let nparams = List.length sg.Ctypes.params in
+      let nargs = List.length args in
+      if nargs < nparams then err loc "too few arguments in call";
+      if nargs > nparams && not sg.Ctypes.variadic then
+        err loc "too many arguments in call";
+      let args' =
+        List.mapi
+          (fun i a ->
+            let a' = check_expr ctx a in
+            if i < nparams then
+              convert ctx loc a' (List.nth sg.Ctypes.params i)
+            else promote_vararg ctx loc a')
+          args
+      in
+      mk (T.Call ({ T.cfun; csig = sg }, args')) sg.Ctypes.ret
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation over typed expressions (case labels)             *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_int (e : T.texpr) : int64 option =
+  match e.T.tdesc with
+  | T.Cint v -> Some v
+  | T.Cast inner -> const_int inner
+  | T.Unop (Uneg, a) -> Option.map Int64.neg (const_int a)
+  | T.Unop (Ubnot, a) -> Option.map Int64.lognot (const_int a)
+  | T.Binop (op, a, b) -> (
+      match (const_int a, const_int b) with
+      | Some x, Some y -> (
+          let open Int64 in
+          match op with
+          | Badd -> Some (add x y)
+          | Bsub -> Some (sub x y)
+          | Bmul -> Some (mul x y)
+          | Bdiv -> if y = 0L then None else Some (div x y)
+          | Bmod -> if y = 0L then None else Some (rem x y)
+          | Bshl -> Some (shift_left x (to_int y))
+          | Bshr -> Some (shift_right x (to_int y))
+          | Bband -> Some (logand x y)
+          | Bbor -> Some (logor x y)
+          | Bbxor -> Some (logxor x y)
+          | Blt -> Some (if x < y then 1L else 0L)
+          | Bgt -> Some (if x > y then 1L else 0L)
+          | Ble -> Some (if x <= y then 1L else 0L)
+          | Bge -> Some (if x >= y then 1L else 0L)
+          | Beq -> Some (if x = y then 1L else 0L)
+          | Bne -> Some (if x <> y then 1L else 0L)
+          | Bland -> Some (if x <> 0L && y <> 0L then 1L else 0L)
+          | Blor -> Some (if x <> 0L || y <> 0L then 1L else 0L))
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Initializers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Infer the length of an array declared with [] from its initializer. *)
+let infer_array_len ctx loc (elem : Ctypes.ty) (init : Ast.init) : int =
+  match init with
+  | Ilist items -> List.length items
+  | Iexpr { edesc = Estrlit s; _ }
+    when (match resolve ctx elem with Ctypes.Tint (IChar | IUChar) -> true
+         | _ -> false) ->
+      String.length s + 1
+  | Iexpr _ -> err loc "cannot infer array size from scalar initializer"
+
+(** Flatten an initializer for [ty] into (byte offset, scalar expr) pairs. *)
+let rec flatten_init ctx loc (ty : Ctypes.ty) (init : Ast.init) :
+    (int * T.texpr) list =
+  match (resolve ctx ty, init) with
+  | Ctypes.Tarray (elem, n), Iexpr { edesc = Estrlit s; eloc }
+    when (match resolve ctx elem with Ctypes.Tint (IChar | IUChar) -> true
+         | _ -> false) ->
+      if String.length s + 1 > n then err eloc "string initializer too long";
+      let items = ref [] in
+      String.iteri
+        (fun i c ->
+          items :=
+            (i, mk (T.Cint (Int64.of_int (Char.code c))) (Ctypes.Tint IChar))
+            :: !items)
+        s;
+      items := (String.length s, mk (T.Cint 0L) (Ctypes.Tint IChar)) :: !items;
+      List.rev !items
+  | Ctypes.Tarray (elem, n), Ilist items ->
+      if List.length items > n then err loc "too many array initializers";
+      let esize = size_of ctx elem in
+      List.concat
+        (List.mapi
+           (fun i item ->
+             List.map
+               (fun (off, e) -> (off + (i * esize), e))
+               (flatten_init ctx loc elem item))
+           items)
+  | (Ctypes.Tstruct _ | Ctypes.Tunion _), Ilist items ->
+      let comp = Option.get (Ctypes.fields_of ctx.env ty) in
+      if List.length items > List.length comp.Ctypes.cfields then
+        err loc "too many struct initializers";
+      List.concat
+        (List.map2
+           (fun (fld : Ctypes.field) item ->
+             List.map
+               (fun (off, e) -> (off + fld.Ctypes.foffset, e))
+               (flatten_init ctx loc fld.Ctypes.fty item))
+           (List.filteri (fun i _ -> i < List.length items) comp.Ctypes.cfields)
+           items)
+  | Ctypes.Tarray _, Iexpr _ -> err loc "array initialized with scalar"
+  | _, Iexpr e ->
+      let e' = check_expr ctx e in
+      [ (0, convert ctx loc e' ty) ]
+  | _, Ilist [ item ] -> flatten_init ctx loc ty item
+  | _, Ilist _ -> err loc "scalar initialized with brace list"
+
+let check_init ctx loc (ty : Ctypes.ty) (init : Ast.init) : T.init =
+  match (resolve ctx ty, init) with
+  | (Ctypes.Tarray _ | Ctypes.Tstruct _ | Ctypes.Tunion _), _ ->
+      T.Icomposite (flatten_init ctx loc ty init)
+  | _, Iexpr e ->
+      let e' = check_expr ctx e in
+      T.Iscalar (convert ctx loc e' ty)
+  | _, Ilist [ Iexpr e ] ->
+      let e' = check_expr ctx e in
+      T.Iscalar (convert ctx loc e' ty)
+  | _, Ilist _ -> err loc "scalar initialized with brace list"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt ctx (s : stmt) : T.tstmt list =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Sempty -> []
+  | Sexpr e -> [ T.Texpr (check_expr ctx e) ]
+  | Sdecl decls -> List.concat_map (check_decl ctx) decls
+  | Sblock stmts ->
+      push_scope ctx;
+      let body = List.concat_map (check_stmt ctx) stmts in
+      pop_scope ctx;
+      [ T.Tblock body ]
+  | Sif (c, then_, else_) ->
+      let c' = check_scalar ctx c in
+      let t = in_scope ctx (fun () -> check_stmt ctx then_) in
+      let e =
+        match else_ with
+        | None -> []
+        | Some s -> in_scope ctx (fun () -> check_stmt ctx s)
+      in
+      [ T.Tif (c', t, e) ]
+  | Swhile (c, body) ->
+      let c' = check_scalar ctx c in
+      [ T.Twhile (c', in_scope ctx (fun () -> check_stmt ctx body)) ]
+  | Sdo (body, c) ->
+      let body' = in_scope ctx (fun () -> check_stmt ctx body) in
+      [ T.Tdowhile (body', check_scalar ctx c) ]
+  | Sfor (init, cond, step, body) ->
+      push_scope ctx;
+      let init' =
+        match init with
+        | Fnone -> []
+        | Fexpr e -> [ T.Texpr (check_expr ctx e) ]
+        | Fdecl ds -> List.concat_map (check_decl ctx) ds
+      in
+      let cond' = Option.map (check_scalar ctx) cond in
+      let step' =
+        match step with None -> [] | Some e -> [ T.Texpr (check_expr ctx e) ]
+      in
+      let body' = in_scope ctx (fun () -> check_stmt ctx body) in
+      pop_scope ctx;
+      [ T.Tfor (init', cond', step', body') ]
+  | Sreturn None ->
+      if resolve ctx ctx.cur_ret <> Ctypes.Tvoid then
+        err loc "return without a value in non-void function";
+      [ T.Treturn None ]
+  | Sreturn (Some e) ->
+      if resolve ctx ctx.cur_ret = Ctypes.Tvoid then begin
+        (* allow 'return (void)expr;' style by evaluating for effect *)
+        let e' = check_expr ctx e in
+        [ T.Texpr e'; T.Treturn None ]
+      end
+      else
+        let e' = check_expr ctx e in
+        [ T.Treturn (Some (convert ctx loc e' ctx.cur_ret)) ]
+  | Sbreak -> [ T.Tbreak ]
+  | Scontinue -> [ T.Tcontinue ]
+  | Sswitch (e, cases) ->
+      let e' = check_expr ctx e in
+      if not (Ctypes.is_integer ctx.env e'.T.tty) then
+        err loc "switch on non-integer";
+      let e' = convert ctx loc e' (Ctypes.Tint ILong) in
+      let cases' =
+        List.map
+          (fun c ->
+            let labels =
+              List.map
+                (fun lbl ->
+                  let l' = check_expr ctx lbl in
+                  match const_int l' with
+                  | Some v -> v
+                  | None -> err loc "case label is not constant")
+                c.cvals
+            in
+            let labels =
+              if c.cis_default && labels = [] then None else Some labels
+            in
+            (* 'case 1: default:' on one group: treat as default *)
+            let labels = if c.cis_default then None else labels in
+            let body =
+              in_scope ctx (fun () -> List.concat_map (check_stmt ctx) c.cbody)
+            in
+            (labels, body))
+          cases
+      in
+      [ T.Tswitch (e', cases') ]
+
+and in_scope ctx f =
+  push_scope ctx;
+  let r = f () in
+  pop_scope ctx;
+  r
+
+and check_decl ctx (d : decl) : T.tstmt list =
+  let ty =
+    match resolve ctx d.dty with
+    | Ctypes.Tarray (elem, -1) -> (
+        match d.dinit with
+        | Some init ->
+            Ctypes.Tarray (elem, infer_array_len ctx d.dloc elem init)
+        | None -> err d.dloc "array %s has unknown size" d.dname)
+    | Ctypes.Tfunc _ -> err d.dloc "local function declarations not supported"
+    | _ -> d.dty
+  in
+  if d.dstatic then begin
+    (* static storage duration, function-local name: hoist to a uniquely
+       named global; the initializer must be a compile-time constant and
+       runs once at program start, not per call *)
+    ctx.fresh <- ctx.fresh + 1;
+    let gname =
+      Printf.sprintf "%s.static.%s.%d" ctx.cur_fname d.dname ctx.fresh
+    in
+    let vr = { T.vname = gname; vty = ty; vkind = T.Vglobal } in
+    (match ctx.scopes with
+    | s :: _ -> Hashtbl.replace s d.dname vr
+    | [] -> err d.dloc "static declaration outside any scope");
+    Hashtbl.replace ctx.globals gname ty;
+    let tginit = Option.map (fun i -> check_init ctx d.dloc ty i) d.dinit in
+    ctx.static_acc <-
+      { T.tgname = gname; tgty = ty; tginit } :: ctx.static_acc;
+    []
+  end
+  else
+  let vr = declare_local ctx d.dname ty in
+  (* fix the accumulated type in case the array size was inferred *)
+  (match ctx.locals_acc with
+  | (n, _) :: rest when n = vr.T.vname -> ctx.locals_acc <- (n, ty) :: rest
+  | _ -> ());
+  let vr = { vr with T.vty = ty } in
+  (match ctx.scopes with
+  | s :: _ -> Hashtbl.replace s d.dname vr
+  | [] -> ());
+  match d.dinit with
+  | None -> []
+  | Some init -> [ T.Tlocal_init (vr, check_init ctx d.dloc ty init) ]
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_fundef ctx (f : fundef) : T.tfundef =
+  ctx.scopes <- [];
+  ctx.locals_acc <- [];
+  Hashtbl.reset ctx.addressed;
+  ctx.cur_ret <- f.fret;
+  ctx.cur_variadic <- f.fvariadic;
+  ctx.cur_fname <- f.fname;
+  if Ctypes.is_composite ctx.env f.fret then
+    err f.floc "%s: struct/union return by value is not supported (use a pointer)"
+      f.fname;
+  push_scope ctx;
+  let params =
+    List.map
+      (fun (ty, name) ->
+        if name = "" then err f.floc "unnamed parameter in definition of %s"
+                            f.fname;
+        if Ctypes.is_composite ctx.env ty then
+          err f.floc "%s: struct/union parameters by value are not supported"
+            f.fname;
+        ignore (declare_param ctx name ty);
+        (name, ty))
+      f.fparams
+  in
+  let body = List.concat_map (check_stmt ctx) f.fbody in
+  pop_scope ctx;
+  let locals =
+    List.rev_map
+      (fun (lname, lty) ->
+        let laddressed =
+          Hashtbl.mem ctx.addressed lname || Ctypes.is_composite ctx.env lty
+          || (match resolve ctx lty with Ctypes.Tarray _ -> true | _ -> false)
+        in
+        { T.lname; lty; laddressed })
+      ctx.locals_acc
+  in
+  let addressed_params =
+    List.filter_map
+      (fun (n, _) -> if Hashtbl.mem ctx.addressed n then Some n else None)
+      params
+  in
+  {
+    T.tfname = f.fname;
+    tfsig =
+      { Ctypes.ret = f.fret; params = List.map snd params;
+        variadic = f.fvariadic };
+    tfparams = params;
+    tfaddressed_params = addressed_params;
+    tflocals = locals;
+    tfbody = body;
+  }
+
+let check_program (p : program) : T.tprogram =
+  let env = p.penv in
+  let funs = Hashtbl.create 64 in
+  let globals = Hashtbl.create 64 in
+  (* seed builtins *)
+  List.iter
+    (fun (name, sg) ->
+      Hashtbl.replace funs name { fi_sig = sg; fi_defined = false })
+    Builtins.functions;
+  (* pass 1: collect signatures and global types *)
+  List.iter
+    (function
+      | Gfun f ->
+          let sg =
+            { Ctypes.ret = f.fret; params = List.map fst f.fparams;
+              variadic = f.fvariadic }
+          in
+          Hashtbl.replace funs f.fname { fi_sig = sg; fi_defined = true }
+      | Gfundecl { name; sg; _ } ->
+          if not (Hashtbl.mem funs name) then
+            Hashtbl.replace funs name { fi_sig = sg; fi_defined = false }
+      | Gvar { gty; gname; ginit; gloc; _ } ->
+          let gty =
+            match Ctypes.resolve env gty with
+            | Ctypes.Tarray (elem, -1) -> (
+                match ginit with
+                | Some init ->
+                    let ctx0 =
+                      {
+                        env; funs; globals;
+                        scopes = [ Hashtbl.create 1 ];
+                        addressed = Hashtbl.create 1;
+                        locals_acc = []; fresh = 0;
+                        cur_ret = Ctypes.Tvoid; cur_variadic = false;
+                        cur_fname = ""; static_acc = [];
+                      }
+                    in
+                    Ctypes.Tarray (elem, infer_array_len ctx0 gloc elem init)
+                | None -> err gloc "global array %s has unknown size" gname)
+            | _ -> gty
+          in
+          Hashtbl.replace globals gname gty)
+    p.defs;
+  let ctx =
+    {
+      env; funs; globals;
+      scopes = [];
+      addressed = Hashtbl.create 64;
+      locals_acc = [];
+      fresh = 0;
+      cur_ret = Ctypes.Tvoid;
+      cur_variadic = false;
+      cur_fname = "";
+      static_acc = [];
+    }
+  in
+  (* pass 2: check bodies and global initializers *)
+  let tfuns = ref [] and tglobals = ref [] in
+  let seen_globals = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Gfun f -> tfuns := check_fundef ctx f :: !tfuns
+      | Gfundecl _ -> ()
+      | Gvar { gname; ginit; gextern; gloc; _ } ->
+          if not (Hashtbl.mem seen_globals gname) then begin
+            Hashtbl.replace seen_globals gname ();
+            let gty = Hashtbl.find globals gname in
+            if not gextern then begin
+              ctx.scopes <- [ Hashtbl.create 1 ];
+              let tginit =
+                Option.map (fun i -> check_init ctx gloc gty i) ginit
+              in
+              tglobals :=
+                { T.tgname = gname; tgty = gty; tginit } :: !tglobals
+            end
+          end)
+    p.defs;
+  let textern_funs =
+    Hashtbl.fold
+      (fun name fi acc ->
+        if fi.fi_defined then acc else (name, fi.fi_sig) :: acc)
+      funs []
+  in
+  {
+    T.tfuns = List.rev !tfuns;
+    tglobals = List.rev !tglobals @ List.rev ctx.static_acc;
+    textern_funs;
+    tenv = env;
+  }
+
+(** Convenience: parse and typecheck a source string. *)
+let program_of_string (src : string) : T.tprogram =
+  check_program (Parser.parse_string src)

@@ -1,0 +1,63 @@
+(* Configuration of the SoftBound transformation and runtime. *)
+
+(** Checking mode (paper section 1 and 6.3).
+
+    [Full_checking] inserts a bounds check before every load and store —
+    complete spatial-violation detection.  [Store_only] fully propagates
+    all metadata but checks only memory writes — sufficient to stop
+    security exploits (which need at least one out-of-bounds write) at a
+    much lower overhead. *)
+type mode = Full_checking | Store_only
+
+(** Metadata organization (paper section 5.1). *)
+type facility = Hash_table | Shadow_space
+
+type options = {
+  mode : mode;
+  facility : facility;
+  shrink_bounds : bool;
+      (** narrow bounds when creating pointers to struct fields
+          (section 3.1, "Shrinking Pointer Bounds"); turning this off
+          reproduces the sub-object blindness of object-table tools *)
+  memcpy_heuristic : bool;
+      (** skip the metadata copy for memcpy calls whose static operand
+          types are pointer-free (section 5.2, "Memcpy") *)
+  clear_stack_meta : bool;
+      (** zero the metadata of pointer-holding stack slots before
+          returning (section 5.2, "Memory reuse and stale metadata") *)
+  clear_free_meta : bool;
+      (** zero the metadata of pointer-bearing heap blocks on free *)
+  fptr_signatures : bool;
+      (** the paper's future-work extension (section 5.2, "Function
+          pointers"): dynamically check that the pointer/non-pointer
+          signature of an indirect callee matches the call site, so casts
+          between incompatible function-pointer types cannot manufacture
+          improper base and bounds *)
+  prune_liveness : bool;
+      (** drop metadata that no check/call/return/store can observe —
+          standing in for the paper's re-run of LLVM's optimizers over
+          the instrumented code (section 6.1).  The MSCC-style baseline
+          disables this (it eschews such whole-function cleanup). *)
+}
+
+let default =
+  {
+    mode = Full_checking;
+    facility = Shadow_space;
+    shrink_bounds = true;
+    memcpy_heuristic = true;
+    clear_stack_meta = true;
+    clear_free_meta = true;
+    fptr_signatures = false; (* matches the paper's prototype *)
+    prune_liveness = true;
+  }
+
+let store_only = { default with mode = Store_only }
+
+let facility_name = function
+  | Hash_table -> "hash-table"
+  | Shadow_space -> "shadow-space"
+
+let mode_name = function
+  | Full_checking -> "full"
+  | Store_only -> "store-only"

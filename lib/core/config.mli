@@ -1,0 +1,51 @@
+(** Configuration of the SoftBound transformation and runtime. *)
+
+(** Checking mode (paper sections 1 and 6.3).
+
+    [Full_checking] inserts a bounds check before every load and store —
+    complete spatial-violation detection.  [Store_only] fully propagates
+    all metadata but checks only memory writes — sufficient to stop
+    memory-corruption exploits (which need at least one out-of-bounds
+    write) at a much lower overhead. *)
+type mode = Full_checking | Store_only
+
+(** Metadata organization (paper section 5.1): open-addressing hash
+    table (24-byte tagged entries, ~9 x86 instructions per lookup) or
+    tag-less shadow space (16 bytes per pointer-aligned word, ~5
+    instructions per lookup). *)
+type facility = Hash_table | Shadow_space
+
+type options = {
+  mode : mode;
+  facility : facility;
+  shrink_bounds : bool;
+      (** narrow bounds when creating pointers to struct fields
+          (section 3.1, "Shrinking Pointer Bounds"); turning this off
+          reproduces the sub-object blindness of object-table tools *)
+  memcpy_heuristic : bool;
+      (** skip the metadata copy for memcpy calls whose static operand
+          types are pointer-free (section 5.2, "Memcpy") *)
+  clear_stack_meta : bool;
+      (** zero the metadata of pointer-holding stack slots before
+          returning (section 5.2, "Memory reuse and stale metadata") *)
+  clear_free_meta : bool;
+      (** zero the metadata of pointer-bearing heap blocks on free *)
+  fptr_signatures : bool;
+      (** the paper's future-work extension (section 5.2, "Function
+          pointers"): dynamically check that the pointer/non-pointer
+          signature of an indirect callee matches the call site *)
+  prune_liveness : bool;
+      (** drop metadata that no check/call/return/store can observe —
+          standing in for the paper's re-run of LLVM's optimizers over
+          the instrumented code (section 6.1) *)
+}
+
+val default : options
+(** Full checking, shadow space, every paper behaviour on,
+    [fptr_signatures] off (matching the paper's prototype). *)
+
+val store_only : options
+(** [default] with [mode = Store_only]. *)
+
+val facility_name : facility -> string
+val mode_name : mode -> string

@@ -1,0 +1,79 @@
+(* Top-level SoftBound API: compile, transform, run.
+
+   This is the library a downstream user programs against:
+
+   {[
+     let m = Softbound.compile source in
+     match Softbound.run_protected m with
+     | { outcome = Trapped (Bounds_violation _); _ } -> ...
+   ]} *)
+
+module Ir = Sbir.Ir
+
+(* [softbound] is the library's root module; re-export the submodules. *)
+module Config = Config
+module Transform = Transform
+
+type mode = Config.mode = Full_checking | Store_only
+type facility = Config.facility = Hash_table | Shadow_space
+type options = Config.options
+
+let default_options = Config.default
+
+(** Parse + typecheck + lower a MiniC source to IR.  By default the
+    optimizer (constant folding, copy propagation, DCE) and the
+    small-function inliner run afterwards, matching the paper's
+    post-optimization instrumentation point (section 6.1); pass
+    [~inline:false] and/or [~optimize:false] for the raw lowering. *)
+let compile ?(inline = true) ?(optimize = true) (src : string) : Ir.modul =
+  let m = Sbir.Lower.compile src in
+  let m = if optimize then Sbir.Opt.run m else m in
+  let m = if inline then Sbir.Inline.run m else m in
+  if optimize && inline then Sbir.Opt.run m else m
+
+(** Apply the SoftBound transformation. *)
+let instrument ?(opts = Config.default) (m : Ir.modul) : Ir.modul =
+  Transform.transform ~opts m
+
+let facility_of = function
+  | Config.Hash_table -> Interp.State.Hash_table
+  | Config.Shadow_space -> Interp.State.Shadow_space
+
+(** Run an *uninstrumented* module (the baseline the paper normalizes
+    against). *)
+let run_unprotected ?(cfg = Interp.State.default_config) (m : Ir.modul) :
+    Interp.Vm.result =
+  Interp.Vm.run ~cfg m
+
+(** Instrument and run under SoftBound. *)
+let run_protected ?(opts = Config.default)
+    ?(cfg = Interp.State.default_config) (m : Ir.modul) : Interp.Vm.result =
+  let m' = instrument ~opts m in
+  let cfg =
+    {
+      cfg with
+      Interp.State.meta = Some (facility_of opts.Config.facility);
+      store_only = opts.Config.mode = Config.Store_only;
+    }
+  in
+  Interp.Vm.run ~cfg m'
+
+(** Convenience: compile a source and run it under SoftBound. *)
+let check_source ?(opts = Config.default)
+    ?(cfg = Interp.State.default_config) (src : string) : Interp.Vm.result =
+  run_protected ~opts ~cfg (compile src)
+
+(** Did the run abort with a SoftBound spatial-safety violation? *)
+let detected (r : Interp.Vm.result) =
+  match r.Interp.Vm.outcome with
+  | Interp.State.Trapped (Interp.State.Bounds_violation _) -> true
+  | _ -> false
+
+(** Did the run demonstrate a successful control-flow hijack? *)
+let hijacked (r : Interp.Vm.result) =
+  match r.Interp.Vm.outcome with
+  | Interp.State.Trapped (Interp.State.Hijack _) -> true
+  | _ -> false
+
+let exited_cleanly (r : Interp.Vm.result) =
+  match r.Interp.Vm.outcome with Interp.State.Exit _ -> true | _ -> false

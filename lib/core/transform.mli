@@ -1,0 +1,26 @@
+(** The SoftBound compile-time transformation (paper section 3).
+
+    An IR-to-IR pass: renames every function to [_sb_<name>] with
+    appended base/bound parameters for pointer parameters (pointer
+    returns become triples), associates metadata registers with every
+    pointer-valued virtual register, inserts bounds checks per the
+    checking mode, rewrites call sites (wrappers for externals,
+    function-pointer checks for indirect calls), narrows bounds at
+    struct-field address creation, emits the global-metadata
+    initializer, and clears stale metadata at returns and frees.
+
+    See the implementation header for the full correspondence to the
+    paper's sections. *)
+
+module Ir = Sbir.Ir
+
+val sb_prefix : string
+val sb_name : string -> string
+val global_init_name : string
+(** Name of the synthesized initializer installing metadata for
+    statically initialized pointer globals (section 5.2); the VM runs it
+    before [main] when present. *)
+
+val transform : ?opts:Config.options -> Ir.modul -> Ir.modul
+(** Instrument a module.  Raises [Invalid_argument] if the module
+    already contains instrumentation instructions. *)

@@ -1,0 +1,438 @@
+(* Executable formalization of the paper's section 4.
+
+   The paper mechanizes (in Coq) a non-standard operational semantics for
+   a straight-line fragment of C — assignments over ints, pointers,
+   named/anonymous structs, with &, *, field access, casts, sizeof and
+   malloc — augments it with SoftBound's metadata propagation and bounds
+   assertions, and proves Preservation and Progress with respect to a
+   well-formedness invariant.
+
+   Here the same development is rendered executable:
+   - [eval_cmd ~checked:true] is the SoftBound-instrumented semantics:
+     every value carries (base, bound) metadata, dereferences assert the
+     bounds, and the result is [Ok]/[Abort]/[OutOfMem] — never [Stuck];
+   - [eval_cmd ~checked:false] is the reference partial semantics: it has
+     no assertions and becomes [Stuck] ("undefined") exactly when an
+     unallocated address is touched;
+   - [wf_env] is the paper's well-formedness predicate
+       forall l d (b,e). read M l = d(b,e) =>
+         b = 0  \/  (b <> 0 /\ forall i in [b,e). val M i
+                    /\ minAddr <= b <= e < maxAddr);
+   - Theorems 4.1 (Preservation) and 4.2 (Progress) and Corollary 4.1
+     become the predicates [preservation_holds], [progress_holds] and
+     [agreement_holds], checked over randomized well-typed commands by
+     the property-based test suite.
+
+   Memory is word-granular (sizeof int = sizeof ptr = 1, a struct spans
+   one word per field): the proof's content is metadata propagation and
+   checking, which is independent of byte-level layout (the byte-level
+   machinery lives in the main library). *)
+
+(* ------------------------------------------------------------------ *)
+(* Syntax (paper section 4.1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type atype = TInt | TPtr of ptype
+
+and ptype =
+  | PAtom of atype
+  | PStruct of (string * atype) list  (** anonymous struct *)
+  | PNamed of string  (** named struct (permits recursion) *)
+  | PVoid
+
+type lhs =
+  | Var of string
+  | Deref of lhs
+  | Field of lhs * string
+  | Arrow of lhs * string
+
+type rhs =
+  | Int of int
+  | Add of rhs * rhs
+  | Lhs of lhs
+  | AddrOf of lhs
+  | Cast of atype * rhs
+  | SizeOf of atype
+  | Malloc of rhs
+
+type cmd = Skip | Assign of lhs * rhs | Seq of cmd * cmd
+
+(** Named-struct environment. *)
+type tenv = (string * (string * atype) list) list
+
+(* ------------------------------------------------------------------ *)
+(* Machine state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module IMap = Map.Make (Int)
+
+(** A stored value with its SoftBound metadata. *)
+type mval = { v : int; b : int; e : int }
+
+type env = {
+  tenv : tenv;
+  stack : (string * (int * atype)) list;  (** S: var -> (address, type) *)
+  mem : mval IMap.t;  (** M: allocated addresses only *)
+  brk : int;  (** next free address for malloc *)
+  limit : int;  (** address-space size: malloc beyond this is OOM *)
+}
+
+let min_addr = 1
+
+type 'a res = Ok of 'a | Abort | OutOfMem | Stuck of string
+
+let ( let* ) r f =
+  match r with
+  | Ok x -> f x
+  | Abort -> Abort
+  | OutOfMem -> OutOfMem
+  | Stuck m -> Stuck m
+
+(* ------------------------------------------------------------------ *)
+(* Types and layout                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fields_of (te : tenv) (p : ptype) : (string * atype) list option =
+  match p with
+  | PStruct fs -> Some fs
+  | PNamed n -> List.assoc_opt n te
+  | PAtom _ | PVoid -> None
+
+let sizeof_atype (_ : atype) = 1
+
+let sizeof_ptype (te : tenv) (p : ptype) : int =
+  match p with
+  | PAtom _ -> 1
+  | PVoid -> 1
+  | PStruct fs -> max 1 (List.length fs)
+  | PNamed n -> (
+      match List.assoc_opt n te with
+      | Some fs -> max 1 (List.length fs)
+      | None -> 1)
+
+let field_offset (fs : (string * atype) list) (f : string) :
+    (int * atype) option =
+  let rec go i = function
+    | [] -> None
+    | (n, t) :: _ when n = f -> Some (i, t)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 fs
+
+(* ------------------------------------------------------------------ *)
+(* Typing (S |- c, section 4.3)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec type_lhs (env : env) (l : lhs) : atype option =
+  match l with
+  | Var x -> Option.map snd (List.assoc_opt x env.stack)
+  | Deref l -> (
+      match type_lhs env l with
+      | Some (TPtr (PAtom a)) -> Some a
+      | Some (TPtr PVoid) -> None (* *void is ill-typed *)
+      | Some (TPtr (PStruct _)) | Some (TPtr (PNamed _)) ->
+          None (* struct lvalues are accessed by field *)
+      | _ -> None)
+  | Field _ ->
+      (* struct-typed lvalues only occur behind pointers in this
+         fragment; plain [lhs.id] is therefore never well-typed here and
+         field access goes through [Arrow] *)
+      None
+  | Arrow (l, f) -> (
+      match type_lhs env l with
+      | Some (TPtr p) -> (
+          match fields_of env.tenv p with
+          | Some fs -> Option.map snd (field_offset fs f)
+          | None -> None)
+      | _ -> None)
+
+let rec type_rhs (env : env) (r : rhs) : atype option =
+  match r with
+  | Int _ -> Some TInt
+  | SizeOf _ -> Some TInt
+  | Add (a, b) -> (
+      match (type_rhs env a, type_rhs env b) with
+      | Some TInt, Some TInt -> Some TInt
+      | Some (TPtr p), Some TInt -> Some (TPtr p)
+      | _ -> None)
+  | Lhs l -> type_lhs env l
+  | AddrOf l -> (
+      match l with
+      | Var x -> (
+          match List.assoc_opt x env.stack with
+          | Some (_, a) -> Some (TPtr (PAtom a))
+          | None -> None)
+      | Deref inner -> type_lhs env inner (* &*p : type of p *)
+      | Field _ | Arrow _ -> (
+          match type_lhs env l with
+          | Some a -> Some (TPtr (PAtom a))
+          | None -> None))
+  | Cast (a, r) -> (
+      match type_rhs env r with Some _ -> Some a | None -> None)
+  | Malloc r -> (
+      match type_rhs env r with
+      | Some TInt -> Some (TPtr PVoid)
+      | _ -> None)
+
+let rec type_cmd (env : env) (c : cmd) : bool =
+  match c with
+  | Skip -> true
+  | Seq (a, b) -> type_cmd env a && type_cmd env b
+  | Assign (l, r) -> (
+      match (type_lhs env l, type_rhs env r) with
+      | Some TInt, Some TInt -> true
+      | Some (TPtr _), Some (TPtr _) -> true
+      | Some (TPtr _), Some TInt -> false
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Memory primitives (Table 2)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read (env : env) (l : int) : mval option = IMap.find_opt l env.mem
+
+let write (env : env) (l : int) (d : mval) : env option =
+  if IMap.mem l env.mem then Some { env with mem = IMap.add l d env.mem }
+  else None
+
+let malloc (env : env) (n : int) : (env * int) option =
+  let n = max n 1 in
+  if env.brk + n > env.limit then None
+  else begin
+    let mem = ref env.mem in
+    for i = env.brk to env.brk + n - 1 do
+      mem := IMap.add i { v = 0; b = 0; e = 0 } !mem
+    done;
+    Some ({ env with mem = !mem; brk = env.brk + n }, env.brk)
+  end
+
+let val_allocated env i = IMap.mem i env.mem
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness (section 4.3)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wf_mval (env : env) (d : mval) : bool =
+  d.b = 0
+  || (d.b <> 0
+     && d.b <= d.e
+     && min_addr <= d.b
+     && d.e <= env.limit
+     && (let ok = ref true in
+         for i = d.b to d.e - 1 do
+           if not (val_allocated env i) then ok := false
+         done;
+         !ok))
+
+let wf_mem (env : env) : bool =
+  IMap.for_all (fun _ d -> wf_mval env d) env.mem
+
+let wf_stack (env : env) : bool =
+  List.for_all (fun (_, (addr, _)) -> val_allocated env addr) env.stack
+
+let wf_env (env : env) : bool = wf_mem env && wf_stack env
+
+(* ------------------------------------------------------------------ *)
+(* Operational semantics (section 4.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* LHS evaluation: (E, lhs) =>l (address, atype).  In checked mode the
+   pointer-dereference rule asserts the metadata bounds; in unchecked
+   mode the access is undefined (Stuck) if it would touch unallocated
+   memory — the paper's partial reference semantics. *)
+
+let rec eval_lhs ~checked (env : env) (l : lhs) : (int * atype) res =
+  match l with
+  | Var x -> (
+      match List.assoc_opt x env.stack with
+      | Some (addr, a) -> Ok (addr, a)
+      | None -> Stuck ("unbound variable " ^ x))
+  | Deref l -> (
+      let* addr, a = eval_lhs ~checked env l in
+      match a with
+      | TPtr (PAtom pointee) -> (
+          match read env addr with
+          | None -> Stuck "deref: pointer cell not allocated"
+          | Some d ->
+              let size = sizeof_atype pointee in
+              if checked then
+                (* the paper's checked-dereference rule *)
+                if d.b <= d.v && d.v + size <= d.e && d.b <> 0 then
+                  Ok (d.v, pointee)
+                else Abort
+              else if val_allocated env d.v then Ok (d.v, pointee)
+              else Stuck "deref: target unallocated (undefined behaviour)")
+      | _ -> Stuck "deref of non-pointer lvalue")
+  | Field (l, f) -> eval_field ~checked env l f ~through_ptr:false
+  | Arrow (l, f) -> eval_field ~checked env l f ~through_ptr:true
+
+and eval_field ~checked env l f ~through_ptr : (int * atype) res =
+  (* l.f when the lvalue l denotes a struct-typed region is modelled via
+     its pointer: field access goes through pointers (x->f), which is
+     the metadata-interesting case. *)
+  let* addr, a = eval_lhs ~checked env l in
+  match a with
+  | TPtr p -> (
+      match fields_of env.tenv p with
+      | None -> Stuck "field access on non-struct pointer"
+      | Some fs -> (
+          match field_offset fs f with
+          | None -> Stuck ("no field " ^ f)
+          | Some (off, fty) ->
+              if through_ptr then (
+                match read env addr with
+                | None -> Stuck "arrow: pointer cell not allocated"
+                | Some d ->
+                    let size = List.length fs in
+                    if checked then
+                      if d.b <= d.v && d.v + size <= d.e && d.b <> 0 then
+                        Ok (d.v + off, fty)
+                      else Abort
+                    else if
+                      val_allocated env d.v
+                      && val_allocated env (d.v + off)
+                    then Ok (d.v + off, fty)
+                    else Stuck "arrow: target unallocated")
+              else Ok (addr + off, fty)))
+  | TInt -> Stuck "field access on int"
+
+(* RHS evaluation: (E, rhs) =>r ((value, metadata), atype, E'). *)
+
+let rec eval_rhs ~checked (env : env) (r : rhs) : (mval * atype * env) res =
+  match r with
+  | Int i -> Ok ({ v = i; b = 0; e = 0 }, TInt, env)
+  | SizeOf a -> Ok ({ v = sizeof_atype a; b = 0; e = 0 }, TInt, env)
+  | Add (a, b) -> (
+      let* va, ta, env = eval_rhs ~checked env a in
+      let* vb, tb, env = eval_rhs ~checked env b in
+      match (ta, tb) with
+      | TInt, TInt -> Ok ({ v = va.v + vb.v; b = 0; e = 0 }, TInt, env)
+      | TPtr p, TInt ->
+          (* pointer arithmetic inherits the metadata (section 3.1) *)
+          Ok ({ va with v = va.v + vb.v }, TPtr p, env)
+      | _ -> Stuck "ill-typed addition")
+  | Lhs l -> (
+      let* addr, a = eval_lhs ~checked env l in
+      match read env addr with
+      | Some d -> Ok (d, a, env)
+      | None -> Stuck "read of unallocated lvalue")
+  | AddrOf l -> (
+      match l with
+      | Var x -> (
+          match List.assoc_opt x env.stack with
+          | Some (addr, a) ->
+              (* base/bound: the variable's own cell *)
+              Ok
+                ( { v = addr; b = addr; e = addr + sizeof_atype a },
+                  TPtr (PAtom a),
+                  env )
+          | None -> Stuck ("unbound variable " ^ x))
+      | Deref inner ->
+          (* &*p evaluates p *)
+          let* d, a, env = eval_rhs ~checked env (Lhs inner) in
+          Ok (d, a, env)
+      | Field _ | Arrow _ ->
+          let* addr, a = eval_lhs ~checked env l in
+          (* field pointers inherit the *field's* extent: the formal
+             fragment leaves sub-object bounds to the implementation, so
+             we take the conservative single-cell bound *)
+          Ok
+            ( { v = addr; b = addr; e = addr + sizeof_atype a },
+              TPtr (PAtom a),
+              env ))
+  | Cast (target, r) -> (
+      let* d, src, env = eval_rhs ~checked env r in
+      match (target, src) with
+      | TInt, _ -> Ok ({ d with b = 0; e = 0 }, TInt, env)
+      | TPtr p, TPtr _ ->
+          (* pointer-to-pointer casts keep the metadata: this is what
+             makes arbitrary casts safe (section 5.2) *)
+          Ok (d, TPtr p, env)
+      | TPtr p, TInt ->
+          (* ints become pointers with null bounds *)
+          Ok ({ d with b = 0; e = 0 }, TPtr p, env))
+  | Malloc r -> (
+      let* d, t, env = eval_rhs ~checked env r in
+      match t with
+      | TInt -> (
+          if d.v <= 0 then Ok ({ v = 0; b = 0; e = 0 }, TPtr PVoid, env)
+          else
+            match malloc env d.v with
+            | None -> OutOfMem
+            | Some (env, p) ->
+                Ok ({ v = p; b = p; e = p + d.v }, TPtr PVoid, env))
+      | _ -> Stuck "malloc size not an int")
+
+(* Commands. *)
+
+let rec eval_cmd ~checked (env : env) (c : cmd) : env res =
+  match c with
+  | Skip -> Ok env
+  | Seq (a, b) ->
+      let* env = eval_cmd ~checked env a in
+      eval_cmd ~checked env b
+  | Assign (l, r) -> (
+      let* d, _, env = eval_rhs ~checked env r in
+      let* addr, lty = eval_lhs ~checked env l in
+      (* ill-typed int := ptr would store bogus metadata; the type system
+         rules it out, and we strip metadata on int-typed cells just as
+         the instrumentation stores none *)
+      let d = match lty with TInt -> { d with b = 0; e = 0 } | _ -> d in
+      match write env addr d with
+      | Some env -> Ok env
+      | None -> Stuck "write to unallocated lvalue")
+
+(* ------------------------------------------------------------------ *)
+(* Theorem statements, as runtime-checkable predicates                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Theorem 4.1 (Preservation): from a well-formed env, a well-typed
+    command that evaluates to Ok yields a well-formed env. *)
+let preservation_holds (env : env) (c : cmd) : bool =
+  (not (wf_env env && type_cmd env c))
+  ||
+  match eval_cmd ~checked:true env c with
+  | Ok env' -> wf_env env'
+  | Abort | OutOfMem -> true
+  | Stuck _ -> true (* progress covers this *)
+
+(** Theorem 4.2 (Progress): from a well-formed env, a well-typed command
+    evaluates to ok, OutOfMem or Abort — never gets stuck. *)
+let progress_holds (env : env) (c : cmd) : bool =
+  (not (wf_env env && type_cmd env c))
+  ||
+  match eval_cmd ~checked:true env c with
+  | Ok _ | Abort | OutOfMem -> true
+  | Stuck _ -> false
+
+(** Corollary 4.1: if the instrumented program completes, the original
+    (partial, unchecked) semantics completes too, with the same data. *)
+let agreement_holds (env : env) (c : cmd) : bool =
+  (not (wf_env env && type_cmd env c))
+  ||
+  match eval_cmd ~checked:true env c with
+  | Ok env' -> (
+      match eval_cmd ~checked:false env c with
+      | Ok env'' ->
+          IMap.equal (fun a b -> a.v = b.v) env'.mem env''.mem
+      | _ -> false)
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Initial environments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Build a well-formed initial environment with the given variables
+    stack-allocated (all cells zero-initialized, null metadata). *)
+let initial_env ?(limit = 4096) (tenv : tenv) (vars : (string * atype) list) :
+    env =
+  let env =
+    { tenv; stack = []; mem = IMap.empty; brk = min_addr; limit }
+  in
+  List.fold_left
+    (fun env (x, a) ->
+      match malloc env (sizeof_atype a) with
+      | Some (env, addr) ->
+          { env with stack = (x, (addr, a)) :: env.stack }
+      | None -> invalid_arg "initial_env: limit too small")
+    env vars

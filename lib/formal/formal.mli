@@ -1,0 +1,125 @@
+(** Executable formalization of the paper's section 4.
+
+    The paper mechanizes (in Coq) a non-standard operational semantics
+    for a straight-line C fragment, augments it with SoftBound's metadata
+    propagation and bounds assertions, and proves Preservation and
+    Progress with respect to a well-formedness invariant.  This module
+    renders the same development executable so the theorems become
+    property-testable predicates (see the [formal] test suite).
+
+    Memory is word-granular (sizeof int = sizeof ptr = 1; a struct spans
+    one word per field): the proof's content is metadata propagation and
+    checking, which is independent of byte-level layout. *)
+
+(** {1 Syntax (section 4.1)} *)
+
+type atype = TInt | TPtr of ptype
+
+and ptype =
+  | PAtom of atype
+  | PStruct of (string * atype) list  (** anonymous struct *)
+  | PNamed of string  (** named struct (permits recursion) *)
+  | PVoid
+
+type lhs =
+  | Var of string
+  | Deref of lhs
+  | Field of lhs * string
+      (** never well-typed in this fragment: struct lvalues only occur
+          behind pointers, so field access goes through {!Arrow} *)
+  | Arrow of lhs * string
+
+type rhs =
+  | Int of int
+  | Add of rhs * rhs
+  | Lhs of lhs
+  | AddrOf of lhs
+  | Cast of atype * rhs
+  | SizeOf of atype
+  | Malloc of rhs
+
+type cmd = Skip | Assign of lhs * rhs | Seq of cmd * cmd
+
+type tenv = (string * (string * atype) list) list
+(** Named-struct environment. *)
+
+(** {1 Machine state} *)
+
+module IMap : Map.S with type key = int
+
+type mval = { v : int; b : int; e : int }
+(** A stored value with its SoftBound (base, bound) metadata. *)
+
+type env = {
+  tenv : tenv;
+  stack : (string * (int * atype)) list;  (** S: var -> (address, type) *)
+  mem : mval IMap.t;  (** M: allocated addresses only *)
+  brk : int;
+  limit : int;  (** address-space size: malloc beyond this is OutOfMem *)
+}
+
+val min_addr : int
+
+type 'a res = Ok of 'a | Abort | OutOfMem | Stuck of string
+
+(** {1 Layout and typing} *)
+
+val fields_of : tenv -> ptype -> (string * atype) list option
+val sizeof_atype : atype -> int
+val sizeof_ptype : tenv -> ptype -> int
+val field_offset : (string * atype) list -> string -> (int * atype) option
+
+val type_lhs : env -> lhs -> atype option
+val type_rhs : env -> rhs -> atype option
+val type_cmd : env -> cmd -> bool
+(** [S |- c] of section 4.3. *)
+
+(** {1 Memory primitives (Table 2)} *)
+
+val read : env -> int -> mval option
+val write : env -> int -> mval -> env option
+val malloc : env -> int -> (env * int) option
+val val_allocated : env -> int -> bool
+
+(** {1 Well-formedness (section 4.3)} *)
+
+val wf_mval : env -> mval -> bool
+(** The paper's per-value invariant: [b = 0], or [b <> 0] and every
+    address in [\[b, e)] is allocated with
+    [minAddr <= b <= e < maxAddr]. *)
+
+val wf_mem : env -> bool
+val wf_stack : env -> bool
+val wf_env : env -> bool
+
+(** {1 Operational semantics (section 4.2)} *)
+
+val eval_lhs : checked:bool -> env -> lhs -> (int * atype) res
+(** LHS evaluation to an (address, type) pair.  With [~checked:true]
+    the pointer-dereference rule asserts the metadata bounds (the
+    SoftBound-instrumented semantics, never [Stuck]); with
+    [~checked:false] accesses to unallocated memory are undefined
+    ([Stuck]) — the paper's partial reference semantics. *)
+
+val eval_rhs : checked:bool -> env -> rhs -> (mval * atype * env) res
+val eval_cmd : checked:bool -> env -> cmd -> env res
+
+(** {1 Theorem statements, as runtime-checkable predicates} *)
+
+val preservation_holds : env -> cmd -> bool
+(** Theorem 4.1: from a well-formed env, a well-typed command that
+    evaluates to [Ok] yields a well-formed env. *)
+
+val progress_holds : env -> cmd -> bool
+(** Theorem 4.2: from a well-formed env, a well-typed command evaluates
+    to ok, [OutOfMem] or [Abort] — never gets stuck. *)
+
+val agreement_holds : env -> cmd -> bool
+(** Corollary 4.1: if the instrumented program completes, the unchecked
+    reference semantics completes too, with the same data. *)
+
+(** {1 Initial environments} *)
+
+val initial_env : ?limit:int -> tenv -> (string * atype) list -> env
+(** A well-formed initial environment with the given variables
+    stack-allocated (cells zero-initialized, null metadata). *)

@@ -1,0 +1,93 @@
+(* Shared pipeline driver for the experiments: compile once, run a module
+   under any of the named protection schemes, and summarize outcomes. *)
+
+module Ir = Sbir.Ir
+
+type scheme =
+  | Unprotected
+  | Softbound of Softbound.Config.options
+  | Jones_kelly
+  | Memcheck
+  | Mudflap
+  | Mscc
+
+let scheme_name = function
+  | Unprotected -> "unprotected"
+  | Softbound o ->
+      Printf.sprintf "softbound-%s-%s"
+        (Softbound.Config.mode_name o.Softbound.Config.mode)
+        (Softbound.Config.facility_name o.Softbound.Config.facility)
+  | Jones_kelly -> "jones-kelly"
+  | Memcheck -> "memcheck-like"
+  | Mudflap -> "mudflap-like"
+  | Mscc -> "mscc-like"
+
+(* The four SoftBound configurations of Figure 2. *)
+let sb_full_shadow = Softbound.Config.default
+
+let sb_full_hash =
+  { Softbound.Config.default with facility = Softbound.Config.Hash_table }
+
+let sb_store_shadow = Softbound.Config.store_only
+
+let sb_store_hash =
+  { Softbound.Config.store_only with facility = Softbound.Config.Hash_table }
+
+let run ?(argv = []) ?(inputs = []) ?(max_steps = 2_000_000_000)
+    (scheme : scheme) (m : Ir.modul) : Interp.Vm.result =
+  let base =
+    { Interp.State.default_config with argv; inputs; max_steps }
+  in
+  match scheme with
+  | Unprotected -> Softbound.run_unprotected ~cfg:base m
+  | Softbound opts -> Softbound.run_protected ~opts ~cfg:base m
+  | Mscc -> Baselines.Mscc.run ~cfg:base m
+  | Jones_kelly ->
+      Softbound.run_unprotected
+        ~cfg:{ base with checker = Some (Baselines.Jones_kelly.make ()) }
+        m
+  | Memcheck ->
+      Softbound.run_unprotected
+        ~cfg:{ base with checker = Some (Baselines.Memcheck_like.make ()) }
+        m
+  | Mudflap ->
+      Softbound.run_unprotected
+        ~cfg:{ base with checker = Some (Baselines.Mudflap_like.make ()) }
+        m
+
+(** Classify a run for detection tables. *)
+type verdict =
+  | Detected of string  (** the scheme reported a violation *)
+  | Hijacked of string  (** the attack took control *)
+  | Clean of int  (** normal exit *)
+  | Crashed of string  (** other trap (segfault, runtime error, ...) *)
+
+let verdict_of (r : Interp.Vm.result) : verdict =
+  match r.outcome with
+  | Interp.State.Exit n -> Clean n
+  | Interp.State.Trapped (Interp.State.Bounds_violation _ as t) ->
+      Detected (Interp.State.string_of_trap t)
+  | Interp.State.Trapped (Interp.State.Object_violation _ as t) ->
+      Detected (Interp.State.string_of_trap t)
+  | Interp.State.Trapped (Interp.State.Hijack s) -> Hijacked s
+  | Interp.State.Trapped t -> Crashed (Interp.State.string_of_trap t)
+
+let detected = function Detected _ -> true | _ -> false
+let yes_no b = if b then "yes" else "no"
+
+(** Simulated-cycle overhead of [r] relative to baseline [b]. *)
+let overhead (r : Interp.Vm.result) (b : Interp.Vm.result) : float =
+  float_of_int r.stats.Interp.State.cycles
+  /. float_of_int b.stats.Interp.State.cycles
+  -. 1.0
+
+let compile_workload (w : Workloads.workload) : Ir.modul =
+  Softbound.compile w.Workloads.source
+
+(** Fraction of memory operations that move pointer values (Figure 1's
+    metric). *)
+let pointer_op_fraction (r : Interp.Vm.result) : float =
+  let s = r.stats in
+  let total = s.Interp.State.mem_reads + s.Interp.State.mem_writes in
+  if total = 0 then 0.0
+  else float_of_int s.Interp.State.ptr_mem_ops /. float_of_int total

@@ -1,0 +1,53 @@
+(** Shared pipeline driver for the experiments: run a compiled module
+    under any protection scheme with uniform accounting. *)
+
+module Ir = Sbir.Ir
+
+(** A protection scheme: nothing, a SoftBound configuration, or one of
+    the baseline tools. *)
+type scheme =
+  | Unprotected
+  | Softbound of Softbound.Config.options
+  | Jones_kelly
+  | Memcheck
+  | Mudflap
+  | Mscc
+
+val scheme_name : scheme -> string
+
+(** {1 The four SoftBound configurations of Figure 2} *)
+
+val sb_full_shadow : Softbound.Config.options
+val sb_full_hash : Softbound.Config.options
+val sb_store_shadow : Softbound.Config.options
+val sb_store_hash : Softbound.Config.options
+
+val run :
+  ?argv:string list ->
+  ?inputs:string list ->
+  ?max_steps:int ->
+  scheme ->
+  Ir.modul ->
+  Interp.Vm.result
+
+(** {1 Outcome classification for the detection tables} *)
+
+type verdict =
+  | Detected of string  (** the scheme reported a violation *)
+  | Hijacked of string  (** the attack took control *)
+  | Clean of int  (** normal exit *)
+  | Crashed of string  (** other trap (segfault, runtime error, ...) *)
+
+val verdict_of : Interp.Vm.result -> verdict
+val detected : verdict -> bool
+val yes_no : bool -> string
+
+val overhead : Interp.Vm.result -> Interp.Vm.result -> float
+(** [overhead r base]: simulated-cycle overhead of [r] relative to
+    [base] (0.79 = 79%). *)
+
+val compile_workload : Workloads.workload -> Ir.modul
+
+val pointer_op_fraction : Interp.Vm.result -> float
+(** Fraction of memory operations that moved pointer values — Figure 1's
+    metric. *)

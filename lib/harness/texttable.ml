@@ -1,0 +1,33 @@
+(* Fixed-width text table rendering for experiment output. *)
+
+let render ?(title = "") ~headers (rows : string list list) : string =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  let pad i s =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s
+  in
+  let render_row row =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad row) ^ "\n")
+  in
+  render_row headers;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "\n");
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let pct1 x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,733 @@
+(* Libc builtins and their SoftBound wrappers.
+
+   The paper (section 5.2, "Separate compilation and library code")
+   assumes library functions either get recompiled with SoftBound or are
+   reached through checked wrapper functions.  Here every libc entry point
+   has two faces:
+
+   - the plain builtin ([strcpy], [malloc], ...): performs the operation
+     over simulated memory with *no* checking — overflows silently corrupt
+     neighbouring data, exactly like unprotected native code;
+   - the wrapper ([_sb_strcpy], ...): receives base/bound metadata for
+     every pointer argument (appended, in order, after the regular
+     arguments), performs the bounds checks appropriate to the checking
+     mode, maintains metadata (e.g. memcpy copies it, free clears it), and
+     returns metadata alongside pointer results.
+
+   The wrapper calling convention is derived mechanically from the
+   builtin's C prototype, mirroring how the SoftBound transformation
+   rewrites call sites. *)
+
+module Ir = Sbir.Ir
+open State
+module Mem = Machine.Memory
+module Cost = Machine.Cost
+module C = Cminus.Ctypes
+
+exception Exit_program of int
+
+let dummy_env = C.create_env ()
+
+(* ------------------------------------------------------------------ *)
+(* Bulk-access helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Validity + checker + cache accounting for a byte range. *)
+let range_access st addr len ~is_store =
+  if len > 0 then begin
+    checker_event st (Ev_access { addr; size = len; is_store });
+    Mem.check_program_access st.mem addr len;
+    let lines = ((len + 63) / 64) + 1 in
+    for i = 0 to lines - 1 do
+      cache_access st (addr + (i * 64))
+    done;
+    if is_store then st.stats.mem_writes <- st.stats.mem_writes + 1
+    else st.stats.mem_reads <- st.stats.mem_reads + 1
+  end
+
+(** Unchecked strlen over simulated memory (faults only if it runs off
+    every mapped segment). *)
+let raw_strlen st addr =
+  let rec go i =
+    if i > 1 lsl 20 then raise (Trap (Runtime_error "unterminated string"))
+    else begin
+      Mem.check_program_access st.mem (addr + i) 1;
+      if Mem.read_byte st.mem (addr + i) = 0 then i else go (i + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Wrapper context                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type wctx = {
+  st : t;
+  checked : bool;
+  fname : string;
+  mutable meta : (int * int) list;  (** metadata pairs, in argument order *)
+}
+
+let pop_meta w =
+  if not w.checked then (0, 0)
+  else
+    match w.meta with
+    | m :: rest ->
+        w.meta <- rest;
+        m
+    | [] -> raise (Trap (Runtime_error (w.fname ^ ": missing metadata args")))
+
+(** Check a read of [size] bytes — skipped in store-only mode. *)
+let check_read w ~ptr ~meta:(b, e) ~size =
+  if w.checked && not w.st.cfg.store_only then
+    sb_check w.st ~where:w.fname ~ptr ~base:b ~bound:e ~size
+
+(** Check a write of [size] bytes — performed in both modes. *)
+let check_write w ~ptr ~meta:(b, e) ~size =
+  if w.checked then sb_check w.st ~where:w.fname ~ptr ~base:b ~bound:e ~size
+
+(* ------------------------------------------------------------------ *)
+(* Varargs access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Read vararg slot [i]; checked against the save area's bounds, which
+    realizes the paper's vararg decode checking (section 5.2). *)
+let va_slot w ~va_ptr ~va_meta i =
+  let addr = va_ptr + (8 * i) in
+  check_read w ~ptr:addr ~meta:va_meta ~size:8;
+  range_access w.st addr 8 ~is_store:false;
+  Mem.read_int w.st.mem addr 8
+
+let va_slot_f64 w ~va_ptr ~va_meta i =
+  let addr = va_ptr + (8 * i) in
+  check_read w ~ptr:addr ~meta:va_meta ~size:8;
+  range_access w.st addr 8 ~is_store:false;
+  Mem.read_f64 w.st.mem addr
+
+(** Metadata of the pointer stored in vararg slot [i] (a metadata-space
+    lookup, like any pointer load). *)
+let va_slot_meta w ~va_ptr i =
+  if w.checked then meta_load w.st (va_ptr + (8 * i)) else (0, 0)
+
+(* ------------------------------------------------------------------ *)
+(* printf-style formatting                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Format [fmt_addr] with varargs, appending output via [put].  Returns
+    the number of characters produced. *)
+let format_into w ~put ~fmt ~fmt_meta ~va_ptr ~va_meta ~va_count =
+  let st = w.st in
+  let count = ref 0 in
+  let emit c =
+    put c;
+    incr count
+  in
+  let emit_str s = String.iter emit s in
+  let arg = ref 0 in
+  let next_slot () =
+    if !arg >= va_count && w.checked then
+      raise
+        (Trap
+           (Bounds_violation
+              {
+                addr = va_ptr + (8 * !arg);
+                base = fst va_meta;
+                bound = snd va_meta;
+                size = 8;
+                where = w.fname ^ " (too many conversions for arguments)";
+              }));
+    let v = va_slot w ~va_ptr ~va_meta !arg in
+    incr arg;
+    v
+  in
+  let next_slot_f64 () =
+    let v = va_slot_f64 w ~va_ptr ~va_meta !arg in
+    incr arg;
+    v
+  in
+  let i = ref 0 in
+  let read_fmt_byte () =
+    let a = fmt + !i in
+    check_read w ~ptr:a ~meta:fmt_meta ~size:1;
+    Mem.check_program_access st.mem a 1;
+    Mem.read_byte st.mem a
+  in
+  let rec loop () =
+    let c = read_fmt_byte () in
+    if c = 0 then ()
+    else begin
+      incr i;
+      if c <> Char.code '%' then emit (Char.chr c)
+      else begin
+        (* parse %[flags][width][.prec][l]conv *)
+        let spec = Buffer.create 8 in
+        Buffer.add_char spec '%';
+        let rec scan () =
+          let c = read_fmt_byte () in
+          if c = 0 then '%'
+          else begin
+            incr i;
+            let ch = Char.chr c in
+            match ch with
+            | '-' | '0' | '+' | ' ' | '.' | '0' .. '9' ->
+                Buffer.add_char spec ch;
+                scan ()
+            | 'l' -> scan () (* length modifier: all ints are 64-bit here *)
+            | c -> c
+          end
+        in
+        let conv = scan () in
+        let spec = Buffer.contents spec in
+        let safe_int c v =
+          try Printf.sprintf (Scanf.format_from_string (spec ^ String.make 1 c) "%d") v
+          with _ -> string_of_int v
+        in
+        let safe_float c v =
+          try Printf.sprintf (Scanf.format_from_string (spec ^ String.make 1 c) "%f") v
+          with _ -> Printf.sprintf "%g" v
+        in
+        (match conv with
+        | 'd' | 'i' -> emit_str (safe_int 'd' (next_slot ()))
+        | 'u' -> emit_str (safe_int 'u' (next_slot ()))
+        | 'x' -> emit_str (safe_int 'x' (next_slot ()))
+        | 'p' -> emit_str (Printf.sprintf "0x%x" (next_slot ()))
+        | 'c' -> emit (Char.chr (next_slot () land 0xff))
+        | 'f' | 'e' | 'g' -> emit_str (safe_float conv (next_slot_f64 ()))
+        | 's' ->
+            let slot = !arg in
+            let p = next_slot () in
+            let meta = va_slot_meta w ~va_ptr slot in
+            let len = raw_strlen st p in
+            check_read w ~ptr:p ~meta ~size:(len + 1);
+            range_access st p (len + 1) ~is_store:false;
+            emit_str (Mem.read_cstring st.mem p)
+        | '%' -> emit '%'
+        | c ->
+            emit '%';
+            emit c);
+        ()
+      end;
+      if c <> 0 then loop ()
+    end
+  in
+  loop ();
+  charge st (Cost.bulk_cost !count);
+  !count
+
+(* ------------------------------------------------------------------ *)
+(* The builtin implementations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let vi v = VI v
+let ret0 = []
+
+(** Names of all builtins (both plain and wrapper forms resolve here). *)
+let table : (string, unit) Hashtbl.t = Hashtbl.create 128
+
+let () =
+  List.iter
+    (fun (n, _) -> Hashtbl.replace table n ())
+    Cminus.Builtins.functions
+
+let is_builtin_name name =
+  Hashtbl.mem table name
+  || (String.length name > 4
+     && String.sub name 0 4 = "_sb_"
+     &&
+     let base = String.sub name 4 (String.length name - 4) in
+     let base =
+       match base with
+       | "free_withmeta" -> "free"
+       | "memcpy_nometa" -> "memcpy"
+       | "memmove_nometa" -> "memmove"
+       | b -> b
+     in
+     Hashtbl.mem table base)
+
+(** malloc and friends *)
+let do_malloc w size : int * (int * int) =
+  charge w.st Cost.libc_call;
+  match Machine.Heap.malloc w.st.heap size with
+  | None -> (0, (0, 0))
+  | Some a ->
+      checker_event w.st (Ev_alloc { base = a; size; kind = AHeap });
+      (a, (a, a + size))
+
+let clear_block_meta w addr size =
+  (* paper section 5.2, "Memory reuse and stale metadata": clear the
+     metadata of pointer-bearing heap blocks before free *)
+  if w.checked then begin
+    let slots = (size + 7) / 8 in
+    for i = 0 to slots - 1 do
+      meta_store w.st (addr + (8 * i)) 0 0
+    done
+  end
+
+let do_free w ?(with_meta = false) ptr =
+  charge w.st Cost.libc_call;
+  if ptr <> 0 then begin
+    (match Machine.Heap.block_size w.st.heap ptr with
+    | Some size ->
+        if with_meta then clear_block_meta w ptr size;
+        checker_event w.st (Ev_free { base = ptr; size; kind = AHeap })
+    | None -> ());
+    try Machine.Heap.free w.st.heap ptr
+    with Machine.Heap.Bad_free a -> raise (Trap (Bad_free a))
+  end
+
+let copy_meta_range w ~dst ~src ~len =
+  (* copy metadata for every pointer-aligned slot covered by the copy *)
+  if w.checked then begin
+    let slots = len / 8 in
+    for i = 0 to slots - 1 do
+      let b, e = meta_load w.st (src + (8 * i)) in
+      meta_store w.st (dst + (8 * i)) b e
+    done
+  end
+
+(** Dispatch a builtin call.
+
+    [checked] marks [_sb_]-prefixed wrapper calls; for those, [args] ends
+    with the metadata pairs for each pointer argument (including the
+    hidden [va_ptr] of variadic calls).  Returns the result values —
+    including result metadata when a checked builtin returns a pointer. *)
+let dispatch st ~(name : string) ~(args : value list) : value list =
+  let checked, base_name =
+    if String.length name > 4 && String.sub name 0 4 = "_sb_" then
+      (true, String.sub name 4 (String.length name - 4))
+    else (false, name)
+  in
+  let variant, base_name =
+    match base_name with
+    | "free_withmeta" -> (`Free_meta, "free")
+    | "memcpy_nometa" -> (`No_meta, "memcpy")
+    | "memmove_nometa" -> (`No_meta, "memmove")
+    | b -> (`Plain, b)
+  in
+  let sg =
+    match List.assoc_opt base_name Cminus.Builtins.functions with
+    | Some sg -> sg
+    | None -> raise (Trap (Runtime_error ("unknown builtin " ^ name)))
+  in
+  (* split plain args from metadata args *)
+  let n_fixed =
+    List.length sg.C.params + if sg.C.variadic then 2 else 0
+  in
+  let plain = List.filteri (fun i _ -> i < n_fixed) args in
+  let meta_vals = List.filteri (fun i _ -> i >= n_fixed) args in
+  let rec pair = function
+    | [] -> []
+    | VI b :: VI e :: rest -> (b, e) :: pair rest
+    | _ -> raise (Trap (Runtime_error (name ^ ": malformed metadata args")))
+  in
+  let w = { st; checked; fname = name; meta = pair meta_vals } in
+  let int_args = List.map as_int plain in
+  (* bind pointer-arg metadata in order *)
+  let metas =
+    List.map
+      (fun ty ->
+        match C.resolve dummy_env ty with
+        | C.Tptr _ -> pop_meta w
+        | _ -> (0, 0))
+      (sg.C.params @ if sg.C.variadic then [ C.Tptr C.Tvoid; C.Tint C.ILong ]
+                     else [])
+  in
+  let meta_of i = List.nth metas i in
+  let argi i = List.nth int_args i in
+  let argf i = as_float (List.nth plain i) in
+  let ret_ptr v (b, e) = if checked then [ VI v; VI b; VI e ] else [ VI v ] in
+  charge st Cost.libc_call;
+  match base_name with
+  (* ---- allocation ---- *)
+  | "malloc" ->
+      let p, m = do_malloc w (argi 0) in
+      ret_ptr p m
+  | "calloc" ->
+      let n = argi 0 * argi 1 in
+      let p, m = do_malloc w n in
+      if p <> 0 then begin
+        Mem.fill st.mem p n 0;
+        charge st (Cost.bulk_cost n)
+      end;
+      ret_ptr p m
+  | "realloc" ->
+      charge st Cost.libc_call;
+      let old = argi 0 and size = argi 1 in
+      (try
+         match Machine.Heap.realloc st.heap old size with
+         | None -> ret_ptr 0 (0, 0)
+         | Some a ->
+             if old <> 0 then begin
+               (match Machine.Heap.block_size st.heap old with
+               | Some osz ->
+                   checker_event st (Ev_free { base = old; size = osz; kind = AHeap })
+               | None -> ());
+               ()
+             end;
+             checker_event st (Ev_alloc { base = a; size; kind = AHeap });
+             (* metadata moves with the contents *)
+             if old <> 0 && w.checked then
+               copy_meta_range w ~dst:a ~src:old ~len:size;
+             ret_ptr a (a, a + size)
+       with Machine.Heap.Bad_free a -> raise (Trap (Bad_free a)))
+  | "free" ->
+      do_free w ~with_meta:(variant = `Free_meta) (argi 0);
+      ret0
+  (* ---- memory ---- *)
+  | "memcpy" | "memmove" ->
+      let dst = argi 0 and src = argi 1 and len = argi 2 in
+      (* "the source and targets of the memcpy are checked for bounds
+         safety once at the start of the copy" (section 5.2) *)
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:len;
+      check_read w ~ptr:src ~meta:(meta_of 1) ~size:len;
+      range_access st src len ~is_store:false;
+      range_access st dst len ~is_store:true;
+      Mem.blit st.mem ~src ~dst ~len;
+      charge st (Cost.bulk_cost len);
+      if variant <> `No_meta then copy_meta_range w ~dst ~src ~len;
+      ret_ptr dst (meta_of 0)
+  | "memset" ->
+      let dst = argi 0 and v = argi 1 and len = argi 2 in
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:len;
+      range_access st dst len ~is_store:true;
+      Mem.fill st.mem dst len v;
+      charge st (Cost.bulk_cost len);
+      ret_ptr dst (meta_of 0)
+  | "memcmp" ->
+      let a = argi 0 and b = argi 1 and len = argi 2 in
+      check_read w ~ptr:a ~meta:(meta_of 0) ~size:len;
+      check_read w ~ptr:b ~meta:(meta_of 1) ~size:len;
+      range_access st a len ~is_store:false;
+      range_access st b len ~is_store:false;
+      charge st (Cost.bulk_cost len);
+      let rec go i =
+        if i >= len then 0
+        else
+          let x = Mem.read_byte st.mem (a + i)
+          and y = Mem.read_byte st.mem (b + i) in
+          if x <> y then compare x y else go (i + 1)
+      in
+      [ vi (go 0) ]
+  (* ---- strings ---- *)
+  | "strlen" ->
+      let p = argi 0 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      charge st (Cost.bulk_cost len);
+      [ vi len ]
+  | "strcpy" ->
+      let dst = argi 0 and src = argi 1 in
+      let len = raw_strlen st src in
+      check_read w ~ptr:src ~meta:(meta_of 1) ~size:(len + 1);
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st src (len + 1) ~is_store:false;
+      range_access st dst (len + 1) ~is_store:true;
+      Mem.blit st.mem ~src ~dst ~len:(len + 1);
+      charge st (Cost.bulk_cost (len + 1));
+      ret_ptr dst (meta_of 0)
+  | "strncpy" ->
+      let dst = argi 0 and src = argi 1 and n = argi 2 in
+      let len = min (raw_strlen st src) n in
+      check_read w ~ptr:src ~meta:(meta_of 1) ~size:len;
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:n;
+      range_access st src len ~is_store:false;
+      range_access st dst n ~is_store:true;
+      Mem.blit st.mem ~src ~dst ~len;
+      if len < n then Mem.fill st.mem (dst + len) (n - len) 0;
+      charge st (Cost.bulk_cost n);
+      ret_ptr dst (meta_of 0)
+  | "strcat" ->
+      let dst = argi 0 and src = argi 1 in
+      let dlen = raw_strlen st dst in
+      let slen = raw_strlen st src in
+      check_read w ~ptr:src ~meta:(meta_of 1) ~size:(slen + 1);
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(dlen + slen + 1);
+      range_access st src (slen + 1) ~is_store:false;
+      range_access st (dst + dlen) (slen + 1) ~is_store:true;
+      Mem.blit st.mem ~src ~dst:(dst + dlen) ~len:(slen + 1);
+      charge st (Cost.bulk_cost (slen + 1));
+      ret_ptr dst (meta_of 0)
+  | "strncat" ->
+      let dst = argi 0 and src = argi 1 and n = argi 2 in
+      let dlen = raw_strlen st dst in
+      let slen = min (raw_strlen st src) n in
+      check_read w ~ptr:src ~meta:(meta_of 1) ~size:slen;
+      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(dlen + slen + 1);
+      range_access st src slen ~is_store:false;
+      range_access st (dst + dlen) (slen + 1) ~is_store:true;
+      Mem.blit st.mem ~src ~dst:(dst + dlen) ~len:slen;
+      Mem.write_byte st.mem (dst + dlen + slen) 0;
+      charge st (Cost.bulk_cost (slen + 1));
+      ret_ptr dst (meta_of 0)
+  | "strcmp" | "strncmp" ->
+      let a = argi 0 and b = argi 1 in
+      let limit = if base_name = "strncmp" then argi 2 else max_int in
+      let la = raw_strlen st a and lb = raw_strlen st b in
+      check_read w ~ptr:a ~meta:(meta_of 0) ~size:(min (la + 1) limit);
+      check_read w ~ptr:b ~meta:(meta_of 1) ~size:(min (lb + 1) limit);
+      range_access st a (min (la + 1) limit) ~is_store:false;
+      range_access st b (min (lb + 1) limit) ~is_store:false;
+      charge st (Cost.bulk_cost (min (la + 1) limit));
+      let rec go i =
+        if i >= limit then 0
+        else
+          let x = Mem.read_byte st.mem (a + i)
+          and y = Mem.read_byte st.mem (b + i) in
+          if x <> y then compare x y else if x = 0 then 0 else go (i + 1)
+      in
+      [ vi (go 0) ]
+  | "strchr" ->
+      let p = argi 0 and c = argi 1 land 0xff in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      charge st (Cost.bulk_cost len);
+      let rec go i =
+        if i > len then 0
+        else if Mem.read_byte st.mem (p + i) = c then p + i
+        else go (i + 1)
+      in
+      let r = go 0 in
+      ret_ptr r (if r = 0 then (0, 0) else meta_of 0)
+  | "strstr" ->
+      let hay = argi 0 and needle = argi 1 in
+      let hs = Mem.read_cstring st.mem hay in
+      let ns = Mem.read_cstring st.mem needle in
+      check_read w ~ptr:hay ~meta:(meta_of 0) ~size:(String.length hs + 1);
+      check_read w ~ptr:needle ~meta:(meta_of 1) ~size:(String.length ns + 1);
+      range_access st hay (String.length hs + 1) ~is_store:false;
+      charge st (Cost.bulk_cost (String.length hs));
+      let r =
+        if ns = "" then hay
+        else begin
+          let found = ref 0 in
+          (try
+             for i = 0 to String.length hs - String.length ns do
+               if String.sub hs i (String.length ns) = ns then begin
+                 found := hay + i;
+                 raise Stdlib.Exit
+               end
+             done
+           with Stdlib.Exit -> ());
+          !found
+        end
+      in
+      ret_ptr r (if r = 0 then (0, 0) else meta_of 0)
+  | "strdup" ->
+      let p = argi 0 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      let a, m = do_malloc w (len + 1) in
+      if a <> 0 then begin
+        Mem.blit st.mem ~src:p ~dst:a ~len:(len + 1);
+        charge st (Cost.bulk_cost (len + 1))
+      end;
+      ret_ptr a m
+  (* ---- ctype ---- *)
+  | "toupper" ->
+      let c = argi 0 in
+      [ vi (if c >= 97 && c <= 122 then c - 32 else c) ]
+  | "tolower" ->
+      let c = argi 0 in
+      [ vi (if c >= 65 && c <= 90 then c + 32 else c) ]
+  | "isdigit" -> [ vi (if argi 0 >= 48 && argi 0 <= 57 then 1 else 0) ]
+  | "isalpha" ->
+      let c = argi 0 in
+      [ vi (if (c >= 65 && c <= 90) || (c >= 97 && c <= 122) then 1 else 0) ]
+  | "isspace" ->
+      let c = argi 0 in
+      [ vi (if c = 32 || (c >= 9 && c <= 13) then 1 else 0) ]
+  | "isupper" -> [ vi (if argi 0 >= 65 && argi 0 <= 90 then 1 else 0) ]
+  | "islower" -> [ vi (if argi 0 >= 97 && argi 0 <= 122 then 1 else 0) ]
+  | "strrchr" ->
+      let p = argi 0 and c = argi 1 land 0xff in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      charge st (Cost.bulk_cost len);
+      let r = ref 0 in
+      for i = 0 to len do
+        if Mem.read_byte st.mem (p + i) = c then r := p + i
+      done;
+      ret_ptr !r (if !r = 0 then (0, 0) else meta_of 0)
+  | "memchr" ->
+      let p = argi 0 and c = argi 1 land 0xff and n = argi 2 in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:n;
+      range_access st p n ~is_store:false;
+      charge st (Cost.bulk_cost n);
+      let r = ref 0 in
+      (try
+         for i = 0 to n - 1 do
+           if Mem.read_byte st.mem (p + i) = c then begin
+             r := p + i;
+             raise Stdlib.Exit
+           end
+         done
+       with Stdlib.Exit -> ());
+      ret_ptr !r (if !r = 0 then (0, 0) else meta_of 0)
+  | "strtol" ->
+      let p = argi 0 and endp = argi 1 and base = argi 2 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      let s = Mem.read_cstring st.mem p in
+      (* parse: optional spaces, sign, digits in the given base *)
+      let i = ref 0 in
+      let n = String.length s in
+      while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+      let sign = if !i < n && s.[!i] = '-' then (incr i; -1)
+                 else if !i < n && s.[!i] = '+' then (incr i; 1) else 1 in
+      let base = if base = 0 then 10 else base in
+      let digit c =
+        if c >= '0' && c <= '9' then Char.code c - 48
+        else if c >= 'a' && c <= 'z' then Char.code c - 87
+        else if c >= 'A' && c <= 'Z' then Char.code c - 55
+        else 99
+      in
+      let acc = ref 0 in
+      let start = !i in
+      while !i < n && digit s.[!i] < base do
+        acc := (!acc * base) + digit s.[!i];
+        incr i
+      done;
+      let consumed = if !i > start then !i else 0 in
+      if endp <> 0 then begin
+        let tail = p + (if consumed = 0 then 0 else consumed) in
+        check_write w ~ptr:endp ~meta:(meta_of 1) ~size:8;
+        range_access st endp 8 ~is_store:true;
+        Mem.write_int st.mem endp 8 tail;
+        (* the stored end pointer derives from the input string: its
+           metadata is the string's (a pointer store updates the table) *)
+        if w.checked then
+          meta_store st endp (fst (meta_of 0)) (snd (meta_of 0))
+      end;
+      [ vi (sign * !acc) ]
+  (* ---- conversion ---- *)
+  | "atoi" | "atol" ->
+      let p = argi 0 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let s = Mem.read_cstring st.mem p in
+      let v = try Int64.to_int (Int64.of_string (String.trim s)) with _ -> 0 in
+      [ vi v ]
+  | "atof" ->
+      let p = argi 0 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let s = Mem.read_cstring st.mem p in
+      let v = try float_of_string (String.trim s) with _ -> 0.0 in
+      [ VF v ]
+  (* ---- io ---- *)
+  | "printf" ->
+      let fmt = argi 0 and va_ptr = argi 1 and va_count = argi 2 in
+      let n =
+        format_into w
+          ~put:(fun c -> State.output_char st c)
+          ~fmt ~fmt_meta:(meta_of 0) ~va_ptr ~va_meta:(meta_of 1) ~va_count
+      in
+      [ vi n ]
+  | "sprintf" ->
+      let dst = argi 0 and fmt = argi 1 in
+      let va_ptr = argi 2 and va_count = argi 3 in
+      let pos = ref 0 in
+      let dmeta = meta_of 0 in
+      let n =
+        format_into w
+          ~put:(fun c ->
+            check_write w ~ptr:(dst + !pos) ~meta:dmeta ~size:1;
+            Mem.check_program_access st.mem (dst + !pos) 1;
+            Mem.write_byte st.mem (dst + !pos) (Char.code c);
+            incr pos)
+          ~fmt ~fmt_meta:(meta_of 1) ~va_ptr ~va_meta:(meta_of 2) ~va_count
+      in
+      check_write w ~ptr:(dst + !pos) ~meta:dmeta ~size:1;
+      Mem.check_program_access st.mem (dst + !pos) 1;
+      Mem.write_byte st.mem (dst + !pos) 0;
+      range_access st dst (n + 1) ~is_store:true;
+      [ vi n ]
+  | "snprintf" ->
+      let dst = argi 0 and cap = argi 1 and fmt = argi 2 in
+      let va_ptr = argi 3 and va_count = argi 4 in
+      let pos = ref 0 in
+      let dmeta = meta_of 0 in
+      let n =
+        format_into w
+          ~put:(fun c ->
+            if !pos < cap - 1 then begin
+              check_write w ~ptr:(dst + !pos) ~meta:dmeta ~size:1;
+              Mem.check_program_access st.mem (dst + !pos) 1;
+              Mem.write_byte st.mem (dst + !pos) (Char.code c);
+              incr pos
+            end)
+          ~fmt ~fmt_meta:(meta_of 2) ~va_ptr ~va_meta:(meta_of 3) ~va_count
+      in
+      if cap > 0 then begin
+        check_write w ~ptr:(dst + !pos) ~meta:dmeta ~size:1;
+        Mem.check_program_access st.mem (dst + !pos) 1;
+        Mem.write_byte st.mem (dst + !pos) 0
+      end;
+      [ vi n ]
+  | "puts" ->
+      let p = argi 0 in
+      let len = raw_strlen st p in
+      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      range_access st p (len + 1) ~is_store:false;
+      State.output_string st (Mem.read_cstring st.mem p);
+      State.output_char st '\n';
+      charge st (Cost.bulk_cost len);
+      [ vi (len + 1) ]
+  | "putchar" ->
+      State.output_char st (Char.chr (argi 0 land 0xff));
+      [ vi (argi 0) ]
+  | "getchar" -> [ vi (-1) ]
+  | "sim_recv" -> (
+      let buf = argi 0 and cap = argi 1 in
+      match State.next_input_line st with
+      | None -> [ vi (-1) ]
+      | Some line ->
+          let n = min (String.length line) (max 0 (cap - 1)) in
+          check_write w ~ptr:buf ~meta:(meta_of 0) ~size:(n + 1);
+          range_access st buf (n + 1) ~is_store:true;
+          Mem.write_string st.mem buf (String.sub line 0 n);
+          Mem.write_byte st.mem (buf + n) 0;
+          charge st (Cost.bulk_cost n);
+          [ vi n ])
+  | "sim_send" ->
+      let buf = argi 0 and n = argi 1 in
+      check_read w ~ptr:buf ~meta:(meta_of 0) ~size:n;
+      range_access st buf n ~is_store:false;
+      for i = 0 to n - 1 do
+        State.output_char st (Char.chr (Mem.read_byte st.mem (buf + i)))
+      done;
+      charge st (Cost.bulk_cost n);
+      [ vi n ]
+  (* ---- misc ---- *)
+  | "rand" -> [ vi (State.rand st) ]
+  | "srand" ->
+      State.srand st (argi 0);
+      ret0
+  | "exit" -> raise (Exit_program (argi 0))
+  | "abort" -> raise (Trap (Runtime_error "abort() called"))
+  | "assert" ->
+      if argi 0 = 0 then raise (Trap (Runtime_error "assertion failed"));
+      ret0
+  | "abs" | "labs" -> [ vi (abs (argi 0)) ]
+  (* ---- math (hardware latency, not a library-call cost) ---- *)
+  | "sqrt" -> charge st Cost.math_fn; [ VF (sqrt (argf 0)) ]
+  | "fabs" -> [ VF (Float.abs (argf 0)) ]
+  | "pow" -> charge st (2 * Cost.math_fn); [ VF (Float.pow (argf 0) (argf 1)) ]
+  | "sin" -> charge st (2 * Cost.math_fn); [ VF (sin (argf 0)) ]
+  | "cos" -> charge st (2 * Cost.math_fn); [ VF (cos (argf 0)) ]
+  | "exp" -> charge st (2 * Cost.math_fn); [ VF (exp (argf 0)) ]
+  | "log" -> charge st (2 * Cost.math_fn); [ VF (log (argf 0)) ]
+  | "floor" -> [ VF (Float.floor (argf 0)) ]
+  | "ceil" -> [ VF (Float.ceil (argf 0)) ]
+  | "attack_success" ->
+      raise (Trap (Hijack "attack payload executed"))
+  | "setbound" ->
+      (* plain (untransformed) setbound is a no-op *)
+      ret0
+  | other ->
+      raise (Trap (Runtime_error ("builtin not implemented: " ^ other)))

@@ -1,0 +1,361 @@
+(* Interpreter state: registers, frames in simulated memory, accounting,
+   metadata facilities, and the checker-plugin interface used by the
+   baseline tools (Jones–Kelly, Memcheck-style, Mudflap-style). *)
+
+module Ir = Sbir.Ir
+module L = Machine.Layout
+module Mem = Machine.Memory
+module Cost = Machine.Cost
+
+type value = VI of int | VF of float
+
+let as_int = function VI v -> v | VF f -> int_of_float f
+let as_float = function VF f -> f | VI v -> float_of_int v
+
+(* ------------------------------------------------------------------ *)
+(* Traps and outcomes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type trap =
+  | Bounds_violation of {
+      addr : int;
+      base : int;
+      bound : int;
+      size : int;
+      where : string;
+    }  (** raised by SoftBound's [Check]/wrappers: the enforced abort *)
+  | Object_violation of { tool : string; addr : int; detail : string }
+      (** raised by a baseline checker plugin *)
+  | Hijack of string
+      (** control flow was diverted by corrupted control data — i.e., an
+          attack *succeeded* (Table 3's unprotected runs) *)
+  | Segfault of int
+  | Bad_free of int
+  | Out_of_memory
+  | Step_limit
+  | Runtime_error of string
+
+exception Trap of trap
+
+type outcome = Exit of int | Trapped of trap
+
+let string_of_trap = function
+  | Bounds_violation { addr; base; bound; size; where } ->
+      Printf.sprintf
+        "SoftBound: bounds violation at %s: ptr=0x%x size=%d not within [0x%x, 0x%x)"
+        where addr size base bound
+  | Object_violation { tool; addr; detail } ->
+      Printf.sprintf "%s: invalid access at 0x%x (%s)" tool addr detail
+  | Hijack s -> "CONTROL-FLOW HIJACKED: " ^ s
+  | Segfault a -> Printf.sprintf "segmentation fault at 0x%x" a
+  | Bad_free a -> Printf.sprintf "invalid free of 0x%x" a
+  | Out_of_memory -> "out of memory"
+  | Step_limit -> "step limit exceeded"
+  | Runtime_error s -> "runtime error: " ^ s
+
+let string_of_outcome = function
+  | Exit n -> Printf.sprintf "exit %d" n
+  | Trapped t -> string_of_trap t
+
+(* ------------------------------------------------------------------ *)
+(* Checker plugins (baseline tools)                                     *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_kind = AHeap | AStack | AGlobal
+
+type event =
+  | Ev_alloc of { base : int; size : int; kind : alloc_kind }
+  | Ev_free of { base : int; size : int; kind : alloc_kind }
+  | Ev_access of { addr : int; size : int; is_store : bool }
+  | Ev_ptr_arith of { src : int; dst : int }
+
+(** A baseline checker observes events.  [ck_handle] returns the cycle
+    cost of the tool's bookkeeping for this event (e.g. the splay-tree
+    path length for an object-table tool) plus [Some detail] if the event
+    violates the tool's policy. *)
+type checker = {
+  ck_name : string;
+  ck_handle : event -> int * string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metadata facility (paper section 5.1)                                *)
+(* ------------------------------------------------------------------ *)
+
+type meta_facility = Hash_table | Shadow_space
+
+(** Number of hash-table entries (power of two).  24-byte entries:
+    tag, base, bound. *)
+let ht_entries = 1 lsl 21
+
+let ht_entry_size = 24
+let ht_max_probes = 64
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  fr_func : Ir.func;
+  fr_code : Ir.inst array array;  (** per-block instruction arrays *)
+  fr_regs : value array;
+  mutable fr_block : int;
+  mutable fr_inst : int;
+  fr_fp : int;  (** frame base (old sp); slots below fp-16 *)
+  fr_uid : int;
+  fr_ret_regs : Ir.reg list;  (** caller registers receiving our returns *)
+  fr_expected_token : int;
+  fr_expected_savedfp : int;
+}
+
+let ret_token_magic = 0x5e7_0000_0000
+let jmp_token_magic = 0x6a7_0000_0000
+
+let slot_addr fr (sl : Ir.slot) =
+  fr.fr_fp - 16 - fr.fr_func.Ir.fframe_size + sl.Ir.sl_offset
+
+(* ------------------------------------------------------------------ *)
+(* VM configuration and state                                           *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  max_steps : int;
+  meta : meta_facility option;
+      (** [Some _] when running SoftBound-transformed code *)
+  store_only : bool;
+      (** store-only checking mode: runtime wrappers skip read checks
+          (the transformation independently omits load checks) *)
+  checker : checker option;
+  use_cache : bool;
+  trace : bool;
+  inputs : string list;  (** lines served by [sim_recv] *)
+  argv : string list;
+}
+
+let default_config =
+  {
+    max_steps = 200_000_000;
+    meta = None;
+    store_only = false;
+    checker = None;
+    use_cache = true;
+    trace = false;
+    inputs = [];
+    argv = [];
+  }
+
+type stats = {
+  mutable insts : int;
+  mutable cycles : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable ptr_mem_ops : int;  (** loads/stores of pointer values *)
+  mutable checks : int;
+  mutable meta_loads : int;
+  mutable meta_stores : int;
+  mutable ht_probes : int;
+  mutable calls : int;
+  mutable max_frames : int;
+}
+
+let mk_stats () =
+  {
+    insts = 0;
+    cycles = 0;
+    mem_reads = 0;
+    mem_writes = 0;
+    ptr_mem_ops = 0;
+    checks = 0;
+    meta_loads = 0;
+    meta_stores = 0;
+    ht_probes = 0;
+    calls = 0;
+    max_frames = 0;
+  }
+
+type t = {
+  cfg : config;
+  modul : Ir.modul;
+  mem : Mem.t;
+  heap : Machine.Heap.t;
+  cache : Machine.Cache.t;
+  stats : stats;
+  globals : (string, int * int) Hashtbl.t;  (** name -> (addr, size) *)
+  func_names : string array;  (** index -> name, for code addresses *)
+  func_index : (string, int) Hashtbl.t;
+  builtins : (string, unit) Hashtbl.t;  (** names dispatched as builtins *)
+  mutable sp : int;
+  mutable frames : frame list;
+  mutable next_uid : int;
+  mutable steps : int;
+  out : Buffer.t;
+  mutable inputs : string list;
+  mutable rand_state : int;
+  mutable last_rets : value list;
+      (** return values of the most recently popped frame — consumed by
+          re-entrant builtin-to-interpreted calls (qsort comparators) *)
+  jmp_bufs : (int, frame * int * int * Ir.reg) Hashtbl.t;
+      (** live setjmp sites: uid -> (frame, resume block, resume inst,
+          result register) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accounting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let charge st c = st.stats.cycles <- st.stats.cycles + c
+
+let cache_access st addr =
+  if st.cfg.use_cache then charge st (Machine.Cache.access st.cache addr)
+
+(** A program-level read of [size] bytes at [addr]: validity check,
+    checker event, accounting. *)
+let checker_event st ev =
+  match st.cfg.checker with
+  | Some ck -> (
+      let cost, viol = ck.ck_handle ev in
+      charge st cost;
+      match viol with
+      | Some detail ->
+          let addr =
+            match ev with
+            | Ev_access { addr; _ } -> addr
+            | Ev_alloc { base; _ } | Ev_free { base; _ } -> base
+            | Ev_ptr_arith { dst; _ } -> dst
+          in
+          raise (Trap (Object_violation { tool = ck.ck_name; addr; detail }))
+      | None -> ())
+  | None -> ()
+
+let program_read st addr size : unit =
+  if st.cfg.checker <> None then
+    checker_event st (Ev_access { addr; size; is_store = false });
+  Mem.check_program_access st.mem addr size;
+  st.stats.mem_reads <- st.stats.mem_reads + 1;
+  charge st Cost.load;
+  cache_access st addr
+
+let program_write st addr size : unit =
+  if st.cfg.checker <> None then
+    checker_event st (Ev_access { addr; size; is_store = true });
+  Mem.check_program_access st.mem addr size;
+  st.stats.mem_writes <- st.stats.mem_writes + 1;
+  charge st Cost.store;
+  cache_access st addr
+
+(* ------------------------------------------------------------------ *)
+(* Metadata facility implementation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Hash table: open addressing with linear probing over 24-byte
+   (tag, base, bound) entries.  The tag is the pointer's address + 1 so
+   that 0 means "empty" (simulated memory is zero-initialized). *)
+
+let ht_slot_addr i = L.hashtable_base + (i land (ht_entries - 1)) * ht_entry_size
+
+let ht_index addr = (addr lsr 3) land (ht_entries - 1)
+
+let meta_load st addr : int * int =
+  st.stats.meta_loads <- st.stats.meta_loads + 1;
+  match st.cfg.meta with
+  | None -> (0, 0)
+  | Some Shadow_space ->
+      let sa = L.shadow_addr addr in
+      charge st Cost.shadow_lookup;
+      cache_access st sa;
+      cache_access st (sa + 8);
+      (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
+  | Some Hash_table ->
+      charge st Cost.hash_lookup;
+      let tag = addr + 1 in
+      let rec probe i n =
+        if n > ht_max_probes then (0, 0)
+        else begin
+          let ea = ht_slot_addr i in
+          cache_access st ea;
+          let t = Mem.read_int st.mem ea 8 in
+          if t = tag then begin
+            cache_access st (ea + 8);
+            cache_access st (ea + 16);
+            (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
+          end
+          else if t = 0 then (0, 0)
+          else begin
+            st.stats.ht_probes <- st.stats.ht_probes + 1;
+            charge st Cost.hash_probe;
+            probe (i + 1) (n + 1)
+          end
+        end
+      in
+      probe (ht_index addr) 0
+
+let meta_store st addr base bound : unit =
+  st.stats.meta_stores <- st.stats.meta_stores + 1;
+  match st.cfg.meta with
+  | None -> ()
+  | Some Shadow_space ->
+      let sa = L.shadow_addr addr in
+      charge st Cost.shadow_update;
+      cache_access st sa;
+      cache_access st (sa + 8);
+      Mem.write_int st.mem sa 8 base;
+      Mem.write_int st.mem (sa + 8) 8 bound
+  | Some Hash_table ->
+      charge st Cost.hash_update;
+      let tag = addr + 1 in
+      let rec probe i n =
+        if n > ht_max_probes then
+          raise (Trap (Runtime_error "metadata hash table full"))
+        else begin
+          let ea = ht_slot_addr i in
+          cache_access st ea;
+          let t = Mem.read_int st.mem ea 8 in
+          if t = tag || t = 0 then begin
+            (* clearing an absent entry need not allocate one *)
+            if not (t = 0 && base = 0 && bound = 0) then begin
+              cache_access st (ea + 8);
+              cache_access st (ea + 16);
+              Mem.write_int st.mem ea 8 tag;
+              Mem.write_int st.mem (ea + 8) 8 base;
+              Mem.write_int st.mem (ea + 16) 8 bound
+            end
+          end
+          else begin
+            st.stats.ht_probes <- st.stats.ht_probes + 1;
+            charge st Cost.hash_probe;
+            probe (i + 1) (n + 1)
+          end
+        end
+      in
+      probe (ht_index addr) 0
+
+(* ------------------------------------------------------------------ *)
+(* The SoftBound check (paper section 3.1)                              *)
+(* ------------------------------------------------------------------ *)
+
+let sb_check st ~where ~ptr ~base ~bound ~size =
+  st.stats.checks <- st.stats.checks + 1;
+  charge st Cost.check;
+  if ptr < base || ptr + size > bound then
+    raise (Trap (Bounds_violation { addr = ptr; base; bound; size; where }))
+
+(* ------------------------------------------------------------------ *)
+(* Output / input / random                                              *)
+(* ------------------------------------------------------------------ *)
+
+let output_string st s = Buffer.add_string st.out s
+let output_char st c = Buffer.add_char st.out c
+
+let next_input_line st =
+  match st.inputs with
+  | [] -> None
+  | l :: rest ->
+      st.inputs <- rest;
+      Some l
+
+(** Deterministic LCG so benchmark runs are reproducible. *)
+let rand st =
+  st.rand_state <- ((st.rand_state * 0x27bb2ee687b0b0fd) + 0x14057b7ef767814f) land max_int;
+  (st.rand_state lsr 17) land 0x3fffffff
+
+let srand st seed = st.rand_state <- seed

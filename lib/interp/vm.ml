@@ -1,0 +1,1025 @@
+(* The IR interpreter.
+
+   Frames live in simulated memory with the classic x86 shape — locals
+   below a saved-frame-pointer word and a return token — so stack-smashing
+   attacks genuinely corrupt control data, and hijacks are *observed*
+   (via token/function-pointer validation at control transfers), not
+   assumed.  Costs are charged per executed instruction from the
+   {!Machine.Cost} model plus cache penalties, which is what the benchmark
+   harness reports as simulated cycles. *)
+
+module Ir = Sbir.Ir
+open State
+module Mem = Machine.Memory
+module L = Machine.Layout
+module Cost = Machine.Cost
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type loaded = {
+  st : t;
+  code : (string, Ir.inst array array) Hashtbl.t;
+}
+
+let build_code (f : Ir.func) : Ir.inst array array =
+  Array.map (fun (b : Ir.block) -> Array.of_list b.Ir.insts) f.Ir.fblocks
+
+let create ?(cfg = default_config) (m : Ir.modul) : loaded =
+  let mem = Mem.create () in
+  let heap = Machine.Heap.create mem in
+  let cache = Machine.Cache.create () in
+  let func_names = Array.of_list m.Ir.mfunc_order in
+  let func_index = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace func_index n i) func_names;
+  (* builtins get code addresses too (so &strcmp etc. are callable);
+     append them after the defined functions *)
+  let builtin_names =
+    List.concat_map
+      (fun (n, _) -> [ n; "_sb_" ^ n ])
+      Cminus.Builtins.functions
+    |> List.filter (fun n -> not (Hashtbl.mem func_index n))
+  in
+  let func_names = Array.append func_names (Array.of_list builtin_names) in
+  Array.iteri (fun i n -> Hashtbl.replace func_index n i) func_names;
+  let st =
+    {
+      cfg;
+      modul = m;
+      mem;
+      heap;
+      cache;
+      stats = mk_stats ();
+      globals = Hashtbl.create 64;
+      func_names;
+      func_index;
+      builtins = Hashtbl.create 16;
+      sp = L.stack_top;
+      frames = [];
+      next_uid = 1;
+      steps = 0;
+      out = Buffer.create 4096;
+      inputs = cfg.inputs;
+      rand_state = 42;
+      last_rets = [];
+      jmp_bufs = Hashtbl.create 8;
+    }
+  in
+  (* lay out globals: two passes (addresses first, then initializers,
+     which may reference other globals' addresses) *)
+  List.iter
+    (fun (g : Ir.global) ->
+      let addr = Mem.alloc_global mem ~size:g.Ir.gsize ~align:(max 1 g.Ir.galign) in
+      Hashtbl.replace st.globals g.Ir.gname (addr, g.Ir.gsize))
+    m.Ir.mglobals;
+  List.iter
+    (fun (g : Ir.global) ->
+      let base, _ = Hashtbl.find st.globals g.Ir.gname in
+      List.iter
+        (fun (off, v) ->
+          match v with
+          | Ir.GInt (x, w) -> Mem.write_int mem (base + off) w x
+          | Ir.GF32 f -> Mem.write_f32 mem (base + off) f
+          | Ir.GF64 f -> Mem.write_f64 mem (base + off) f
+          | Ir.GAddr (name, o) ->
+              let a, _ = Hashtbl.find st.globals name in
+              Mem.write_int mem (base + off) 8 (a + o)
+          | Ir.GFuncAddr name -> (
+              match Hashtbl.find_opt st.func_index name with
+              | Some i -> Mem.write_int mem (base + off) 8 (L.func_addr i)
+              | None -> ()))
+        g.Ir.ginit)
+    m.Ir.mglobals;
+  (* checker sees the globals as objects *)
+  List.iter
+    (fun (g : Ir.global) ->
+      let base, size = Hashtbl.find st.globals g.Ir.gname in
+      checker_event st (Ev_alloc { base; size; kind = AGlobal }))
+    m.Ir.mglobals;
+  let code = Hashtbl.create 64 in
+  Ir.iter_funcs m (fun f -> Hashtbl.replace code f.Ir.fname (build_code f));
+  { st; code }
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let global_addr st name =
+  match Hashtbl.find_opt st.globals name with
+  | Some (a, _) -> a
+  | None -> raise (Trap (Runtime_error ("unknown global " ^ name)))
+
+let global_end st name =
+  match Hashtbl.find_opt st.globals name with
+  | Some (a, s) -> a + s
+  | None -> raise (Trap (Runtime_error ("unknown global " ^ name)))
+
+let func_addr_of st name =
+  match Hashtbl.find_opt st.func_index name with
+  | Some i -> L.func_addr i
+  | None -> raise (Trap (Runtime_error ("unknown function " ^ name)))
+
+let eval st fr (o : Ir.operand) : value =
+  match o with
+  | Ir.Reg r -> fr.fr_regs.(r)
+  | Ir.ImmI n -> VI n
+  | Ir.ImmF f -> VF f
+  | Ir.Glob g -> VI (global_addr st g)
+  | Ir.GlobEnd g -> VI (global_end st g)
+  | Ir.Func f -> VI (func_addr_of st f)
+
+let eval_int st fr o = as_int (eval st fr o)
+
+(* ------------------------------------------------------------------ *)
+(* ALU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let exec_bin st (op : Ir.binop) (t : Ir.ity) (a : value) (b : value) : value =
+  if Ir.ity_is_float t then begin
+    let x = as_float a and y = as_float b in
+    match op with
+    | Ir.Add ->
+        charge st Cost.fbasic;
+        VF (x +. y)
+    | Ir.Sub ->
+        charge st Cost.fbasic;
+        VF (x -. y)
+    | Ir.Mul ->
+        charge st Cost.fbasic;
+        VF (x *. y)
+    | Ir.Div ->
+        charge st Cost.fdiv;
+        VF (x /. y)
+    | _ -> raise (Trap (Runtime_error "float bitwise operation"))
+  end
+  else begin
+    let x = as_int a and y = as_int b in
+    let signed = Ir.ity_signed t in
+    let r =
+      match op with
+      | Ir.Add ->
+          charge st Cost.basic;
+          x + y
+      | Ir.Sub ->
+          charge st Cost.basic;
+          x - y
+      | Ir.Mul ->
+          charge st Cost.mul;
+          x * y
+      | Ir.Div ->
+          charge st Cost.div;
+          if y = 0 then raise (Trap (Runtime_error "division by zero"));
+          if signed then x / y
+          else Ir.unsigned_view t x / Ir.unsigned_view t y
+      | Ir.Rem ->
+          charge st Cost.div;
+          if y = 0 then raise (Trap (Runtime_error "modulo by zero"));
+          if signed then x mod y
+          else Ir.unsigned_view t x mod Ir.unsigned_view t y
+      | Ir.And ->
+          charge st Cost.basic;
+          x land y
+      | Ir.Or ->
+          charge st Cost.basic;
+          x lor y
+      | Ir.Xor ->
+          charge st Cost.basic;
+          x lxor y
+      | Ir.Shl ->
+          charge st Cost.basic;
+          x lsl (y land 63)
+      | Ir.Shr ->
+          charge st Cost.basic;
+          if signed then x asr (y land 63)
+          else Ir.unsigned_view t x lsr (y land 63)
+    in
+    VI (Ir.norm_int t r)
+  end
+
+let exec_cmp st (op : Ir.cmpop) (t : Ir.ity) (a : value) (b : value) : value =
+  charge st Cost.basic;
+  let c =
+    if Ir.ity_is_float t then compare (as_float a) (as_float b)
+    else if Ir.ity_signed t then compare (as_int a) (as_int b)
+    else
+      compare (Ir.unsigned_view t (as_int a)) (Ir.unsigned_view t (as_int b))
+  in
+  let r =
+    match op with
+    | Ir.Ceq -> c = 0
+    | Ir.Cne -> c <> 0
+    | Ir.Clt -> c < 0
+    | Ir.Cle -> c <= 0
+    | Ir.Cgt -> c > 0
+    | Ir.Cge -> c >= 0
+  in
+  VI (if r then 1 else 0)
+
+let exec_cast st (to_ : Ir.ity) (from_ : Ir.ity) (v : value) : value =
+  charge st Cost.basic;
+  match (Ir.ity_is_float to_, Ir.ity_is_float from_) with
+  | true, true ->
+      let f = as_float v in
+      if to_ = Ir.F32 then VF (Int32.float_of_bits (Int32.bits_of_float f))
+      else VF f
+  | true, false -> VF (float_of_int (as_int v))
+  | false, true ->
+      let f = as_float v in
+      let i =
+        if Float.is_nan f then 0
+        else if f >= 4.611686018427388e18 then max_int
+        else if f <= -4.611686018427388e18 then min_int
+        else int_of_float f
+      in
+      VI (Ir.norm_int to_ i)
+  | false, false -> VI (Ir.norm_int to_ (as_int v))
+
+(* ------------------------------------------------------------------ *)
+(* Memory access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let do_load st (t : Ir.ity) addr : value =
+  let size = Ir.ity_size t in
+  program_read st addr size;
+  if t = Ir.P then st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1;
+  match t with
+  | Ir.F64 -> VF (Mem.read_f64 st.mem addr)
+  | Ir.F32 -> VF (Mem.read_f32 st.mem addr)
+  | Ir.P -> VI (Mem.read_int st.mem addr 8)
+  | t ->
+      let raw = Mem.read_int st.mem addr (Ir.ity_size t) in
+      VI
+        (if Ir.ity_signed t then Mem.sign_extend raw (Ir.ity_size t) else raw)
+
+let do_store st (t : Ir.ity) addr (v : value) : unit =
+  let size = Ir.ity_size t in
+  program_write st addr size;
+  if t = Ir.P then st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1;
+  match t with
+  | Ir.F64 -> Mem.write_f64 st.mem addr (as_float v)
+  | Ir.F32 -> Mem.write_f32 st.mem addr (as_float v)
+  | t -> Mem.write_int st.mem addr (Ir.ity_size t) (as_int v)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Program_exit of int
+
+let push_frame ld (f : Ir.func) (args : value list) (ret_regs : Ir.reg list) =
+  let st = ld.st in
+  st.stats.calls <- st.stats.calls + 1;
+  charge st Cost.call;
+  if List.length st.frames > 100_000 then
+    raise (Trap (Runtime_error "call stack overflow"));
+  let fp = st.sp in
+  let total = 16 + f.Ir.fframe_size in
+  let new_sp = fp - total in
+  (try Mem.set_stack_low st.mem new_sp
+   with Mem.Segfault a -> raise (Trap (Segfault a)));
+  let uid = st.next_uid in
+  st.next_uid <- uid + 1;
+  let token = ret_token_magic + uid in
+  let saved_fp =
+    match st.frames with [] -> L.stack_top | fr :: _ -> fr.fr_fp
+  in
+  (* the return token and saved frame pointer live in simulated memory,
+     where an overflowing local buffer can reach them *)
+  Mem.write_int st.mem (fp - 8) 8 token;
+  Mem.write_int st.mem (fp - 16) 8 saved_fp;
+  (* control-data traffic is charged (cache + ret/call cost) but not
+     counted as program loads/stores: Figure 1's metric counts only the
+     program's own memory operations *)
+  cache_access st (fp - 8);
+  cache_access st (fp - 16);
+  let regs = Array.make (max 1 f.Ir.fnregs) (VI 0) in
+  let nparams = List.length f.Ir.fparams in
+  if List.length args <> nparams then
+    raise
+      (Trap
+         (Runtime_error
+            (Printf.sprintf "%s: called with %d args, expects %d" f.Ir.fname
+               (List.length args) nparams)));
+  List.iteri (fun i (r, _) -> regs.(r) <- List.nth args i) f.Ir.fparams;
+  let fr =
+    {
+      fr_func = f;
+      fr_code = Hashtbl.find ld.code f.Ir.fname;
+      fr_regs = regs;
+      fr_block = 0;
+      fr_inst = 0;
+      fr_fp = fp;
+      fr_uid = uid;
+      fr_ret_regs = ret_regs;
+      fr_expected_token = token;
+      fr_expected_savedfp = saved_fp;
+    }
+  in
+  st.sp <- new_sp;
+  st.frames <- fr :: st.frames;
+  st.stats.max_frames <- max st.stats.max_frames (List.length st.frames);
+  (* baseline checkers track each slot as an object *)
+  if st.cfg.checker <> None then
+    Array.iter
+      (fun sl ->
+        checker_event st
+          (Ev_alloc { base = slot_addr fr sl; size = sl.Ir.sl_size; kind = AStack }))
+      f.Ir.fslots
+
+let describe_code_value st v =
+  if L.is_function_addr v then begin
+    let idx = L.func_index v in
+    if idx >= 0 && idx < Array.length st.func_names then
+      Some st.func_names.(idx)
+    else None
+  end
+  else None
+
+let pop_frame ld (rets : value list) : unit =
+  let st = ld.st in
+  charge st Cost.ret;
+  match st.frames with
+  | [] -> raise (Trap (Runtime_error "return with no frame"))
+  | fr :: rest ->
+      (* control-data integrity: read the return token and saved frame
+         pointer back from simulated memory *)
+      let token = Mem.read_int st.mem (fr.fr_fp - 8) 8 in
+      let savedfp = Mem.read_int st.mem (fr.fr_fp - 16) 8 in
+      cache_access st (fr.fr_fp - 8);
+      cache_access st (fr.fr_fp - 16);
+      if token <> fr.fr_expected_token then begin
+        match describe_code_value st token with
+        | Some f ->
+            raise
+              (Trap
+                 (Hijack
+                    (Printf.sprintf
+                       "return address overwritten; control transfers to %s"
+                       f)))
+        | None ->
+            raise
+              (Trap
+                 (Hijack
+                    (Printf.sprintf "return address corrupted (0x%x)" token)))
+      end;
+      if savedfp <> fr.fr_expected_savedfp then
+        raise
+          (Trap
+             (Hijack
+                (Printf.sprintf "saved frame pointer corrupted (0x%x)" savedfp)));
+      if st.cfg.checker <> None then
+        Array.iter
+          (fun sl ->
+            checker_event st
+              (Ev_free
+                 { base = slot_addr fr sl; size = sl.Ir.sl_size; kind = AStack }))
+          fr.fr_func.Ir.fslots;
+      (* drop this frame's setjmp contexts *)
+      Hashtbl.iter
+        (fun uid (f, _, _, _) ->
+          if f.fr_uid = fr.fr_uid then Hashtbl.remove st.jmp_bufs uid)
+        (Hashtbl.copy st.jmp_bufs);
+      st.sp <- fr.fr_fp;
+      st.frames <- rest;
+      st.last_rets <- rets;
+      (match rest with
+      | [] ->
+          let code = match rets with VI v :: _ -> v | _ -> 0 in
+          raise (Program_exit code)
+      | caller :: _ ->
+          List.iteri
+            (fun i r ->
+              if i < List.length rets then caller.fr_regs.(r) <- List.nth rets i)
+            fr.fr_ret_regs)
+
+(* ------------------------------------------------------------------ *)
+(* setjmp / longjmp                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let exec_setjmp ld ~checked (args : value list) (ret_regs : Ir.reg list) =
+  let st = ld.st in
+  let fr = List.hd st.frames in
+  let buf, meta =
+    match args with
+    | VI b :: rest -> (b, rest)
+    | _ -> raise (Trap (Runtime_error "setjmp: bad arguments"))
+  in
+  (if checked then
+     match meta with
+     | [ VI b; VI e ] ->
+         sb_check st ~where:"setjmp" ~ptr:buf ~base:b ~bound:e ~size:64
+     | _ -> raise (Trap (Runtime_error "setjmp: missing metadata")));
+  let uid = st.next_uid in
+  st.next_uid <- uid + 1;
+  let ret_reg =
+    match ret_regs with r :: _ -> r | [] -> -1
+  in
+  (* resume point: the PC was pre-incremented, so it already denotes the
+     instruction after this setjmp call *)
+  Hashtbl.replace st.jmp_bufs uid (fr, fr.fr_block, fr.fr_inst, ret_reg);
+  let token = jmp_token_magic + uid in
+  let pc = func_addr_of st fr.fr_func.Ir.fname in
+  program_write st buf 8;
+  Mem.write_int st.mem buf 8 token;
+  program_write st (buf + 8) 8;
+  Mem.write_int st.mem (buf + 8) 8 pc;
+  program_write st (buf + 16) 8;
+  Mem.write_int st.mem (buf + 16) 8 fr.fr_fp;
+  if ret_reg >= 0 then fr.fr_regs.(ret_reg) <- VI 0
+
+let exec_longjmp ld ~checked (args : value list) =
+  let st = ld.st in
+  let buf, v, meta =
+    match args with
+    | VI b :: v :: rest -> (b, as_int v, rest)
+    | _ -> raise (Trap (Runtime_error "longjmp: bad arguments"))
+  in
+  (if checked then
+     match meta with
+     | [ VI b; VI e ] ->
+         sb_check st ~where:"longjmp" ~ptr:buf ~base:b ~bound:e ~size:64
+     | _ -> raise (Trap (Runtime_error "longjmp: missing metadata")));
+  program_read st buf 8;
+  let token = Mem.read_int st.mem buf 8 in
+  program_read st (buf + 8) 8;
+  let pc = Mem.read_int st.mem (buf + 8) 8 in
+  let hijack_diagnosis () =
+    match (describe_code_value st pc, describe_code_value st token) with
+    | Some f, _ | _, Some f ->
+        raise
+          (Trap
+             (Hijack
+                (Printf.sprintf
+                   "longjmp buffer overwritten; control transfers to %s" f)))
+    | None, None ->
+        raise
+          (Trap (Hijack (Printf.sprintf "longjmp buffer corrupted (0x%x)" token)))
+  in
+  let uid = token - jmp_token_magic in
+  match Hashtbl.find_opt st.jmp_bufs uid with
+  | None -> hijack_diagnosis ()
+  | Some (target, blk, inst, ret_reg) ->
+      (* the stored pc must still denote the frame's own function *)
+      if pc <> func_addr_of st target.fr_func.Ir.fname then hijack_diagnosis ();
+      (* the target frame must still be live *)
+      if not (List.exists (fun f -> f.fr_uid = target.fr_uid) st.frames) then
+        hijack_diagnosis ();
+      (* unwind *)
+      let rec unwind () =
+        match st.frames with
+        | fr :: rest when fr.fr_uid <> target.fr_uid ->
+            if st.cfg.checker <> None then
+              Array.iter
+                (fun sl ->
+                  checker_event st
+                    (Ev_free
+                       {
+                         base = slot_addr fr sl;
+                         size = sl.Ir.sl_size;
+                         kind = AStack;
+                       }))
+                fr.fr_func.Ir.fslots;
+            st.frames <- rest;
+            unwind ()
+        | _ -> ()
+      in
+      unwind ();
+      st.sp <- target.fr_fp - 16 - target.fr_func.Ir.fframe_size;
+      target.fr_block <- blk;
+      target.fr_inst <- inst;
+      if ret_reg >= 0 then
+        target.fr_regs.(ret_reg) <- VI (if v = 0 then 1 else v)
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* forward reference, tied after the step loop is defined: builtins like
+   qsort call back into interpreted code *)
+let call_function_fwd :
+    (loaded -> Ir.func -> value list -> value list) ref =
+  ref (fun _ _ _ -> failwith "call_function not initialized")
+
+(** qsort/bsearch: the comparator is a function pointer into interpreted
+    code, invoked re-entrantly for every comparison.  Under SoftBound the
+    wrapper checks the array extent and the function pointer, and hands
+    the comparator per-element bounds. *)
+let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
+    (rets : Ir.reg list) : unit =
+  let st = ld.st in
+  charge st Cost.libc_call;
+  let ai i = as_int (List.nth argvals i) in
+  let key, base, n, size, cmp, key_meta, base_meta, cmp_meta =
+    if is_bsearch then
+      ( ai 0, ai 1, ai 2, ai 3, ai 4,
+        (if checked then (ai 5, ai 6) else (0, 0)),
+        (if checked then (ai 7, ai 8) else (0, 0)),
+        if checked then (ai 9, ai 10) else (0, 0) )
+    else
+      ( 0, ai 0, ai 1, ai 2, ai 3, (0, 0),
+        (if checked then (ai 4, ai 5) else (0, 0)),
+        if checked then (ai 6, ai 7) else (0, 0) )
+  in
+  if size < 0 || n < 0 then
+    raise (Trap (Runtime_error "qsort/bsearch: bad element size or count"));
+  if checked then begin
+    (* whole-extent check, like the memcpy wrapper (section 5.2) *)
+    if n > 0 && size > 0 then
+      sb_check st
+        ~where:(if is_bsearch then "_sb_bsearch" else "_sb_qsort")
+        ~ptr:base ~base:(fst base_meta) ~bound:(snd base_meta)
+        ~size:(n * size);
+    if is_bsearch then
+      sb_check st ~where:"_sb_bsearch" ~ptr:key ~base:(fst key_meta)
+        ~bound:(snd key_meta) ~size;
+    (* function-pointer encoding check *)
+    if not (fst cmp_meta = cmp && snd cmp_meta = cmp && L.is_function_addr cmp)
+    then
+      raise
+        (Trap
+           (Bounds_violation
+              { addr = cmp; base = fst cmp_meta; bound = snd cmp_meta;
+                size = 0; where = "qsort/bsearch (function pointer check)" }))
+  end;
+  let cmp_name =
+    match describe_code_value st cmp with
+    | Some name -> name
+    | None ->
+        raise
+          (Trap
+             (Runtime_error "qsort/bsearch: comparator is not a function"))
+  in
+  (* resolve the comparator once; _sb_-convention targets (transformed
+     module functions and wrapper builtins alike) receive per-element
+     bounds after the two element pointers *)
+  let cmp_func = Ir.find_func st.modul cmp_name in
+  let wants_meta =
+    match cmp_func with
+    | Some f -> List.length f.Ir.fparams = 6
+    | None -> String.length cmp_name > 4 && String.sub cmp_name 0 4 = "_sb_"
+  in
+  let qsort_depth = List.length st.frames in
+  (* snapshot the caller's identity and program point: a longjmp out of
+     the comparator either pops frames below us or redirects the caller *)
+  let caller_snapshot () =
+    match st.frames with
+    | fr :: _ -> (fr.fr_uid, fr.fr_block, fr.fr_inst)
+    | [] -> (-1, -1, -1)
+  in
+  let snap0 = caller_snapshot () in
+  let invoke a b =
+    let args =
+      if wants_meta then
+        [ VI a; VI b; VI a; VI (a + size); VI b; VI (b + size) ]
+      else [ VI a; VI b ]
+    in
+    let out =
+      match cmp_func with
+      | Some f -> !call_function_fwd ld f args
+      | None -> Builtins.dispatch st ~name:cmp_name ~args
+    in
+    (* a longjmp out of the comparator would leave this sort running
+       against an unwound (or redirected) stack; C calls that undefined,
+       the VM makes it a clean trap *)
+    if List.length st.frames < qsort_depth || caller_snapshot () <> snap0
+    then
+      raise
+        (Trap (Runtime_error "longjmp out of a qsort/bsearch comparator"));
+    match out with VI r :: _ -> r | _ -> 0
+  in
+  let elem i = base + (i * size) in
+  if n = 0 || size = 0 then begin
+    (* degenerate calls are no-ops (bsearch finds nothing) *)
+    if is_bsearch then begin
+      let out = if checked then [ VI 0; VI 0; VI 0 ] else [ VI 0 ] in
+      let fr = List.hd st.frames in
+      List.iteri
+        (fun i r ->
+          if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
+        rets
+    end
+  end
+  else if is_bsearch then begin
+    let lo = ref 0 and hi = ref (n - 1) and found = ref 0 in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = invoke key (elem mid) in
+      if c = 0 then begin
+        found := elem mid;
+        lo := !hi + 1
+      end
+      else if c < 0 then hi := mid - 1
+      else lo := mid + 1
+    done;
+    let out =
+      if checked then
+        [ VI !found;
+          VI (if !found = 0 then 0 else fst base_meta);
+          VI (if !found = 0 then 0 else snd base_meta) ]
+      else [ VI !found ]
+    in
+    let fr = List.hd st.frames in
+    List.iteri
+      (fun i r -> if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
+      rets
+  end
+  else begin
+    (* in-place quicksort over simulated memory; element swaps are real
+       byte traffic *)
+    let tmp = Bytes.create size in
+    let swap i j =
+      if i <> j then begin
+        Builtins.range_access st (elem i) size ~is_store:true;
+        Builtins.range_access st (elem j) size ~is_store:true;
+        for k = 0 to size - 1 do
+          Bytes.set tmp k (Char.chr (Mem.read_byte st.mem (elem i + k)))
+        done;
+        Mem.blit st.mem ~src:(elem j) ~dst:(elem i) ~len:size;
+        for k = 0 to size - 1 do
+          Mem.write_byte st.mem (elem j + k) (Char.code (Bytes.get tmp k))
+        done;
+        (* moving the bytes must move the metadata too, or sorting an
+           array of pointers leaves stale bounds behind (the memcpy
+           wrapper has the same obligation, section 5.2) *)
+        if checked then
+          for k = 0 to (size / 8) - 1 do
+            let a = elem i + (8 * k) and b = elem j + (8 * k) in
+            let ab, ae = meta_load st a in
+            let bb, be = meta_load st b in
+            meta_store st a bb be;
+            meta_store st b ab ae
+          done;
+        charge st (Cost.bulk_cost (3 * size))
+      end
+    in
+    let rec sort lo hi =
+      if lo < hi then begin
+        (* middle pivot, moved to the end *)
+        swap ((lo + hi) / 2) hi;
+        let p = ref lo in
+        for i = lo to hi - 1 do
+          if invoke (elem i) (elem hi) < 0 then begin
+            swap i !p;
+            incr p
+          end
+        done;
+        swap !p hi;
+        sort lo (!p - 1);
+        sort (!p + 1) hi
+      end
+    in
+    sort 0 (n - 1)
+  end
+
+let rec exec_call ld (fr : frame) ~rets ~callee ~args : unit =
+  let st = ld.st in
+  let argvals = List.map (eval st fr) args in
+  match callee with
+  | Ir.Func name -> dispatch_call ld ~name ~argvals ~rets
+  | op -> (
+      let v = eval_int st fr op in
+      match describe_code_value st v with
+      | Some name -> dispatch_call ld ~name ~argvals ~rets
+      | None ->
+          raise
+            (Trap
+               (Runtime_error
+                  (Printf.sprintf "indirect call to non-function address 0x%x"
+                     v))))
+
+and dispatch_call ld ~name ~argvals ~rets : unit =
+  let st = ld.st in
+  match Ir.find_func st.modul name with
+  | Some f ->
+      (* the caller's saved position already points past the call *)
+      push_frame ld f argvals rets
+  | None -> (
+      let checked =
+        String.length name > 4 && String.sub name 0 4 = "_sb_"
+      in
+      let base = if checked then String.sub name 4 (String.length name - 4)
+                 else name in
+      match base with
+      | "setjmp" -> exec_setjmp ld ~checked argvals rets
+      | "longjmp" -> exec_longjmp ld ~checked argvals
+      | "qsort" -> exec_sortsearch ld ~checked ~is_bsearch:false argvals rets
+      | "bsearch" -> exec_sortsearch ld ~checked ~is_bsearch:true argvals rets
+      | _ ->
+          if Builtins.is_builtin_name name then begin
+            let out =
+              try Builtins.dispatch st ~name ~args:argvals
+              with Builtins.Exit_program n -> raise (Program_exit n)
+            in
+            let fr = List.hd st.frames in
+            List.iteri
+              (fun i r ->
+                if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
+              rets
+          end
+          else
+            raise (Trap (Runtime_error ("call to undefined function " ^ name))))
+
+(* ------------------------------------------------------------------ *)
+(* The step loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Signature hash of a callable, for the dynamic function-pointer
+    signature check.  Module functions hash their (transformed) parameter
+    and return kinds; builtin wrappers hash the extended wrapper
+    signature derived from the C prototype. *)
+let callee_sig_hash st (name : string) : int option =
+  match Ir.find_func st.modul name with
+  | Some f ->
+      Some
+        (Ir.sig_hash
+           {
+             Ir.cargs = List.map snd f.Ir.fparams;
+             crets = f.Ir.frets;
+             cvariadic = f.Ir.fvariadic;
+           })
+  | None ->
+      let checked = String.length name > 4 && String.sub name 0 4 = "_sb_" in
+      let base =
+        if checked then String.sub name 4 (String.length name - 4) else name
+      in
+      let base =
+        match base with
+        | "free_withmeta" -> "free"
+        | "memcpy_nometa" -> "memcpy"
+        | "memmove_nometa" -> "memmove"
+        | b -> b
+      in
+      (match List.assoc_opt base Cminus.Builtins.functions with
+      | None -> None
+      | Some sg ->
+          let dummy = Cminus.Ctypes.create_env () in
+          let ity_of t =
+            match Cminus.Ctypes.resolve dummy t with
+            | Cminus.Ctypes.Tptr _ | Cminus.Ctypes.Tarray _
+            | Cminus.Ctypes.Tfunc _ ->
+                Ir.P
+            | Cminus.Ctypes.Tfloat Cminus.Ctypes.FFloat -> Ir.F32
+            | Cminus.Ctypes.Tfloat Cminus.Ctypes.FDouble -> Ir.F64
+            | _ -> Ir.I64
+          in
+          let cargs = List.map ity_of sg.Cminus.Ctypes.params in
+          let cargs =
+            if sg.Cminus.Ctypes.variadic then cargs @ [ Ir.P; Ir.I64 ]
+            else cargs
+          in
+          let cargs =
+            if checked then
+              cargs
+              @ List.concat_map
+                  (fun t -> if t = Ir.P then [ Ir.P; Ir.P ] else [])
+                  cargs
+            else cargs
+          in
+          let crets =
+            match Cminus.Ctypes.resolve dummy sg.Cminus.Ctypes.ret with
+            | Cminus.Ctypes.Tvoid -> []
+            | t -> (
+                match ity_of t with
+                | Ir.P when checked -> [ Ir.P; Ir.P; Ir.P ]
+                | t -> [ t ])
+          in
+          Some
+            (Ir.sig_hash
+               { Ir.cargs; crets; cvariadic = sg.Cminus.Ctypes.variadic }))
+
+let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
+  let st = ld.st in
+  match inst with
+  | Ir.Mov (r, _, o) ->
+      charge st Cost.basic;
+      fr.fr_regs.(r) <- eval st fr o
+  | Ir.Bin (r, op, t, a, b) ->
+      fr.fr_regs.(r) <- exec_bin st op t (eval st fr a) (eval st fr b)
+  | Ir.Cmp (r, op, t, a, b) ->
+      fr.fr_regs.(r) <- exec_cmp st op t (eval st fr a) (eval st fr b)
+  | Ir.Cast (r, to_, from_, o) ->
+      fr.fr_regs.(r) <- exec_cast st to_ from_ (eval st fr o)
+  | Ir.Load (r, t, a) -> fr.fr_regs.(r) <- do_load st t (eval_int st fr a)
+  | Ir.Store (t, a, v) -> do_store st t (eval_int st fr a) (eval st fr v)
+  | Ir.Gep (r, base, off, _) ->
+      charge st Cost.basic;
+      let b = eval_int st fr base in
+      let d = b + eval_int st fr off in
+      checker_event st (Ev_ptr_arith { src = b; dst = d });
+      fr.fr_regs.(r) <- VI d
+  | Ir.Slotaddr (r, s) ->
+      charge st Cost.alloca;
+      fr.fr_regs.(r) <- VI (slot_addr fr fr.fr_func.Ir.fslots.(s))
+  | Ir.Call { rets; callee; args; _ } ->
+      (* the step loop advances the PC before executing, so the caller's
+         stored position already points past this call *)
+      exec_call ld fr ~rets ~callee ~args
+  | Ir.SetBoundMark _ -> ()
+  | Ir.Check (p, b, e, size) ->
+      sb_check st ~where:fr.fr_func.Ir.fname ~ptr:(eval_int st fr p)
+        ~base:(eval_int st fr b) ~bound:(eval_int st fr e) ~size
+  | Ir.CheckFptr (p, b, e, expected_sig) ->
+      st.stats.checks <- st.stats.checks + 1;
+      charge st Cost.check;
+      let pv = eval_int st fr p in
+      let bv = eval_int st fr b in
+      let ev = eval_int st fr e in
+      if not (pv = bv && pv = ev && L.is_function_addr pv) then
+        raise
+          (Trap
+             (Bounds_violation
+                {
+                  addr = pv;
+                  base = bv;
+                  bound = ev;
+                  size = 0;
+                  where = fr.fr_func.Ir.fname ^ " (function pointer check)";
+                }));
+      (match expected_sig with
+      | None -> ()
+      | Some h -> (
+          charge st Cost.check;
+          match describe_code_value st pv with
+          | Some name -> (
+              match callee_sig_hash st name with
+              | Some h' when h' <> h ->
+                  raise
+                    (Trap
+                       (Bounds_violation
+                          {
+                            addr = pv;
+                            base = bv;
+                            bound = ev;
+                            size = 0;
+                            where =
+                              fr.fr_func.Ir.fname
+                              ^ " (function pointer signature mismatch: "
+                              ^ name ^ ")";
+                          }))
+              | _ -> ())
+          | None -> ()))
+  | Ir.MetaLoad (rb, re, a) ->
+      let b, e = meta_load st (eval_int st fr a) in
+      fr.fr_regs.(rb) <- VI b;
+      fr.fr_regs.(re) <- VI e
+  | Ir.MetaStore (a, b, e) ->
+      meta_store st (eval_int st fr a) (eval_int st fr b) (eval_int st fr e)
+
+let exec_term ld (fr : frame) (term : Ir.terminator) : unit =
+  let st = ld.st in
+  match term with
+  | Ir.TRet ops ->
+      let vals = List.map (eval st fr) ops in
+      pop_frame ld vals
+  | Ir.TJmp t ->
+      charge st Cost.basic;
+      fr.fr_block <- t;
+      fr.fr_inst <- 0
+  | Ir.TBr (c, t1, t2) ->
+      charge st Cost.basic;
+      fr.fr_block <- (if eval_int st fr c <> 0 then t1 else t2);
+      fr.fr_inst <- 0
+  | Ir.TSwitch (v, cases, default) ->
+      charge st (Cost.basic * 2);
+      let x = eval_int st fr v in
+      let target =
+        match List.assoc_opt x cases with Some t -> t | None -> default
+      in
+      fr.fr_block <- target;
+      fr.fr_inst <- 0
+  | Ir.TUnreachable ->
+      raise (Trap (Runtime_error "unreachable executed (missing return?)"))
+
+(** Execute one instruction (or terminator) of the top frame; [false]
+    when no frames remain. *)
+let step_once ld : bool =
+  let st = ld.st in
+  match st.frames with
+  | [] -> false
+  | fr :: _ ->
+      st.steps <- st.steps + 1;
+      if st.steps > st.cfg.max_steps then raise (Trap Step_limit);
+      st.stats.insts <- st.stats.insts + 1;
+      let insts = fr.fr_code.(fr.fr_block) in
+      if fr.fr_inst < Array.length insts then begin
+        (* pre-increment the PC, like real hardware: calls and longjmp
+           then resume at the right place with no special-casing *)
+        let i = insts.(fr.fr_inst) in
+        fr.fr_inst <- fr.fr_inst + 1;
+        exec_inst ld fr i
+      end
+      else exec_term ld fr fr.fr_func.Ir.fblocks.(fr.fr_block).Ir.term;
+      true
+
+let run_until_done ld : int =
+  try
+    while step_once ld do
+      ()
+    done;
+    0
+  with Program_exit n -> n
+
+(** Re-entrant call from inside a builtin (e.g. a qsort comparator):
+    push a frame for [f] and run until it returns, yielding its return
+    values.  Traps and [Program_exit] propagate. *)
+let call_function ld (f : Ir.func) (args : value list) : value list =
+  let st = ld.st in
+  let depth = List.length st.frames in
+  push_frame ld f args [];
+  while List.length st.frames > depth && step_once ld do
+    ()
+  done;
+  st.last_rets
+
+let () = call_function_fwd := call_function
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Set up argv strings in the heap; returns (argc, argv, argv_bounds). *)
+let setup_argv ld (argv : string list) : int * int * (int * int) =
+  let st = ld.st in
+  let n = List.length argv in
+  let arr =
+    match Machine.Heap.malloc st.heap (8 * max 1 n) with
+    | Some a -> a
+    | None -> raise (Trap Out_of_memory)
+  in
+  checker_event st (Ev_alloc { base = arr; size = 8 * max 1 n; kind = AHeap });
+  List.iteri
+    (fun i s ->
+      let p =
+        match Machine.Heap.malloc st.heap (String.length s + 1) with
+        | Some p -> p
+        | None -> raise (Trap Out_of_memory)
+      in
+      checker_event st
+        (Ev_alloc { base = p; size = String.length s + 1; kind = AHeap });
+      Mem.write_cstring st.mem p s;
+      Mem.write_int st.mem (arr + (8 * i)) 8 p;
+      (* transformed programs find argv[i] metadata in the table *)
+      if st.cfg.meta <> None then
+        meta_store st (arr + (8 * i)) p (p + String.length s + 1))
+    argv;
+  (n, arr, (arr, arr + (8 * n)))
+
+type result = {
+  outcome : outcome;
+  stdout_text : string;
+  stats : stats;
+  cache_hits : int;
+  cache_misses : int;
+  resident_bytes : int;
+  heap_peak : int;
+}
+
+let finish ld outcome : result =
+  let st = ld.st in
+  {
+    outcome;
+    stdout_text = Buffer.contents st.out;
+    stats = st.stats;
+    cache_hits = Machine.Cache.hits st.cache;
+    cache_misses = Machine.Cache.misses st.cache;
+    resident_bytes = Mem.resident_bytes st.mem;
+    heap_peak = Machine.Heap.peak_bytes st.heap;
+  }
+
+(** Load and run a module to completion. *)
+let run ?(cfg = default_config) (m : Ir.modul) : result =
+  let ld = create ~cfg m in
+  try
+    (* transformed modules carry a synthetic global-metadata initializer *)
+    (match Ir.find_func m "__sb_global_init" with
+    | Some f ->
+        push_frame ld f [] [];
+        ignore (run_until_done ld)
+    | None -> ());
+    let main_name =
+      if Ir.find_func m "_sb_main" <> None then "_sb_main"
+      else if Ir.find_func m "main" <> None then "main"
+      else raise (Trap (Runtime_error "no main function"))
+    in
+    let main = Option.get (Ir.find_func m main_name) in
+    let nparams = List.length main.Ir.fparams in
+    let args =
+      if nparams = 0 then []
+      else begin
+        let argc, argv, (ab, ae) =
+          setup_argv ld ("prog" :: cfg.argv)
+        in
+        if nparams >= 4 then
+          (* transformed main: (argc, argv, argv_base, argv_bound) *)
+          [ VI argc; VI argv; VI ab; VI ae ]
+        else [ VI argc; VI argv ]
+      end
+    in
+    push_frame ld main args [];
+    let code = run_until_done ld in
+    finish ld (Exit code)
+  with
+  | Trap t -> finish ld (Trapped t)
+  | Mem.Segfault a -> finish ld (Trapped (Segfault a))
+  | Program_exit n -> finish ld (Exit n)

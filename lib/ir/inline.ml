@@ -1,0 +1,186 @@
+(* A simple function inliner.
+
+   The paper applies SoftBound *after* LLVM's full optimization pipeline
+   (section 6.1), so small hot callees are already inlined and their
+   pointer arguments never cross a call boundary (no metadata arguments,
+   no argument-metadata materialization).  This pass reproduces that
+   instrumentation point: it inlines small, non-recursive, slot-free
+   functions whose address is never taken, before the SoftBound pass
+   runs.
+
+   Correctness notes:
+   - callee virtual registers are renumbered by a fresh offset per site;
+   - callee blocks are appended to the caller, with branch targets
+     shifted; the call's block is split, its tail becoming a
+     continuation block;
+   - each [TRet] becomes moves into the call's result registers plus a
+     jump to the continuation. *)
+
+open Ir
+
+let max_callee_insts = 28
+let max_callee_blocks = 4
+let max_caller_growth = 400 (* instructions added per caller, at most *)
+
+let func_insts (f : func) =
+  Array.fold_left (fun a b -> a + List.length b.insts) 0 f.fblocks
+
+(** Functions whose address is taken as a value (callable indirectly):
+    their bodies must stay. *)
+let address_taken (m : modul) : (string, unit) Hashtbl.t =
+  let taken = Hashtbl.create 16 in
+  let op = function Func f -> Hashtbl.replace taken f () | _ -> () in
+  iter_funcs m (fun f ->
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              match inst with
+              | Call { callee; args; _ } ->
+                  (* the callee of a direct call is not a value use *)
+                  (match callee with Func _ -> () | o -> op o);
+                  List.iter op args
+              | i -> ignore (map_inst_operands (fun o -> op o; o) i))
+            b.insts;
+          ignore (map_term_operands (fun o -> op o; o) b.term))
+        f.fblocks);
+  taken
+
+let calls_self (f : func) =
+  Array.exists
+    (fun b ->
+      List.exists
+        (function
+          | Call { callee = Func g; _ } -> g = f.fname
+          | _ -> false)
+        b.insts)
+    f.fblocks
+
+let inlinable (taken : (string, unit) Hashtbl.t) (f : func) =
+  (not f.fvariadic)
+  && Array.length f.fslots = 0
+  && Array.length f.fblocks <= max_callee_blocks
+  && func_insts f <= max_callee_insts
+  && (not (Hashtbl.mem taken f.fname))
+  && (not (calls_self f))
+  && f.fname <> "main"
+
+(** Inline exactly one eligible call site; [None] if there is none. *)
+let inline_one (m : modul) (taken : (string, unit) Hashtbl.t) (caller : func)
+    : func option =
+  let site = ref None in
+  Array.iteri
+    (fun bi b ->
+      if !site = None then
+        List.iteri
+          (fun ii inst ->
+            if !site = None then
+              match inst with
+              | Call { callee = Func g; args; rets; _ }
+                when g <> caller.fname -> (
+                  match find_func m g with
+                  | Some callee
+                    when inlinable taken callee
+                         && List.length args = List.length callee.fparams ->
+                      site := Some (bi, ii, callee, args, rets)
+                  | _ -> ())
+              | _ -> ())
+          b.insts)
+    caller.fblocks;
+  match !site with
+  | None -> None
+  | Some (bi, ii, callee, args, rets) ->
+      let nb = Array.length caller.fblocks in
+      let callee_base = nb in
+      let cont_id = nb + Array.length callee.fblocks in
+      let off = caller.fnregs in
+      let rn r = r + off in
+      let rn_op = function Reg r -> Reg (rn r) | o -> o in
+      let rn_inst i =
+        let i = map_inst_operands rn_op i in
+        match i with
+        | Mov (r, t, o) -> Mov (rn r, t, o)
+        | Bin (r, op, t, a, b) -> Bin (rn r, op, t, a, b)
+        | Cmp (r, op, t, a, b) -> Cmp (rn r, op, t, a, b)
+        | Cast (r, t1, t2, o) -> Cast (rn r, t1, t2, o)
+        | Load (r, t, a) -> Load (rn r, t, a)
+        | Gep (r, a, o, s) -> Gep (rn r, a, o, s)
+        | Slotaddr (r, s) -> Slotaddr (rn r, s)
+        | MetaLoad (r1, r2, a) -> MetaLoad (rn r1, rn r2, a)
+        | Call c -> Call { c with rets = List.map rn c.rets }
+        | (Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _) as i
+          ->
+            i
+      in
+      let b = caller.fblocks.(bi) in
+      let pre = List.filteri (fun i _ -> i < ii) b.insts in
+      let post = List.filteri (fun i _ -> i > ii) b.insts in
+      let param_movs =
+        List.map2 (fun (p, t) a -> Mov (rn p, t, a)) callee.fparams args
+      in
+      let head = { insts = pre @ param_movs; term = TJmp callee_base } in
+      let shift_term = function
+        | TJmp t -> TJmp (t + callee_base)
+        | TBr (c, t1, t2) -> TBr (rn_op c, t1 + callee_base, t2 + callee_base)
+        | TSwitch (v, cases, d) ->
+            TSwitch
+              ( rn_op v,
+                List.map (fun (c, t) -> (c, t + callee_base)) cases,
+                d + callee_base )
+        | TUnreachable -> TUnreachable
+        | TRet _ -> assert false
+      in
+      let callee_blocks =
+        Array.map
+          (fun cb ->
+            let insts = List.map rn_inst cb.insts in
+            match cb.term with
+            | TRet ops ->
+                let movs =
+                  List.concat
+                    (List.mapi
+                       (fun i r ->
+                         match List.nth_opt ops i with
+                         | Some o ->
+                             let t =
+                               match List.nth_opt callee.frets i with
+                               | Some t -> t
+                               | None -> I64
+                             in
+                             [ Mov (r, t, rn_op o) ]
+                         | None -> [])
+                       rets)
+                in
+                { insts = insts @ movs; term = TJmp cont_id }
+            | t -> { insts; term = shift_term t })
+          callee.fblocks
+      in
+      let cont = { insts = post; term = b.term } in
+      let fblocks =
+        Array.concat
+          [
+            Array.mapi (fun i ob -> if i = bi then head else ob) caller.fblocks;
+            callee_blocks;
+            [| cont |];
+          ]
+      in
+      Some { caller with fblocks; fnregs = caller.fnregs + callee.fnregs }
+
+(** Inline call sites in [f] until none are eligible or the growth
+    budget is exhausted. *)
+let inline_func (m : modul) taken (f : func) : func =
+  let start = func_insts f in
+  let rec bounded f =
+    if func_insts f - start > max_caller_growth then f
+    else
+      match inline_one m taken f with None -> f | Some f' -> bounded f'
+  in
+  bounded f
+
+(** Inline small callees throughout the module (bottom-up would converge
+    faster; a bounded fixpoint is simpler and the budgets keep it small). *)
+let run (m : modul) : modul =
+  let taken = address_taken m in
+  let m' = map_funcs m (fun f -> inline_func m taken f) in
+  validate m';
+  m'

@@ -1,0 +1,1065 @@
+(* Lowering: typed AST (Cminus.Tast) -> IR (Ir).
+
+   Design notes:
+   - Scalar locals whose address is never taken live in virtual registers
+     and never touch simulated memory, mirroring the paper's decision to
+     instrument *after* register promotion (section 6.1).
+   - Address-taken locals, arrays, structs and per-call-site vararg save
+     areas become frame slots; frames are laid out bottom-up in
+     declaration order so that classic stack-smashing overflows walk
+     upward through later locals, spilled parameters, the saved frame
+     pointer and the return token — the x86 layout the attack suite
+     (Table 3) assumes.
+   - Calls to variadic functions spill promoted varargs to a caller-side
+     slot with ordinary [Store]s and append [va_ptr; va_count] to the
+     argument list. *)
+
+open Ir
+module T = Cminus.Tast
+module C = Cminus.Ctypes
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Type mapping                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ity_of_ikind : C.ikind -> ity = function
+  | C.IChar -> I8
+  | C.IUChar -> U8
+  | C.IShort -> I16
+  | C.IUShort -> U16
+  | C.IInt -> I32
+  | C.IUInt -> U32
+  | C.ILong -> I64
+  | C.IULong -> U64
+
+let rec ity_of env (ty : C.ty) : ity =
+  match C.resolve env ty with
+  | C.Tint k -> ity_of_ikind k
+  | C.Tfloat C.FFloat -> F32
+  | C.Tfloat C.FDouble -> F64
+  | C.Tptr _ -> P
+  | C.Tarray _ -> P (* decayed *)
+  | C.Tfunc _ -> P
+  | C.Tvoid -> error "ity_of: void has no value type"
+  | C.Tstruct _ | C.Tunion _ -> error "ity_of: composite has no scalar type"
+  | C.Tnamed _ -> ity_of env ty
+
+(** Byte offsets of pointer-typed scalars inside a value of type [ty]. *)
+let rec ptr_offsets env (ty : C.ty) : int list =
+  match C.resolve env ty with
+  | C.Tptr _ -> [ 0 ]
+  | C.Tarray (elem, n) ->
+      let inner = ptr_offsets env elem in
+      if inner = [] then []
+      else
+        let esz = C.size_of env elem in
+        List.concat
+          (List.init (max n 0) (fun i ->
+               List.map (fun o -> o + (i * esz)) inner))
+  | C.Tstruct _ | C.Tunion _ ->
+      let comp = Option.get (C.fields_of env ty) in
+      List.concat_map
+        (fun (f : C.field) ->
+          List.map (fun o -> o + f.C.foffset) (ptr_offsets env f.C.fty))
+        comp.C.cfields
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Function-lowering context                                            *)
+(* ------------------------------------------------------------------ *)
+
+type bstate = {
+  mutable binsts : inst list;  (** reversed *)
+  mutable bterm : terminator option;
+}
+
+type place =
+  | Preg of reg * ity
+  | Pmem of operand * C.ty  (** address operand, pointee C type *)
+
+type fctx = {
+  env : C.env;
+  funs : (string, C.fsig) Hashtbl.t;  (** all known functions *)
+  defined : (string, unit) Hashtbl.t;  (** functions defined in this unit *)
+  strings : (string, string) Hashtbl.t;  (** literal -> global name *)
+  mutable string_order : (string * string) list;  (** (gname, contents) rev *)
+  mutable nregs : int;
+  mutable blocks : bstate array;
+  mutable nblocks : int;
+  mutable cur : int;
+  var_regs : (string, reg * ity) Hashtbl.t;
+  var_slots : (string, int) Hashtbl.t;
+  mutable slots : slot list;  (** reversed *)
+  mutable nslots : int;
+  mutable frame_off : int;
+  mutable break_stack : int list;
+  mutable continue_stack : int list;
+  mutable va_regs : (reg * reg) option;
+  frets : ity list;
+}
+
+let fresh ctx =
+  let r = ctx.nregs in
+  ctx.nregs <- r + 1;
+  r
+
+let grow_blocks ctx =
+  if ctx.nblocks >= Array.length ctx.blocks then begin
+    let bigger =
+      Array.init
+        (max 8 (2 * Array.length ctx.blocks))
+        (fun i ->
+          if i < Array.length ctx.blocks then ctx.blocks.(i)
+          else { binsts = []; bterm = None })
+    in
+    ctx.blocks <- bigger
+  end
+
+let new_block ctx =
+  grow_blocks ctx;
+  let id = ctx.nblocks in
+  ctx.blocks.(id) <- { binsts = []; bterm = None };
+  ctx.nblocks <- id + 1;
+  id
+
+let emit ctx inst =
+  let b = ctx.blocks.(ctx.cur) in
+  if b.bterm = None then b.binsts <- inst :: b.binsts
+
+let terminate ctx term =
+  let b = ctx.blocks.(ctx.cur) in
+  if b.bterm = None then b.bterm <- term |> Option.some
+
+let switch_to ctx id = ctx.cur <- id
+
+let new_slot ctx ~name ~size ~align ~ptrs =
+  let off = Machine.Memory.align_up ctx.frame_off align in
+  let id = ctx.nslots in
+  ctx.slots <-
+    { sl_name = name; sl_offset = off; sl_size = size; sl_ptr_offsets = ptrs }
+    :: ctx.slots;
+  ctx.nslots <- id + 1;
+  ctx.frame_off <- off + size;
+  id
+
+let intern_string ctx s =
+  match Hashtbl.find_opt ctx.strings s with
+  | Some g -> g
+  | None ->
+      let g = Printf.sprintf ".str.%d" (Hashtbl.length ctx.strings) in
+      Hashtbl.replace ctx.strings s g;
+      ctx.string_order <- (g, s) :: ctx.string_order;
+      g
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let imm_of_int64 (v : int64) = ImmI (Int64.to_int v)
+
+let ir_binop : Cminus.Ast.binop -> binop = function
+  | Badd -> Add
+  | Bsub -> Sub
+  | Bmul -> Mul
+  | Bdiv -> Div
+  | Bmod -> Rem
+  | Bband -> And
+  | Bbor -> Or
+  | Bbxor -> Xor
+  | Bshl -> Shl
+  | Bshr -> Shr
+  | _ -> error "ir_binop: not an arithmetic operator"
+
+let ir_cmpop : Cminus.Ast.binop -> cmpop = function
+  | Beq -> Ceq
+  | Bne -> Cne
+  | Blt -> Clt
+  | Ble -> Cle
+  | Bgt -> Cgt
+  | Bge -> Cge
+  | _ -> error "ir_cmpop: not a comparison"
+
+let rec lower_expr ctx (e : T.texpr) : operand =
+  match e.T.tdesc with
+  | T.Cint v -> imm_of_int64 v
+  | T.Cfloat f -> ImmF f
+  | T.Cstr s -> Glob (intern_string ctx s)
+  | T.Cfunc f -> Func f
+  | T.Lval lv -> read_place ctx (lower_lval ctx lv)
+  | T.Addrof lv -> place_addr ctx (lower_lval ctx lv)
+  | T.Unop (u, a) -> (
+      let a' = lower_expr ctx a in
+      let t = ity_of ctx.env a.T.tty in
+      let r = fresh ctx in
+      match u with
+      | Cminus.Ast.Uneg ->
+          emit ctx
+            (Bin (r, Sub, t, (if ity_is_float t then ImmF 0.0 else ImmI 0), a'));
+          Reg r
+      | Cminus.Ast.Unot ->
+          let zero = if ity_is_float t then ImmF 0.0 else ImmI 0 in
+          emit ctx (Cmp (r, Ceq, t, a', zero));
+          Reg r
+      | Cminus.Ast.Ubnot ->
+          emit ctx (Bin (r, Xor, t, a', ImmI (-1)));
+          Reg r)
+  | T.Binop ((Cminus.Ast.Bland | Cminus.Ast.Blor) as op, a, b) ->
+      lower_shortcircuit ctx op a b
+  | T.Binop ((Beq | Bne | Blt | Ble | Bgt | Bge) as op, a, b) ->
+      let a' = lower_expr ctx a in
+      let b' = lower_expr ctx b in
+      let t = ity_of ctx.env a.T.tty in
+      let r = fresh ctx in
+      emit ctx (Cmp (r, ir_cmpop op, t, a', b'));
+      Reg r
+  | T.Binop (op, a, b) ->
+      let a' = lower_expr ctx a in
+      let b' = lower_expr ctx b in
+      let t = ity_of ctx.env e.T.tty in
+      let r = fresh ctx in
+      emit ctx (Bin (r, ir_binop op, t, a', b'));
+      Reg r
+  | T.Ptradd (p, i, scale) ->
+      let p' = lower_expr ctx p in
+      let i' = lower_expr ctx i in
+      let off =
+        match i' with
+        | ImmI n -> ImmI (n * scale)
+        | _ when scale = 1 -> i'
+        | _ ->
+            let r = fresh ctx in
+            emit ctx (Bin (r, Mul, I64, i', ImmI scale));
+            Reg r
+      in
+      let r = fresh ctx in
+      emit ctx (Gep (r, p', off, None));
+      Reg r
+  | T.Fieldaddr (p, off, size) ->
+      let p' = lower_expr ctx p in
+      let r = fresh ctx in
+      emit ctx (Gep (r, p', ImmI off, Some size));
+      Reg r
+  | T.Ptrdiff (p, q, scale) ->
+      let p' = lower_expr ctx p in
+      let q' = lower_expr ctx q in
+      let d = fresh ctx in
+      emit ctx (Bin (d, Sub, I64, p', q'));
+      if scale = 1 then Reg d
+      else begin
+        let r = fresh ctx in
+        emit ctx (Bin (r, Div, I64, Reg d, ImmI scale));
+        Reg r
+      end
+  | T.Cond (c, a, b) ->
+      let is_void = C.resolve ctx.env e.T.tty = C.Tvoid in
+      let c' = lower_cond ctx c in
+      let then_b = new_block ctx in
+      let else_b = new_block ctx in
+      let join_b = new_block ctx in
+      terminate ctx (TBr (c', then_b, else_b));
+      let r = if is_void then -1 else fresh ctx in
+      let t = if is_void then I32 else ity_of ctx.env e.T.tty in
+      switch_to ctx then_b;
+      let av = lower_expr ctx a in
+      if not is_void then emit ctx (Mov (r, t, av));
+      terminate ctx (TJmp join_b);
+      switch_to ctx else_b;
+      let bv = lower_expr ctx b in
+      if not is_void then emit ctx (Mov (r, t, bv));
+      terminate ctx (TJmp join_b);
+      switch_to ctx join_b;
+      if is_void then ImmI 0 else Reg r
+  | T.Cast inner -> (
+      let v = lower_expr ctx inner in
+      match C.resolve ctx.env e.T.tty with
+      | C.Tvoid -> ImmI 0
+      | _ ->
+          let to_ = ity_of ctx.env e.T.tty in
+          let from_ = ity_of ctx.env inner.T.tty in
+          if equal_ity to_ from_ || (to_ = P && from_ = P) then v
+          else
+            match (v, ity_is_float to_, ity_is_float from_) with
+            | ImmI n, false, false -> ImmI (norm_int to_ n)
+            | ImmI n, true, false -> ImmF (float_of_int n)
+            | ImmF f, false, true -> ImmI (norm_int to_ (int_of_float f))
+            | ImmF f, true, true -> ImmF f
+            | _ ->
+                let r = fresh ctx in
+                emit ctx (Cast (r, to_, from_, v));
+                Reg r)
+  | T.Call (callee, args) -> lower_call ctx e.T.tty callee args
+  | T.Assign (lv, rhs) -> (
+      let lty = T.lval_ty lv in
+      match C.resolve ctx.env lty with
+      | C.Tstruct _ | C.Tunion _ ->
+          (* struct assignment: memcpy(dst, src, size); the SoftBound
+             memcpy wrapper then copies metadata for inner pointers *)
+          let dst = place_addr ctx (lower_lval ctx lv) in
+          let src =
+            match rhs.T.tdesc with
+            | T.Lval src_lv -> place_addr ctx (lower_lval ctx src_lv)
+            | _ -> error "struct assignment from non-lvalue"
+          in
+          let size = C.size_of ctx.env lty in
+          emit_memcpy ctx ~dst ~src ~size
+            ~has_ptrs:(C.contains_pointer ctx.env lty);
+          dst
+      | _ ->
+          let v = lower_expr ctx rhs in
+          let place = lower_lval ctx lv in
+          write_place ctx place v;
+          v)
+  | T.Assignop (op, lv, rhs, opty) -> (
+      let place = lower_lval ctx lv in
+      let lty = T.lval_ty lv in
+      let old = read_place ctx place in
+      match C.resolve ctx.env lty with
+      | C.Tptr pointee ->
+          let scale = C.size_of ctx.env pointee in
+          let rhs' = lower_expr ctx rhs in
+          let off =
+            match (rhs', op) with
+            | ImmI n, Cminus.Ast.Badd -> ImmI (n * scale)
+            | ImmI n, Cminus.Ast.Bsub -> ImmI (-n * scale)
+            | _, _ ->
+                let scaled =
+                  if scale = 1 then rhs'
+                  else begin
+                    let r = fresh ctx in
+                    emit ctx (Bin (r, Mul, I64, rhs', ImmI scale));
+                    Reg r
+                  end
+                in
+                if op = Cminus.Ast.Badd then scaled
+                else begin
+                  let r = fresh ctx in
+                  emit ctx (Bin (r, Sub, I64, ImmI 0, scaled));
+                  Reg r
+                end
+          in
+          let r = fresh ctx in
+          emit ctx (Gep (r, old, off, None));
+          write_place ctx place (Reg r);
+          Reg r
+      | _ ->
+          let rhs' = lower_expr ctx rhs in
+          let opt = ity_of ctx.env opty in
+          let lt = ity_of ctx.env lty in
+          let oldc =
+            if equal_ity opt lt then old
+            else begin
+              let r = fresh ctx in
+              emit ctx (Cast (r, opt, lt, old));
+              Reg r
+            end
+          in
+          let r = fresh ctx in
+          emit ctx (Bin (r, ir_binop op, opt, oldc, rhs'));
+          let back =
+            if equal_ity opt lt then Reg r
+            else begin
+              let r2 = fresh ctx in
+              emit ctx (Cast (r2, lt, opt, Reg r));
+              Reg r2
+            end
+          in
+          write_place ctx place back;
+          back)
+  | T.Incrdecr (is_incr, is_pre, lv, scale) -> (
+      let place = lower_lval ctx lv in
+      let lty = T.lval_ty lv in
+      let old = read_place ctx place in
+      (* for register-resident lvalues, read_place returns the live
+         register; postfix forms need a snapshot of the old value *)
+      let old =
+        match (place, is_pre) with
+        | Preg (_, t), false ->
+            let r = fresh ctx in
+            emit ctx (Mov (r, t, old));
+            Reg r
+        | _ -> old
+      in
+      match C.resolve ctx.env lty with
+      | C.Tptr _ ->
+          let r = fresh ctx in
+          emit ctx (Gep (r, old, ImmI (if is_incr then scale else -scale), None));
+          write_place ctx place (Reg r);
+          if is_pre then Reg r else old
+      | _ ->
+          let t = ity_of ctx.env lty in
+          let one = if ity_is_float t then ImmF 1.0 else ImmI 1 in
+          let r = fresh ctx in
+          emit ctx (Bin (r, (if is_incr then Add else Sub), t, old, one));
+          write_place ctx place (Reg r);
+          if is_pre then Reg r else old)
+  | T.Comma (a, b) ->
+      ignore (lower_expr ctx a);
+      lower_expr ctx b
+  | T.Va_start lv ->
+      let va_ptr, _ =
+        match ctx.va_regs with
+        | Some regs -> regs
+        | None -> error "va_start outside a variadic function"
+      in
+      write_place ctx (lower_lval ctx lv) (Reg va_ptr);
+      ImmI 0
+  | T.Va_arg (lv, ty) ->
+      let place = lower_lval ctx lv in
+      let cur = read_place ctx place in
+      let t = ity_of ctx.env ty in
+      let v = fresh ctx in
+      emit ctx (Load (v, t, cur));
+      let nxt = fresh ctx in
+      emit ctx (Gep (nxt, cur, ImmI 8, None));
+      write_place ctx place (Reg nxt);
+      Reg v
+  | T.Setbound (lv, n) -> (
+      let place = lower_lval ctx lv in
+      let n' = lower_expr ctx n in
+      match place with
+      | Pmem (addr, _) ->
+          emit ctx (SetBoundMark (addr, n'));
+          ImmI 0
+      | Preg _ -> error "setbound target must live in memory")
+
+and lower_shortcircuit ctx op a b : operand =
+  let r = fresh ctx in
+  let rhs_b = new_block ctx in
+  let short_b = new_block ctx in
+  let join_b = new_block ctx in
+  let c = lower_cond ctx a in
+  (match op with
+  | Cminus.Ast.Bland -> terminate ctx (TBr (c, rhs_b, short_b))
+  | Cminus.Ast.Blor -> terminate ctx (TBr (c, short_b, rhs_b))
+  | _ -> assert false);
+  switch_to ctx short_b;
+  emit ctx
+    (Mov (r, I32, ImmI (if op = Cminus.Ast.Bland then 0 else 1)));
+  terminate ctx (TJmp join_b);
+  switch_to ctx rhs_b;
+  let bv = lower_cond ctx b in
+  (* normalize to 0/1 *)
+  emit ctx (Cmp (r, Cne, I32, bv, ImmI 0));
+  terminate ctx (TJmp join_b);
+  switch_to ctx join_b;
+  Reg r
+
+(** Lower an expression used as a branch condition, returning an integer
+    operand (floats are compared against 0.0 explicitly). *)
+and lower_cond ctx (e : T.texpr) : operand =
+  let v = lower_expr ctx e in
+  match C.resolve ctx.env e.T.tty with
+  | C.Tfloat _ ->
+      let r = fresh ctx in
+      emit ctx (Cmp (r, Cne, ity_of ctx.env e.T.tty, v, ImmF 0.0));
+      Reg r
+  | _ -> v
+
+and emit_memcpy ctx ~dst ~src ~size ~has_ptrs =
+  let r = fresh ctx in
+  emit ctx
+    (Call
+       {
+         rets = [ r ];
+         callee = Func "memcpy";
+         sg = { cargs = [ P; P; I64 ]; crets = [ P ]; cvariadic = false };
+         hints = (if has_ptrs then [] else [ "memcpy-noptr" ]);
+         args = [ dst; src; ImmI size ];
+       })
+
+and lower_call ctx ret_ty (callee : T.callee) (args : T.texpr list) : operand =
+  let sg = callee.T.csig in
+  let nfixed = List.length sg.C.params in
+  (* the paper's memcpy heuristic (section 5.2): inspect the call-site
+     argument types; if neither operand's pointee can contain pointers,
+     the metadata copy can be skipped *)
+  (* conversion casts to the void-pointer parameter type hide the
+     operand's real type; peel them to see what the programmer passed *)
+  let rec peel (a : T.texpr) =
+    match a.T.tdesc with T.Cast inner -> peel inner | _ -> a
+  in
+  let hints =
+    match callee.T.cfun with
+    | T.Cdirect ("memcpy" | "memmove") ->
+        let pointee_ptr_free (a : T.texpr) =
+          match C.resolve ctx.env (peel a).T.tty with
+          | C.Tptr t ->
+              (* void* proves nothing: be conservative *)
+              C.resolve ctx.env t <> C.Tvoid
+              && not (C.contains_pointer ctx.env t)
+          | _ -> false
+        in
+        if
+          List.length args >= 2
+          && pointee_ptr_free (List.nth args 0)
+          && pointee_ptr_free (List.nth args 1)
+        then [ "memcpy-noptr" ]
+        else []
+    | T.Cdirect "free" -> (
+        (* paper section 5.2, "Memory reuse and stale metadata": clear
+           metadata on free only when the static type suggests the block
+           holds pointers *)
+        match args with
+        | [ a ] -> (
+            match C.resolve ctx.env (peel a).T.tty with
+            | C.Tptr t when C.contains_pointer ctx.env t -> [ "free-withmeta" ]
+            | _ -> [])
+        | _ -> [])
+    | _ -> []
+  in
+  let args' = List.map (lower_expr ctx) args in
+  let fixed = List.filteri (fun i _ -> i < nfixed) args' in
+  let varargs = List.filteri (fun i _ -> i >= nfixed) args' in
+  let vararg_tys =
+    List.filteri (fun i _ -> i >= nfixed) (List.map (fun a -> a.T.tty) args)
+  in
+  let cargs_fixed = List.map (ity_of ctx.env) sg.C.params in
+  let all_args, all_cargs =
+    if not sg.C.variadic then (fixed, cargs_fixed)
+    else begin
+      (* spill promoted varargs to a fresh save-area slot *)
+      let n = List.length varargs in
+      let slot =
+        new_slot ctx
+          ~name:(Printf.sprintf "$va%d" ctx.nslots)
+          ~size:(max 8 (8 * n))
+          ~align:8
+          ~ptrs:
+            (List.concat
+               (List.mapi
+                  (fun i ty ->
+                    if C.is_pointer ctx.env ty then [ 8 * i ] else [])
+                  vararg_tys))
+      in
+      let base = fresh ctx in
+      emit ctx (Slotaddr (base, slot));
+      List.iteri
+        (fun i (v, ty) ->
+          let t = ity_of ctx.env ty in
+          (* widen sub-8-byte values to 8 bytes for the save area *)
+          let v, t =
+            match t with
+            | I8 | I16 | I32 ->
+                let r = fresh ctx in
+                emit ctx (Cast (r, I64, t, v));
+                (Reg r, I64)
+            | U8 | U16 | U32 ->
+                let r = fresh ctx in
+                emit ctx (Cast (r, U64, t, v));
+                (Reg r, U64)
+            | F32 ->
+                let r = fresh ctx in
+                emit ctx (Cast (r, F64, F32, v));
+                (Reg r, F64)
+            | t -> (v, t)
+          in
+          let addr = fresh ctx in
+          emit ctx (Gep (addr, Reg base, ImmI (8 * i), None));
+          emit ctx (Store (t, Reg addr, v)))
+        (List.combine varargs vararg_tys);
+      (fixed @ [ Reg base; ImmI n ], cargs_fixed @ [ P; I64 ])
+    end
+  in
+  let crets =
+    match C.resolve ctx.env ret_ty with
+    | C.Tvoid -> []
+    | _ -> [ ity_of ctx.env ret_ty ]
+  in
+  let callee_op =
+    match callee.T.cfun with
+    | T.Cdirect name -> Func name
+    | T.Cindirect e -> lower_expr ctx e
+  in
+  let rets = List.map (fun _ -> fresh ctx) crets in
+  emit ctx
+    (Call
+       {
+         rets;
+         callee = callee_op;
+         sg = { cargs = all_cargs; crets; cvariadic = sg.C.variadic };
+         hints;
+         args = all_args;
+       });
+  match rets with [ r ] -> Reg r | _ -> ImmI 0
+
+(* ------------------------------------------------------------------ *)
+(* Lvalues                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and lower_lval ctx (lv : T.lval) : place =
+  match lv with
+  | T.Lvar v -> (
+      match v.T.vkind with
+      | T.Vglobal -> Pmem (Glob v.T.vname, v.T.vty)
+      | _ -> (
+          match Hashtbl.find_opt ctx.var_regs v.T.vname with
+          | Some (r, t) -> Preg (r, t)
+          | None -> (
+              match Hashtbl.find_opt ctx.var_slots v.T.vname with
+              | Some slot ->
+                  let r = fresh ctx in
+                  emit ctx (Slotaddr (r, slot));
+                  Pmem (Reg r, v.T.vty)
+              | None -> error "unbound variable %s" v.T.vname)))
+  | T.Lmem addr ->
+      let a = lower_expr ctx addr in
+      let pointee =
+        match C.resolve ctx.env addr.T.tty with
+        | C.Tptr t -> t
+        | _ -> error "Lmem with non-pointer address"
+      in
+      Pmem (a, pointee)
+
+and read_place ctx (p : place) : operand =
+  match p with
+  | Preg (r, _) -> Reg r
+  | Pmem (addr, ty) -> (
+      match C.resolve ctx.env ty with
+      | C.Tstruct _ | C.Tunion _ | C.Tarray _ ->
+          (* composite reads yield their address (handled by callers) *)
+          addr
+      | C.Tvoid -> error "read of void lvalue"
+      | _ ->
+          let r = fresh ctx in
+          emit ctx (Load (r, ity_of ctx.env ty, addr));
+          Reg r)
+
+and write_place ctx (p : place) (v : operand) =
+  match p with
+  | Preg (r, t) -> emit ctx (Mov (r, t, v))
+  | Pmem (addr, ty) -> emit ctx (Store (ity_of ctx.env ty, addr, v))
+
+and place_addr _ctx (p : place) : operand =
+  match p with
+  | Preg _ -> error "address of register-resident value (typechecker bug)"
+  | Pmem (addr, _) -> addr
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt ctx (s : T.tstmt) : unit =
+  match s with
+  | T.Texpr e -> ignore (lower_expr ctx e)
+  | T.Tblock body -> List.iter (lower_stmt ctx) body
+  | T.Tif (c, then_, else_) ->
+      let c' = lower_cond ctx c in
+      let then_b = new_block ctx in
+      let else_b = new_block ctx in
+      let join_b = new_block ctx in
+      terminate ctx (TBr (c', then_b, else_b));
+      switch_to ctx then_b;
+      List.iter (lower_stmt ctx) then_;
+      terminate ctx (TJmp join_b);
+      switch_to ctx else_b;
+      List.iter (lower_stmt ctx) else_;
+      terminate ctx (TJmp join_b);
+      switch_to ctx join_b
+  | T.Twhile (c, body) ->
+      let head_b = new_block ctx in
+      let body_b = new_block ctx in
+      let exit_b = new_block ctx in
+      terminate ctx (TJmp head_b);
+      switch_to ctx head_b;
+      let c' = lower_cond ctx c in
+      terminate ctx (TBr (c', body_b, exit_b));
+      switch_to ctx body_b;
+      ctx.break_stack <- exit_b :: ctx.break_stack;
+      ctx.continue_stack <- head_b :: ctx.continue_stack;
+      List.iter (lower_stmt ctx) body;
+      ctx.break_stack <- List.tl ctx.break_stack;
+      ctx.continue_stack <- List.tl ctx.continue_stack;
+      terminate ctx (TJmp head_b);
+      switch_to ctx exit_b
+  | T.Tdowhile (body, c) ->
+      let body_b = new_block ctx in
+      let cond_b = new_block ctx in
+      let exit_b = new_block ctx in
+      terminate ctx (TJmp body_b);
+      switch_to ctx body_b;
+      ctx.break_stack <- exit_b :: ctx.break_stack;
+      ctx.continue_stack <- cond_b :: ctx.continue_stack;
+      List.iter (lower_stmt ctx) body;
+      ctx.break_stack <- List.tl ctx.break_stack;
+      ctx.continue_stack <- List.tl ctx.continue_stack;
+      terminate ctx (TJmp cond_b);
+      switch_to ctx cond_b;
+      let c' = lower_cond ctx c in
+      terminate ctx (TBr (c', body_b, exit_b));
+      switch_to ctx exit_b
+  | T.Tfor (init, cond, step, body) ->
+      List.iter (lower_stmt ctx) init;
+      let head_b = new_block ctx in
+      let body_b = new_block ctx in
+      let step_b = new_block ctx in
+      let exit_b = new_block ctx in
+      terminate ctx (TJmp head_b);
+      switch_to ctx head_b;
+      (match cond with
+      | None -> terminate ctx (TJmp body_b)
+      | Some c ->
+          let c' = lower_cond ctx c in
+          terminate ctx (TBr (c', body_b, exit_b)));
+      switch_to ctx body_b;
+      ctx.break_stack <- exit_b :: ctx.break_stack;
+      ctx.continue_stack <- step_b :: ctx.continue_stack;
+      List.iter (lower_stmt ctx) body;
+      ctx.break_stack <- List.tl ctx.break_stack;
+      ctx.continue_stack <- List.tl ctx.continue_stack;
+      terminate ctx (TJmp step_b);
+      switch_to ctx step_b;
+      List.iter (lower_stmt ctx) step;
+      terminate ctx (TJmp head_b);
+      switch_to ctx exit_b
+  | T.Treturn None ->
+      terminate ctx (TRet (List.map (fun _ -> ImmI 0) ctx.frets));
+      switch_to ctx (new_block ctx)
+  | T.Treturn (Some e) ->
+      let v = lower_expr ctx e in
+      terminate ctx (TRet [ v ]);
+      switch_to ctx (new_block ctx)
+  | T.Tbreak -> (
+      match ctx.break_stack with
+      | target :: _ ->
+          terminate ctx (TJmp target);
+          switch_to ctx (new_block ctx)
+      | [] -> error "break outside a loop or switch")
+  | T.Tcontinue -> (
+      match ctx.continue_stack with
+      | target :: _ ->
+          terminate ctx (TJmp target);
+          switch_to ctx (new_block ctx)
+      | [] -> error "continue outside a loop")
+  | T.Tswitch (e, cases) ->
+      let v = lower_expr ctx e in
+      let exit_b = new_block ctx in
+      let case_blocks = List.map (fun _ -> new_block ctx) cases in
+      (* build the dispatch table *)
+      let table = ref [] and default = ref exit_b in
+      List.iteri
+        (fun i (labels, _) ->
+          let b = List.nth case_blocks i in
+          match labels with
+          | None -> default := b
+          | Some ls ->
+              List.iter
+                (fun l -> table := (Int64.to_int l, b) :: !table)
+                ls)
+        cases;
+      terminate ctx (TSwitch (v, List.rev !table, !default));
+      (* bodies with C fallthrough semantics *)
+      ctx.break_stack <- exit_b :: ctx.break_stack;
+      List.iteri
+        (fun i (_, body) ->
+          switch_to ctx (List.nth case_blocks i);
+          List.iter (lower_stmt ctx) body;
+          let next =
+            if i + 1 < List.length case_blocks then
+              List.nth case_blocks (i + 1)
+            else exit_b
+          in
+          terminate ctx (TJmp next))
+        cases;
+      ctx.break_stack <- List.tl ctx.break_stack;
+      switch_to ctx exit_b
+  | T.Tlocal_init (v, init) -> lower_local_init ctx v init
+
+and lower_local_init ctx (v : T.var_ref) (init : T.init) =
+  match init with
+  | T.Iscalar e ->
+      let x = lower_expr ctx e in
+      write_place ctx (lower_lval ctx (T.Lvar v)) x
+  | T.Icomposite items ->
+      (* composite locals always have a slot; zero it, then store the
+         initialized elements (C semantics: unmentioned fields are 0) *)
+      let slot =
+        match Hashtbl.find_opt ctx.var_slots v.T.vname with
+        | Some s -> s
+        | None -> error "composite init of non-slot local %s" v.T.vname
+      in
+      let base = fresh ctx in
+      emit ctx (Slotaddr (base, slot));
+      let size = C.size_of ctx.env v.T.vty in
+      let r = fresh ctx in
+      emit ctx
+        (Call
+           {
+             rets = [ r ];
+             callee = Func "memset";
+             sg = { cargs = [ P; I32; I64 ]; crets = [ P ]; cvariadic = false };
+             hints = [];
+             args = [ Reg base; ImmI 0; ImmI size ];
+           });
+      List.iter
+        (fun (off, e) ->
+          let x = lower_expr ctx e in
+          let addr = fresh ctx in
+          emit ctx (Gep (addr, Reg base, ImmI off, None));
+          emit ctx (Store (ity_of ctx.env e.T.tty, Reg addr, x)))
+        items
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lower_fundef ~env ~funs ~defined ~strings ~string_order (f : T.tfundef) :
+    func =
+  let ctx =
+    {
+      env;
+      funs;
+      defined;
+      strings;
+      string_order = !string_order;
+      nregs = 0;
+      blocks = Array.init 8 (fun _ -> { binsts = []; bterm = None });
+      nblocks = 0;
+      cur = 0;
+      var_regs = Hashtbl.create 16;
+      var_slots = Hashtbl.create 16;
+      slots = [];
+      nslots = 0;
+      frame_off = 0;
+      break_stack = [];
+      continue_stack = [];
+      va_regs = None;
+      frets =
+        (match C.resolve env f.T.tfsig.C.ret with
+        | C.Tvoid -> []
+        | t -> [ ity_of env t ]);
+    }
+  in
+  let entry = new_block ctx in
+  switch_to ctx entry;
+  (* parameter registers, in order; hidden va regs last *)
+  let fparams =
+    List.map
+      (fun (name, ty) ->
+        let r = fresh ctx in
+        let t = ity_of env ty in
+        Hashtbl.replace ctx.var_regs name (r, t);
+        (r, t))
+      f.T.tfparams
+  in
+  if f.T.tfsig.C.variadic then begin
+    let va_ptr = fresh ctx in
+    let va_count = fresh ctx in
+    ctx.va_regs <- Some (va_ptr, va_count)
+  end;
+  (* locals first (registers for unaddressed scalars, slots otherwise);
+     slot offsets grow upward in declaration order, so an overflowing
+     buffer walks up through later locals *)
+  List.iter
+    (fun (l : T.local) ->
+      if l.T.laddressed then begin
+        let slot =
+          new_slot ctx ~name:l.T.lname ~size:(C.size_of env l.T.lty)
+            ~align:(C.align_of env l.T.lty) ~ptrs:(ptr_offsets env l.T.lty)
+        in
+        Hashtbl.replace ctx.var_slots l.T.lname slot
+      end
+      else begin
+        let r = fresh ctx in
+        Hashtbl.replace ctx.var_regs l.T.lname (r, ity_of env l.T.lty)
+      end)
+    f.T.tflocals;
+  (* addressed parameters are spilled above the locals, just below the
+     saved frame pointer — as x86 calling conventions place them *)
+  List.iter
+    (fun pname ->
+      let ty = List.assoc pname f.T.tfparams in
+      let r, t = Hashtbl.find ctx.var_regs pname in
+      let slot =
+        new_slot ctx ~name:pname ~size:(C.size_of env ty)
+          ~align:(C.align_of env ty) ~ptrs:(ptr_offsets env ty)
+      in
+      let addr = fresh ctx in
+      emit ctx (Slotaddr (addr, slot));
+      emit ctx (Store (t, Reg addr, Reg r));
+      Hashtbl.remove ctx.var_regs pname;
+      Hashtbl.replace ctx.var_slots pname slot)
+    f.T.tfaddressed_params;
+  List.iter (lower_stmt ctx) f.T.tfbody;
+  (* implicit return *)
+  terminate ctx (TRet (List.map (fun _ -> ImmI 0) ctx.frets));
+  string_order := ctx.string_order;
+  let fblocks =
+    Array.init ctx.nblocks (fun i ->
+        let b = ctx.blocks.(i) in
+        {
+          insts = List.rev b.binsts;
+          term = Option.value b.bterm ~default:TUnreachable;
+        })
+  in
+  let fparams_full =
+    match ctx.va_regs with
+    | Some (p, c) -> fparams @ [ (p, P); (c, I64) ]
+    | None -> fparams
+  in
+  {
+    fname = f.T.tfname;
+    fparams = fparams_full;
+    frets = ctx.frets;
+    fvariadic = f.T.tfsig.C.variadic;
+    fva_regs = ctx.va_regs;
+    fslots = Array.of_list (List.rev ctx.slots);
+    fframe_size = Machine.Memory.align_up ctx.frame_off 16;
+    fblocks;
+    fnregs = ctx.nregs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate a global-initializer scalar to a constant [gval]. *)
+let rec gval_of env strings string_order (e : T.texpr) (width : int) : gval =
+  match e.T.tdesc with
+  | T.Cint v -> GInt (Int64.to_int v, width)
+  | T.Cfloat f -> (
+      match C.resolve env e.T.tty with
+      | C.Tfloat C.FFloat -> GF32 f
+      | _ -> GF64 f)
+  | T.Cstr s ->
+      let g =
+        match Hashtbl.find_opt strings s with
+        | Some g -> g
+        | None ->
+            let g = Printf.sprintf ".str.%d" (Hashtbl.length strings) in
+            Hashtbl.replace strings s g;
+            string_order := (g, s) :: !string_order;
+            g
+      in
+      GAddr (g, 0)
+  | T.Cfunc f -> GFuncAddr f
+  | T.Addrof (T.Lvar v) when v.T.vkind = T.Vglobal -> GAddr (v.T.vname, 0)
+  | T.Addrof (T.Lmem inner) -> gval_of env strings string_order inner 8
+  | T.Cast inner -> (
+      (* int-width change on a constant, or pointer cast *)
+      match gval_of env strings string_order inner (max width 8) with
+      | GInt (v, _) -> GInt (v, width)
+      | g -> g)
+  | T.Ptradd (p, i, scale) -> (
+      match
+        ( gval_of env strings string_order p 8,
+          gval_of env strings string_order i 8 )
+      with
+      | GAddr (g, off), GInt (n, _) -> GAddr (g, off + (n * scale))
+      | _ -> error "global initializer: non-constant pointer arithmetic")
+  | T.Fieldaddr (p, off, _) -> (
+      match gval_of env strings string_order p 8 with
+      | GAddr (g, o) -> GAddr (g, o + off)
+      | _ -> error "global initializer: non-constant field address")
+  | T.Unop (Cminus.Ast.Uneg, a) -> (
+      match gval_of env strings string_order a width with
+      | GInt (v, w) -> GInt (-v, w)
+      | GF64 f -> GF64 (-.f)
+      | GF32 f -> GF32 (-.f)
+      | _ -> error "global initializer: non-constant negation")
+  | _ -> error "global initializer is not a constant expression"
+
+let lower_global env strings string_order (g : T.tglobal) : global =
+  let gsize = C.size_of env g.T.tgty in
+  let galign = C.align_of env g.T.tgty in
+  let ginit =
+    match g.T.tginit with
+    | None -> []
+    | Some (T.Iscalar e) ->
+        [ (0, gval_of env strings string_order e (C.size_of env e.T.tty)) ]
+    | Some (T.Icomposite items) ->
+        List.map
+          (fun (off, e) ->
+            (off, gval_of env strings string_order e (C.size_of env e.T.tty)))
+          items
+  in
+  let gptr_offsets =
+    List.filter_map
+      (fun (off, v) ->
+        match v with GAddr _ | GFuncAddr _ -> Some off | _ -> None)
+      ginit
+  in
+  { gname = g.T.tgname; gsize; galign; ginit; gptr_offsets }
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lower_program (p : T.tprogram) : modul =
+  let env = p.T.tenv in
+  let funs = Hashtbl.create 64 in
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (f : T.tfundef) ->
+      Hashtbl.replace funs f.T.tfname f.T.tfsig;
+      Hashtbl.replace defined f.T.tfname ())
+    p.T.tfuns;
+  List.iter
+    (fun (name, sg) ->
+      if not (Hashtbl.mem funs name) then Hashtbl.replace funs name sg)
+    p.T.textern_funs;
+  let strings = Hashtbl.create 64 in
+  let string_order = ref [] in
+  let mfuncs = Hashtbl.create 64 in
+  let mfunc_order =
+    List.map
+      (fun f ->
+        let fn = lower_fundef ~env ~funs ~defined ~strings ~string_order f in
+        Hashtbl.replace mfuncs fn.fname fn;
+        fn.fname)
+      p.T.tfuns
+  in
+  let var_globals =
+    List.map (lower_global env strings string_order) p.T.tglobals
+  in
+  let str_globals =
+    List.rev_map
+      (fun (gname, contents) ->
+        let n = String.length contents in
+        let ginit =
+          List.init n (fun i ->
+              (i, GInt (Char.code contents.[i], 1)))
+        in
+        {
+          gname;
+          gsize = n + 1;
+          galign = 1;
+          ginit;
+          gptr_offsets = [];
+        })
+      !string_order
+  in
+  let mexterns =
+    List.filter_map
+      (fun (name, sg) ->
+        if Hashtbl.mem defined name then None
+        else
+          let cargs = List.map (ity_of env) sg.C.params in
+          let cargs =
+            if sg.C.variadic then cargs @ [ P; I64 ] else cargs
+          in
+          let crets =
+            match C.resolve env sg.C.ret with
+            | C.Tvoid -> []
+            | t -> [ ity_of env t ]
+          in
+          Some (name, { cargs; crets; cvariadic = sg.C.variadic }))
+      p.T.textern_funs
+  in
+  let m =
+    {
+      mfuncs;
+      mglobals = var_globals @ str_globals;
+      mfunc_order;
+      mexterns;
+    }
+  in
+  validate m;
+  m
+
+(** Full pipeline: C source -> typed AST -> IR. *)
+let compile (src : string) : modul =
+  lower_program (Cminus.Typecheck.program_of_string src)

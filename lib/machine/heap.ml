@@ -1,0 +1,117 @@
+(* Heap allocator over the simulated heap segment.
+
+   First-fit free list with a bump-pointer fallback.  Blocks are separated
+   by a 16-byte guard gap — as in common production allocators the gap is
+   plain unused (and, at segment granularity, accessible) memory, so a
+   heap overflow silently scribbles into it unless a checker objects.
+   Block bookkeeping lives on the OCaml side (queried by checkers and by
+   free/realloc); the payload bytes live in simulated memory. *)
+
+type block = { baddr : int; bsize : int; mutable live : bool }
+
+type t = {
+  mem : Memory.t;
+  blocks : (int, block) Hashtbl.t;  (** payload address -> block *)
+  mutable free_list : (int * int) list;  (** (addr, capacity) *)
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+  mutable total_allocs : int;
+}
+
+let gap = 16
+
+let create mem =
+  {
+    mem;
+    blocks = Hashtbl.create 256;
+    free_list = [];
+    live_bytes = 0;
+    peak_bytes = 0;
+    total_allocs = 0;
+  }
+
+let reset h =
+  Hashtbl.reset h.blocks;
+  h.free_list <- [];
+  h.live_bytes <- 0;
+  h.peak_bytes <- 0;
+  h.total_allocs <- 0
+
+let round_cap size = Memory.align_up (max size 1) 16
+
+(** Allocate [size] bytes; returns the payload address, or [None] when the
+    simulated heap is exhausted. *)
+let malloc h size =
+  if size < 0 then None
+  else begin
+    let cap = round_cap size in
+    let addr =
+      (* first fit *)
+      let rec pick acc = function
+        | [] -> None
+        | (a, c) :: rest when c >= cap ->
+            h.free_list <- List.rev_append acc rest;
+            Some a
+        | x :: rest -> pick (x :: acc) rest
+      in
+      match pick [] h.free_list with
+      | Some a -> Some a
+      | None -> Memory.heap_sbrk h.mem (cap + gap)
+    in
+    match addr with
+    | None -> None
+    | Some a ->
+        Hashtbl.replace h.blocks a { baddr = a; bsize = size; live = true };
+        h.live_bytes <- h.live_bytes + size;
+        h.peak_bytes <- max h.peak_bytes h.live_bytes;
+        h.total_allocs <- h.total_allocs + 1;
+        Some a
+  end
+
+exception Bad_free of int
+
+let free h addr =
+  if addr = 0 then ()
+  else
+    match Hashtbl.find_opt h.blocks addr with
+    | Some b when b.live ->
+        b.live <- false;
+        h.live_bytes <- h.live_bytes - b.bsize;
+        h.free_list <- (b.baddr, round_cap b.bsize) :: h.free_list
+    | Some _ -> raise (Bad_free addr) (* double free *)
+    | None -> raise (Bad_free addr)
+
+let realloc h addr size =
+  if addr = 0 then malloc h size
+  else
+    match Hashtbl.find_opt h.blocks addr with
+    | Some b when b.live -> (
+        match malloc h size with
+        | None -> None
+        | Some a' ->
+            Memory.blit h.mem ~src:addr ~dst:a' ~len:(min b.bsize size);
+            free h addr;
+            Some a')
+    | _ -> raise (Bad_free addr)
+
+(** Size of the live block at exactly [addr]. *)
+let block_size h addr =
+  match Hashtbl.find_opt h.blocks addr with
+  | Some b when b.live -> Some b.bsize
+  | _ -> None
+
+(** The live block containing [addr], if any (linear in block count; used
+    only by checker baselines, which keep their own indexes for speed). *)
+let containing_block h addr =
+  Hashtbl.fold
+    (fun _ b acc ->
+      if b.live && addr >= b.baddr && addr < b.baddr + b.bsize then Some b
+      else acc)
+    h.blocks None
+
+let iter_live h f =
+  Hashtbl.iter (fun _ b -> if b.live then f b.baddr b.bsize) h.blocks
+
+let live_bytes h = h.live_bytes
+let peak_bytes h = h.peak_bytes
+let total_allocs h = h.total_allocs

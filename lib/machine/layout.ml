@@ -1,0 +1,44 @@
+(* Address-space layout of the simulated 64-bit machine.
+
+   Mirrors the paper's section 5.1: stack and heap confined to fixed
+   slices of the virtual address space, with a large reserved region in
+   the middle for the tag-less shadow space, so that shadow-space
+   "collisions are guaranteed not to occur". *)
+
+(** Code segment: function [i] gets address [code_base + i * 16].  The
+    region is not backed by data pages; loads/stores into it fault. *)
+let code_base = 0x0000_0100_0000
+
+let code_slot = 16
+
+(** Globals segment, grows upward as globals are laid out. *)
+let globals_base = 0x0000_1000_0000
+
+(** Heap segment, grows upward. *)
+let heap_base = 0x0000_4000_0000
+
+let heap_limit = 0x0004_0000_0000 (* 16 GiB of simulated heap *)
+
+(** Stack: grows downward from [stack_top]. *)
+let stack_top = 0x0010_0000_0000
+
+let stack_limit = 0x000c_0000_0000 (* 16 GiB of simulated stack *)
+
+(** Hash-table metadata facility lives here (24-byte entries). *)
+let hashtable_base = 0x0100_0000_0000
+
+(** Tag-less shadow space: pointer address [a] maps to
+    [shadow_base + (a lsr 3) * 16] — 16 bytes of base+bound per
+    pointer-aligned double-word.  Because every program-accessible
+    address is below [stack_top], the mapping is collision-free. *)
+let shadow_base = 0x0200_0000_0000
+
+let shadow_addr a = shadow_base + ((a lsr 3) * 16)
+
+let func_addr idx = code_base + (idx * code_slot)
+let func_index addr = (addr - code_base) / code_slot
+
+let in_code_segment a = a >= code_base && a < code_base + 0x0100_0000
+
+let is_function_addr a =
+  in_code_segment a && (a - code_base) mod code_slot = 0

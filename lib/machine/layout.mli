@@ -1,0 +1,40 @@
+(** Address-space layout of the simulated 64-bit machine.
+
+    Mirrors the paper's section 5.1: stack and heap confined to fixed
+    slices of the virtual address space, with a large reserved region in
+    the middle for the tag-less shadow space, so that shadow-space
+    collisions cannot occur. *)
+
+val code_base : int
+(** Code segment: function [i] gets address [code_base + i * code_slot].
+    The region is not backed by data pages; loads/stores into it fault. *)
+
+val code_slot : int
+
+val globals_base : int
+(** Globals segment, grows upward. *)
+
+val heap_base : int
+val heap_limit : int
+
+val stack_top : int
+(** The stack grows downward from here. *)
+
+val stack_limit : int
+
+val hashtable_base : int
+(** Base of the hash-table metadata facility (24-byte entries). *)
+
+val shadow_base : int
+(** Tag-less shadow space: see {!shadow_addr}. *)
+
+val shadow_addr : int -> int
+(** [shadow_addr a = shadow_base + (a lsr 3) * 16] — 16 bytes of
+    base+bound per pointer-aligned word.  Because every
+    program-accessible address is below {!stack_top}, the mapping is
+    collision-free. *)
+
+val func_addr : int -> int
+val func_index : int -> int
+val in_code_segment : int -> bool
+val is_function_addr : int -> bool

@@ -1,0 +1,185 @@
+(* Sparse paged byte-addressable memory.
+
+   Pages (4 KiB) are materialized on first write; reads of untouched pages
+   return zeroes without allocating, mirroring the paper's zero-initialized
+   mmap'd shadow space with demand paging.
+
+   Validity is segment-granular: an access outside every live segment is a
+   simulated segmentation fault.  Within a segment, out-of-bounds accesses
+   silently corrupt neighbouring data — exactly the behaviour that makes
+   the attack suite (Table 3) and BugBench programs (Table 4) genuinely
+   dangerous when run unprotected. *)
+
+exception Segfault of int  (** address *)
+
+let align_up x a = (x + a - 1) / a * a
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable globals_brk : int;
+  mutable heap_brk : int;
+  mutable stack_low : int;  (** lowest stack address currently in use *)
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    globals_brk = Layout.globals_base;
+    heap_brk = Layout.heap_base;
+    stack_low = Layout.stack_top;
+  }
+
+let reset m =
+  Hashtbl.reset m.pages;
+  m.globals_brk <- Layout.globals_base;
+  m.heap_brk <- Layout.heap_base;
+  m.stack_low <- Layout.stack_top
+
+(** Number of materialized pages — the simulated resident set. *)
+let resident_pages m = Hashtbl.length m.pages
+
+let resident_bytes m = resident_pages m * page_size
+
+(** Segment-level validity for program accesses.  The metadata regions
+    (hash table, shadow space) are only touched by the checker runtimes,
+    which bypass this check. *)
+let valid m a =
+  (a >= Layout.globals_base && a < align_up (m.globals_brk + 1) page_size)
+  || (a >= Layout.heap_base && a < align_up (m.heap_brk + 1) page_size)
+  || (a >= m.stack_low && a < Layout.stack_top)
+
+let check_program_access m a len =
+  if not (valid m a && (len <= 1 || valid m (a + len - 1))) then
+    raise (Segfault a)
+
+(* --- raw byte access (no validity check) --- *)
+
+let read_byte m a =
+  match Hashtbl.find_opt m.pages (a lsr page_bits) with
+  | None -> 0
+  | Some page -> Char.code (Bytes.unsafe_get page (a land (page_size - 1)))
+
+let write_byte m a v =
+  let idx = a lsr page_bits in
+  let page =
+    match Hashtbl.find_opt m.pages idx with
+    | Some p -> p
+    | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.replace m.pages idx p;
+        p
+  in
+  Bytes.unsafe_set page (a land (page_size - 1)) (Char.chr (v land 0xff))
+
+(** Little-endian unsigned read of [len] (1, 2, 4 or 8) bytes. *)
+let read_int m a len =
+  let v = ref 0 in
+  for i = len - 1 downto 0 do
+    v := (!v lsl 8) lor read_byte m (a + i)
+  done;
+  !v
+
+let write_int m a len v =
+  let v = ref v in
+  for i = 0 to len - 1 do
+    write_byte m (a + i) (!v land 0xff);
+    v := !v asr 8
+  done
+
+(** Sign-extend an unsigned [len]-byte value read by {!read_int}. *)
+let sign_extend v len =
+  if len >= 8 then v
+  else
+    let bits = len * 8 in
+    let sign = 1 lsl (bits - 1) in
+    if v land sign <> 0 then v - (1 lsl bits) else v
+
+let read_i64 m a =
+  (* 8-byte values: the top byte can set bit 63, which does not fit the
+     positive range of OCaml's 63-bit int; all simulated addresses and
+     sane integer values are below 2^62, so plain composition is safe,
+     but we fold through Int64 to preserve wrap-around semantics. *)
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_byte m (a + i)))
+  done;
+  !v
+
+let write_i64 m a (v : int64) =
+  let v = ref v in
+  for i = 0 to 7 do
+    write_byte m (a + i) (Int64.to_int (Int64.logand !v 0xffL));
+    v := Int64.shift_right_logical !v 8
+  done
+
+let read_f64 m a = Int64.float_of_bits (read_i64 m a)
+let write_f64 m a v = write_i64 m a (Int64.bits_of_float v)
+
+let read_f32 m a = Int32.float_of_bits (Int32.of_int (read_int m a 4))
+
+let write_f32 m a v =
+  write_int m a 4 (Int32.to_int (Int32.bits_of_float v) land 0xffffffff)
+
+(** Read a NUL-terminated string (capped at [max], default 1 MiB). *)
+let read_cstring ?(max = 1 lsl 20) m a =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = read_byte m (a + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0
+
+let write_string m a s =
+  String.iteri (fun i c -> write_byte m (a + i) (Char.code c)) s
+
+let write_cstring m a s =
+  write_string m a s;
+  write_byte m (a + String.length s) 0
+
+let blit m ~src ~dst ~len =
+  if dst <= src then
+    for i = 0 to len - 1 do
+      write_byte m (dst + i) (read_byte m (src + i))
+    done
+  else
+    for i = len - 1 downto 0 do
+      write_byte m (dst + i) (read_byte m (src + i))
+    done
+
+let fill m a len v =
+  for i = 0 to len - 1 do
+    write_byte m (a + i) v
+  done
+
+(* --- segment management --- *)
+
+(** Allocate [size] bytes in the globals segment, aligned to [align]. *)
+let alloc_global m ~size ~align =
+  let a = align_up m.globals_brk align in
+  m.globals_brk <- a + size;
+  a
+
+(** Grow the heap bump pointer (used by the heap allocator). *)
+let heap_sbrk m size =
+  let a = m.heap_brk in
+  if a + size > Layout.heap_limit then None
+  else begin
+    m.heap_brk <- a + size;
+    Some a
+  end
+
+(** Record stack growth.  The low watermark is monotonic: memory once made
+    valid by stack growth stays readable (as on a real machine, where the
+    pages below the deepest stack extent remain mapped). *)
+let set_stack_low m sp =
+  if sp < Layout.stack_limit then raise (Segfault sp);
+  if sp < m.stack_low then m.stack_low <- sp

@@ -1,0 +1,439 @@
+(* Olden-style benchmark kernels (the white bars of Figure 1) plus the
+   SPEC lisp interpreter [li].
+
+   These are pointer-chasing programs — trees, lists and graphs built
+   from heap cells — so a large fraction of their memory operations load
+   or store pointer values.  Under SoftBound every one of those costs a
+   disjoint-metadata-space access, which is exactly what pushes them to
+   the right of Figure 1 and to the high-overhead end of Figure 2. *)
+
+(* treeadd: build a binary tree, recursively sum it. *)
+let treeadd =
+  {|
+typedef struct tnode {
+  struct tnode *left;
+  struct tnode *right;
+  int value;
+} tnode;
+
+tnode *build(int depth) {
+  tnode *n = (tnode*)malloc(sizeof(tnode));
+  n->value = 1;
+  if (depth > 1) {
+    n->left = build(depth - 1);
+    n->right = build(depth - 1);
+  } else {
+    n->left = NULL;
+    n->right = NULL;
+  }
+  return n;
+}
+
+int treeadd(tnode *n) {
+  if (n == NULL) return 0;
+  return n->value + treeadd(n->left) + treeadd(n->right);
+}
+
+int main(int argc, char **argv) {
+  int depth = 12;
+  int passes = 6;
+  int p;
+  int total = 0;
+  tnode *root;
+  if (argc > 1) depth = atoi(argv[1]);
+  root = build(depth);
+  for (p = 0; p < passes; p++) total += treeadd(root);
+  printf("treeadd: total=%d\n", total);
+  return 0;
+}
+|}
+
+(* em3d: bipartite graph; each node's value is recomputed from pointers
+   to its neighbours' values. *)
+let em3d =
+  {|
+typedef struct enode {
+  double value;
+  struct enode *next;
+  struct enode **from_nodes;   /* array of pointers to the other half */
+  int from_count;
+  double coeff;
+} enode;
+
+enode *make_list(int n) {
+  enode *head = NULL;
+  int i;
+  for (i = 0; i < n; i++) {
+    enode *e = (enode*)malloc(sizeof(enode));
+    e->value = (double)(i % 17) * 0.25 + 1.0;
+    e->coeff = 0.49;
+    e->from_count = 0;
+    e->from_nodes = NULL;
+    e->next = head;
+    head = e;
+  }
+  return head;
+}
+
+enode *nth(enode *l, int k) {
+  while (k > 0) { l = l->next; k--; }
+  return l;
+}
+
+void wire(enode *dsts, enode *srcs, int n, int degree) {
+  enode *e;
+  int i = 0;
+  for (e = dsts; e != NULL; e = e->next) {
+    int d;
+    e->from_nodes = (enode**)malloc(sizeof(enode*) * degree);
+    e->from_count = degree;
+    for (d = 0; d < degree; d++) {
+      e->from_nodes[d] = nth(srcs, (i * 7 + d * 13) % n);
+    }
+    i++;
+  }
+}
+
+void compute(enode *l) {
+  enode *e;
+  for (e = l; e != NULL; e = e->next) {
+    double acc = e->value;
+    int d;
+    for (d = 0; d < e->from_count; d++) {
+      acc -= e->coeff * e->from_nodes[d]->value;
+    }
+    e->value = acc;
+  }
+}
+
+int main(int argc, char **argv) {
+  int n = 160;
+  int iters = 12;
+  int degree = 4;
+  int t;
+  enode *hnodes;
+  enode *enodes;
+  double checksum = 0.0;
+  enode *e;
+  if (argc > 1) n = atoi(argv[1]);
+  hnodes = make_list(n);
+  enodes = make_list(n);
+  wire(hnodes, enodes, n, degree);
+  wire(enodes, hnodes, n, degree);
+  for (t = 0; t < iters; t++) {
+    compute(hnodes);
+    compute(enodes);
+  }
+  for (e = hnodes; e != NULL; e = e->next) checksum += e->value;
+  printf("em3d: checksum=%f\n", checksum);
+  return 0;
+}
+|}
+
+(* li: lisp interpreter kernel — cons cells, environments, eval/apply. *)
+let li =
+  {|
+enum { T_NIL, T_NUM, T_SYM, T_CONS, T_PRIM };
+
+typedef struct cell {
+  int tag;
+  int num;                 /* T_NUM value or T_SYM id or T_PRIM opcode */
+  struct cell *car;
+  struct cell *cdr;
+} cell;
+
+cell *nil_cell;
+int cells_made;
+
+cell *alloc_cell(int tag) {
+  cell *c = (cell*)malloc(sizeof(cell));
+  c->tag = tag;
+  c->num = 0;
+  c->car = NULL;
+  c->cdr = NULL;
+  cells_made++;
+  return c;
+}
+
+cell *mknum(int v) { cell *c = alloc_cell(T_NUM); c->num = v; return c; }
+cell *cons(cell *a, cell *d) {
+  cell *c = alloc_cell(T_CONS);
+  c->car = a;
+  c->cdr = d;
+  return c;
+}
+
+/* env: list of (symid . value) conses */
+cell *env_lookup(cell *env, int sym) {
+  cell *e;
+  for (e = env; e->tag == T_CONS; e = e->cdr) {
+    if (e->car->num == sym) return e->car->cdr;
+  }
+  return nil_cell;
+}
+
+cell *env_bind(cell *env, int sym, cell *v) {
+  cell *pair = alloc_cell(T_CONS);
+  pair->num = sym;       /* binding cells carry the symbol id inline */
+  pair->cdr = v;
+  return cons(pair, env);
+}
+
+cell *eval(cell *x, cell *env);
+
+cell *eval_list_sum(cell *args, cell *env) {
+  int acc = 0;
+  cell *a;
+  for (a = args; a->tag == T_CONS; a = a->cdr) {
+    cell *v = eval(a->car, env);
+    if (v->tag == T_NUM) acc += v->num;
+  }
+  return mknum(acc);
+}
+
+cell *eval(cell *x, cell *env) {
+  if (x->tag == T_NUM) return x;
+  if (x->tag == T_SYM) return env_lookup(env, x->num);
+  if (x->tag == T_CONS) {
+    cell *op = x->car;
+    if (op->tag == T_PRIM) {
+      if (op->num == 0) return eval_list_sum(x->cdr, env);
+      if (op->num == 1) {             /* (if c a b) with c a number */
+        cell *c = eval(x->cdr->car, env);
+        if (c->tag == T_NUM && c->num != 0)
+          return eval(x->cdr->cdr->car, env);
+        return eval(x->cdr->cdr->cdr->car, env);
+      }
+    }
+  }
+  return nil_cell;
+}
+
+cell *mksym(int id) { cell *c = alloc_cell(T_SYM); c->num = id; return c; }
+cell *mkprim(int op) { cell *c = alloc_cell(T_PRIM); c->num = op; return c; }
+
+int main(int argc, char **argv) {
+  int reps = 120;
+  int r;
+  int total = 0;
+  cell *env;
+  if (argc > 1) reps = atoi(argv[1]);
+  nil_cell = alloc_cell(T_NIL);
+  env = nil_cell;
+  /* bind syms 0..29 to numbers; lookups of low ids walk the chain */
+  for (r = 29; r >= 0; r--) env = env_bind(env, r, mknum(r * 3 + 1));
+  for (r = 0; r < reps; r++) {
+    /* (+ s0 s1 (if s2 (+ s3 s4) (+ s5 s6)) s7) */
+    cell *inner1 = cons(mkprim(0), cons(mksym(3), cons(mksym(4), nil_cell)));
+    cell *inner2 = cons(mkprim(0), cons(mksym(5), cons(mksym(6), nil_cell)));
+    cell *iff;
+    cell *expr;
+    iff = cons(mkprim(1),
+            cons(mksym(2),
+              cons(inner1,
+                cons(inner2, nil_cell))));
+    expr = cons(mkprim(0),
+             cons(mksym(0),
+               cons(mksym(1),
+                 cons(iff,
+                   cons(mksym(7), nil_cell)))));
+    {
+      cell *v = eval(expr, env);
+      if (v->tag == T_NUM) total += v->num;
+    }
+  }
+  printf("li: total=%d cells=%d\n", total, cells_made);
+  return 0;
+}
+|}
+
+(* bisort: Olden's bitonic sort over a binary tree, with subtree swaps. *)
+let bisort =
+  {|
+typedef struct bnode {
+  int value;
+  int visits;
+  int depth_seen;
+  struct bnode *left;
+  struct bnode *right;
+} bnode;
+
+int seed;
+int next_rand(void) { seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed; }
+
+bnode *build(int depth) {
+  bnode *n;
+  if (depth == 0) return NULL;
+  n = (bnode*)malloc(sizeof(bnode));
+  n->value = next_rand() % 10000;
+  n->visits = 0;
+  n->depth_seen = depth;
+  n->left = build(depth - 1);
+  n->right = build(depth - 1);
+  return n;
+}
+
+void swap_children(bnode *n) {
+  bnode *t = n->left;
+  n->left = n->right;
+  n->right = t;
+}
+
+/* bimerge: enforce direction over a bitonic tree */
+void bimerge(bnode *n, int up) {
+  if (n == NULL) return;
+  n->visits = n->visits + 1;
+  n->depth_seen = n->depth_seen + (up ? 1 : -1);
+  if (n->left != NULL) {
+    int lv = n->left->value;
+    int rv = n->right->value;
+    if ((up && lv > rv) || (!up && lv < rv)) {
+      int t = lv;
+      n->left->value = rv;
+      n->right->value = t;
+      swap_children(n->left);
+      swap_children(n->right);
+    }
+    bimerge(n->left, up);
+    bimerge(n->right, up);
+  }
+}
+
+void bisort(bnode *n, int up) {
+  if (n == NULL) return;
+  bisort(n->left, up);
+  bisort(n->right, !up);
+  bimerge(n, up);
+}
+
+int check_sum(bnode *n) {
+  if (n == NULL) return 0;
+  return n->value % 97 + check_sum(n->left) + check_sum(n->right);
+}
+
+int main(int argc, char **argv) {
+  int depth = 10;
+  bnode *root;
+  int rounds = 4;
+  int r;
+  int total = 0;
+  if (argc > 1) depth = atoi(argv[1]);
+  seed = 91;
+  root = build(depth);
+  for (r = 0; r < rounds; r++) {
+    bisort(root, r & 1);
+    total += check_sum(root);
+  }
+  printf("bisort: total=%d\n", total);
+  return 0;
+}
+|}
+
+(* mst: Olden's minimum spanning tree — vertices with hash-bucketed
+   adjacency lists, Prim-style growth. *)
+let mst =
+  {|
+typedef struct edge {
+  struct vertex *to;
+  int weight;
+  struct edge *next;
+} edge;
+
+typedef struct vertex {
+  struct vertex *next;
+  edge *adj[8];          /* hash buckets of adjacency lists */
+  int key;
+  int in_tree;
+  int id;
+} vertex;
+
+vertex *graph;
+int n_vertices;
+
+vertex *find_vertex(int id) {
+  vertex *v;
+  for (v = graph; v != NULL; v = v->next)
+    if (v->id == id) return v;
+  return NULL;
+}
+
+void add_edge(vertex *a, vertex *b, int w) {
+  edge *e = (edge*)malloc(sizeof(edge));
+  int bucket = b->id & 7;
+  e->to = b;
+  e->weight = w;
+  e->next = a->adj[bucket];
+  a->adj[bucket] = e;
+}
+
+void build_graph(int n) {
+  int i;
+  graph = NULL;
+  for (i = 0; i < n; i++) {
+    vertex *v = (vertex*)malloc(sizeof(vertex));
+    int b;
+    for (b = 0; b < 8; b++) v->adj[b] = NULL;
+    v->key = 1 << 29;
+    v->in_tree = 0;
+    v->id = i;
+    v->next = graph;
+    graph = v;
+  }
+  for (i = 0; i < n; i++) {
+    vertex *a = find_vertex(i);
+    int j;
+    for (j = 1; j <= 3; j++) {
+      vertex *b = find_vertex((i + j * 7 + (i * j) % 5) % n);
+      if (b != NULL && b != a) {
+        int w = 1 + ((i * 31 + j * 17) % 100);
+        add_edge(a, b, w);
+        add_edge(b, a, w);
+      }
+    }
+  }
+}
+
+int prim(void) {
+  int total = 0;
+  int added = 1;
+  vertex *v;
+  graph->in_tree = 1;
+  graph->key = 0;
+  while (added) {
+    vertex *best = NULL;
+    added = 0;
+    /* relax edges out of tree vertices */
+    for (v = graph; v != NULL; v = v->next) {
+      if (v->in_tree) {
+        int b;
+        for (b = 0; b < 8; b++) {
+          edge *e;
+          for (e = v->adj[b]; e != NULL; e = e->next) {
+            if (!e->to->in_tree && e->weight < e->to->key)
+              e->to->key = e->weight;
+          }
+        }
+      }
+    }
+    for (v = graph; v != NULL; v = v->next) {
+      if (!v->in_tree && v->key < (1 << 29)) {
+        if (best == NULL || v->key < best->key) best = v;
+      }
+    }
+    if (best != NULL) {
+      best->in_tree = 1;
+      total += best->key;
+      added = 1;
+    }
+  }
+  return total;
+}
+
+int main(int argc, char **argv) {
+  int n = 96;
+  if (argc > 1) n = atoi(argv[1]);
+  build_graph(n);
+  printf("mst: weight=%d\n", prim());
+  return 0;
+}
+|}

@@ -1,0 +1,447 @@
+(* Remaining Olden-style kernels: bh, tsp, perimeter, health. *)
+
+(* bh: Barnes–Hut N-body — quadtree build, centre-of-mass pass, force
+   walk.  A mix of double arithmetic and pointer chasing, which puts it
+   between the scalar SPEC codes and the pure pointer chasers. *)
+let bh =
+  {|
+typedef struct body {
+  double x;
+  double y;
+  double mass;
+  double fx;
+  double fy;
+  struct body *next;
+} body;
+
+typedef struct qnode {
+  double cx;
+  double cy;
+  double half;
+  double mass;
+  double mx;
+  double my;
+  body *b;                  /* leaf payload */
+  struct qnode *kid[4];
+} qnode;
+
+int seed;
+int next_rand(void) { seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed; }
+double frand(void) { return (double)(next_rand() % 10000) / 10000.0; }
+
+qnode *new_node(double cx, double cy, double half) {
+  qnode *q = (qnode*)malloc(sizeof(qnode));
+  int i;
+  q->cx = cx; q->cy = cy; q->half = half;
+  q->mass = 0.0; q->mx = 0.0; q->my = 0.0;
+  q->b = NULL;
+  for (i = 0; i < 4; i++) q->kid[i] = NULL;
+  return q;
+}
+
+int quadrant_of(qnode *q, body *b) {
+  int qd = 0;
+  if (b->x > q->cx) qd += 1;
+  if (b->y > q->cy) qd += 2;
+  return qd;
+}
+
+void insert_body(qnode *q, body *b, int depth) {
+  if (depth > 12) return;
+  if (q->b == NULL && q->kid[0] == NULL && q->kid[1] == NULL
+      && q->kid[2] == NULL && q->kid[3] == NULL) {
+    q->b = b;
+    return;
+  }
+  if (q->b != NULL) {
+    body *old = q->b;
+    int qd = quadrant_of(q, old);
+    double h = q->half / 2.0;
+    q->b = NULL;
+    if (q->kid[qd] == NULL)
+      q->kid[qd] = new_node(q->cx + (qd & 1 ? h : -h),
+                            q->cy + (qd & 2 ? h : -h), h);
+    insert_body(q->kid[qd], old, depth + 1);
+  }
+  {
+    int qd = quadrant_of(q, b);
+    double h = q->half / 2.0;
+    if (q->kid[qd] == NULL)
+      q->kid[qd] = new_node(q->cx + (qd & 1 ? h : -h),
+                            q->cy + (qd & 2 ? h : -h), h);
+    insert_body(q->kid[qd], b, depth + 1);
+  }
+}
+
+void centre_of_mass(qnode *q) {
+  int i;
+  if (q == NULL) return;
+  if (q->b != NULL) {
+    q->mass = q->b->mass;
+    q->mx = q->b->x;
+    q->my = q->b->y;
+    return;
+  }
+  q->mass = 0.0; q->mx = 0.0; q->my = 0.0;
+  for (i = 0; i < 4; i++) {
+    qnode *k = q->kid[i];
+    if (k != NULL) {
+      centre_of_mass(k);
+      q->mass += k->mass;
+      q->mx += k->mx * k->mass;
+      q->my += k->my * k->mass;
+    }
+  }
+  if (q->mass > 0.0) { q->mx /= q->mass; q->my /= q->mass; }
+}
+
+void force_walk(qnode *q, body *b) {
+  double dx;
+  double dy;
+  double d2;
+  int i;
+  if (q == NULL || q->mass == 0.0) return;
+  dx = q->mx - b->x;
+  dy = q->my - b->y;
+  d2 = dx * dx + dy * dy + 0.01;
+  if (q->b != NULL || q->half * q->half < 0.09 * d2) {
+    double inv = q->mass / (d2 * sqrt(d2));
+    b->fx += dx * inv;
+    b->fy += dy * inv;
+    return;
+  }
+  for (i = 0; i < 4; i++) force_walk(q->kid[i], b);
+}
+
+int main(int argc, char **argv) {
+  int n = 256;
+  int steps = 4;
+  int s;
+  int i;
+  body *bodies;
+  double checksum = 0.0;
+  body *bl;
+  if (argc > 1) n = atoi(argv[1]);
+  seed = 17;
+  bodies = NULL;
+  for (i = 0; i < n; i++) {
+    body *b = (body*)malloc(sizeof(body));
+    b->x = frand(); b->y = frand();
+    b->mass = 0.5 + frand();
+    b->fx = 0.0; b->fy = 0.0;
+    b->next = bodies;
+    bodies = b;
+  }
+  for (s = 0; s < steps; s++) {
+    qnode *root = new_node(0.5, 0.5, 0.5);
+    for (bl = bodies; bl != NULL; bl = bl->next) insert_body(root, bl, 0);
+    centre_of_mass(root);
+    for (bl = bodies; bl != NULL; bl = bl->next) {
+      bl->fx = 0.0; bl->fy = 0.0;
+      force_walk(root, bl);
+      bl->x += bl->fx * 0.0001;
+      bl->y += bl->fy * 0.0001;
+    }
+  }
+  for (bl = bodies; bl != NULL; bl = bl->next) checksum += bl->fx + bl->fy;
+  printf("bh: checksum=%f\n", checksum);
+  return 0;
+}
+|}
+
+(* tsp: closest-point heuristic tour over a linked list of cities,
+   Olden-style divide and merge. *)
+let tsp =
+  {|
+typedef struct city {
+  double x;
+  double y;
+  struct city *next;
+  struct city *tour_next;
+  int visited;
+} city;
+
+int seed;
+int next_rand(void) { seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed; }
+double frand(void) { return (double)(next_rand() % 10000) / 10000.0; }
+
+double dist2(city *a, city *b) {
+  double dx = a->x - b->x;
+  double dy = a->y - b->y;
+  return dx * dx + dy * dy;
+}
+
+city *make_cities(int n) {
+  city *head = NULL;
+  int i;
+  for (i = 0; i < n; i++) {
+    city *c = (city*)malloc(sizeof(city));
+    c->x = frand();
+    c->y = frand();
+    c->next = head;
+    c->tour_next = NULL;
+    c->visited = 0;
+    head = c;
+  }
+  return head;
+}
+
+double nearest_neighbour_tour(city *all) {
+  city *cur = all;
+  double total = 0.0;
+  cur->visited = 1;
+  for (;;) {
+    city *best = NULL;
+    double bestd = 1.0e30;
+    city *c;
+    for (c = all; c != NULL; c = c->next) {
+      if (!c->visited) {
+        double d = dist2(cur, c);
+        if (d < bestd) { bestd = d; best = c; }
+      }
+    }
+    if (best == NULL) break;
+    best->visited = 1;
+    cur->tour_next = best;
+    total += sqrt(bestd);
+    cur = best;
+  }
+  /* close the tour */
+  total += sqrt(dist2(cur, all));
+  cur->tour_next = all;
+  return total;
+}
+
+/* 2-opt-ish improvement pass over the tour list */
+double improve(city *start, double len) {
+  city *a;
+  int i = 0;
+  for (a = start; i < 200 && a->tour_next != start; a = a->tour_next) {
+    city *b = a->tour_next;
+    city *c = b->tour_next;
+    if (c != start && c != NULL && c->tour_next != NULL) {
+      double before = sqrt(dist2(a, b)) + sqrt(dist2(b, c));
+      double after = sqrt(dist2(a, c)) + sqrt(dist2(c, b));
+      if (after < before) {
+        a->tour_next = c;
+        city *d = c->tour_next;
+        c->tour_next = b;
+        b->tour_next = d;
+        len = len - before + after;
+      }
+    }
+    i++;
+  }
+  return len;
+}
+
+int main(int argc, char **argv) {
+  int n = 96;
+  city *cities;
+  double len;
+  if (argc > 1) n = atoi(argv[1]);
+  seed = 23;
+  cities = make_cities(n);
+  len = nearest_neighbour_tour(cities);
+  {
+    int pass;
+    for (pass = 0; pass < 8; pass++) len = improve(cities, len);
+  }
+  printf("tsp: len=%f\n", len);
+  return 0;
+}
+|}
+
+(* perimeter: quadtree image representation; perimeter of the black
+   region via neighbour finding through parent pointers. *)
+let perimeter =
+  {|
+enum { WHITE, BLACK, GREY };
+
+typedef struct qt {
+  int colour;
+  int level;
+  struct qt *parent;
+  struct qt *kid[4];      /* nw ne sw se */
+} qt;
+
+int seed;
+int next_rand(void) { seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed; }
+
+qt *build(int level, qt *parent) {
+  qt *q = (qt*)malloc(sizeof(qt));
+  int i;
+  q->parent = parent;
+  q->level = level;
+  for (i = 0; i < 4; i++) q->kid[i] = NULL;
+  if (level == 0) {
+    q->colour = (next_rand() % 3 == 0) ? BLACK : WHITE;
+  } else {
+    int all_black = 1;
+    int all_white = 1;
+    for (i = 0; i < 4; i++) {
+      q->kid[i] = build(level - 1, q);
+      if (q->kid[i]->colour != BLACK) all_black = 0;
+      if (q->kid[i]->colour != WHITE) all_white = 0;
+    }
+    if (all_black) q->colour = BLACK;
+    else if (all_white) q->colour = WHITE;
+    else q->colour = GREY;
+  }
+  return q;
+}
+
+int count_leaves(qt *q, int colour) {
+  if (q == NULL) return 0;
+  if (q->kid[0] == NULL) return q->colour == colour ? 1 : 0;
+  return count_leaves(q->kid[0], colour) + count_leaves(q->kid[1], colour)
+       + count_leaves(q->kid[2], colour) + count_leaves(q->kid[3], colour);
+}
+
+/* edge contribution of black leaves: 4 * side - 2 * shared black edges,
+   approximated by sampling sibling adjacency through the parent chain */
+int perimeter_of(qt *q) {
+  int p = 0;
+  int i;
+  if (q == NULL) return 0;
+  if (q->kid[0] == NULL) {
+    if (q->colour == BLACK) {
+      p = 4 + q->level - q->level;   /* side length cancels at unit leaves */
+      if (q->parent != NULL) {
+        for (i = 0; i < 4; i++) {
+          qt *sib = q->parent->kid[i];
+          if (sib != NULL && sib != q && sib->colour == BLACK) p--;
+        }
+      }
+    }
+    return p;
+  }
+  for (i = 0; i < 4; i++) p += perimeter_of(q->kid[i]);
+  return p;
+}
+
+int main(int argc, char **argv) {
+  int levels = 6;
+  qt *root;
+  int black;
+  int per;
+  if (argc > 1) levels = atoi(argv[1]);
+  seed = 29;
+  root = build(levels, NULL);
+  black = count_leaves(root, BLACK);
+  per = perimeter_of(root);
+  printf("perimeter: black=%d perimeter=%d\n", black, per);
+  return 0;
+}
+|}
+
+(* health: Olden's hospital simulation — a tree of villages, each with
+   waiting/assess/inside patient lists that patients migrate through. *)
+let health =
+  {|
+typedef struct patient {
+  int hosps_visited;
+  int time_left;
+  int id;
+  struct patient *next;
+} patient;
+
+typedef struct village {
+  struct village *kid[4];
+  struct village *parent;
+  patient *waiting;
+  patient *assess;
+  patient *inside;
+  int label;
+  int seed;
+} village;
+
+int global_seed;
+int next_rand(void) {
+  global_seed = (global_seed * 1103515245 + 12345) & 0x7fffffff;
+  return global_seed;
+}
+
+int patients_made;
+int patients_treated;
+
+village *build(int level, village *parent, int label) {
+  village *v;
+  int i;
+  if (level == 0) return NULL;
+  v = (village*)malloc(sizeof(village));
+  v->parent = parent;
+  v->label = label;
+  v->seed = label * 37 + 11;
+  v->waiting = NULL;
+  v->assess = NULL;
+  v->inside = NULL;
+  for (i = 0; i < 4; i++) v->kid[i] = build(level - 1, v, label * 4 + i + 1);
+  return v;
+}
+
+patient *new_patient(int id) {
+  patient *p = (patient*)malloc(sizeof(patient));
+  p->hosps_visited = 0;
+  p->time_left = 2 + id % 3;
+  p->id = id;
+  p->next = NULL;
+  patients_made++;
+  return p;
+}
+
+patient *list_pop(patient **l) {
+  patient *p = *l;
+  if (p != NULL) *l = p->next;
+  return p;
+}
+
+void list_push(patient **l, patient *p) {
+  p->next = *l;
+  *l = p;
+}
+
+void simulate(village *v) {
+  int i;
+  patient *p;
+  if (v == NULL) return;
+  for (i = 0; i < 4; i++) simulate(v->kid[i]);
+  /* maybe a new patient arrives at a leaf village */
+  if (v->kid[0] == NULL && next_rand() % 3 == 0) {
+    list_push(&v->waiting, new_patient(next_rand() % 1000));
+  }
+  /* assess one waiting patient */
+  p = list_pop(&v->waiting);
+  if (p != NULL) {
+    p->hosps_visited++;
+    if (next_rand() % 10 < 7 || v->parent == NULL) {
+      list_push(&v->inside, p);       /* treat here */
+    } else {
+      list_push(&v->parent->waiting, p);  /* refer upward */
+    }
+  }
+  /* advance treatment */
+  p = v->inside;
+  if (p != NULL) {
+    p->time_left--;
+    if (p->time_left <= 0) {
+      v->inside = p->next;
+      patients_treated++;
+      free(p);
+    }
+  }
+}
+
+int main(int argc, char **argv) {
+  int steps = 60;
+  int levels = 4;
+  village *top;
+  int t;
+  if (argc > 1) steps = atoi(argv[1]);
+  global_seed = 43;
+  top = build(levels, NULL, 0);
+  for (t = 0; t < steps; t++) simulate(top);
+  printf("health: made=%d treated=%d\n", patients_made, patients_treated);
+  return 0;
+}
+|}

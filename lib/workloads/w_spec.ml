@@ -1,0 +1,382 @@
+(* SPEC-style benchmark kernels (the dark bars of Figure 1).
+
+   These are scalar/array-dominated: few of their memory operations load
+   or store pointer values, so SoftBound's metadata traffic is small and
+   the residual overhead is dominated by the dereference checks — the
+   left side of Figures 1 and 2.
+
+   Every kernel accepts an optional scale argument (argv[1]). *)
+
+(* go: 9x9 Go position evaluator — influence propagation and liberty
+   counting over int arrays. *)
+let go =
+  {|
+int board[81];
+int influence[81];
+int liberties[81];
+
+int on_board(int pt) { return pt >= 0 && pt < 81; }
+
+void propagate_influence(void) {
+  int pt;
+  int pass;
+  for (pass = 0; pass < 4; pass++) {
+    for (pt = 0; pt < 81; pt++) {
+      int v = influence[pt];
+      if (v != 0) {
+        int decay = v / 2;
+        if (pt >= 9) influence[pt - 9] += decay;
+        if (pt < 72) influence[pt + 9] += decay;
+        if (pt % 9 != 0) influence[pt - 1] += decay;
+        if (pt % 9 != 8) influence[pt + 1] += decay;
+      }
+    }
+  }
+}
+
+void count_liberties(void) {
+  int pt;
+  for (pt = 0; pt < 81; pt++) {
+    int libs = 0;
+    if (board[pt] != 0) {
+      if (pt >= 9 && board[pt - 9] == 0) libs++;
+      if (pt < 72 && board[pt + 9] == 0) libs++;
+      if (pt % 9 != 0 && board[pt - 1] == 0) libs++;
+      if (pt % 9 != 8 && board[pt + 1] == 0) libs++;
+    }
+    liberties[pt] = libs;
+  }
+}
+
+int evaluate(void) {
+  int score = 0;
+  int pt;
+  propagate_influence();
+  count_liberties();
+  for (pt = 0; pt < 81; pt++) {
+    if (board[pt] == 1) score += 4 + liberties[pt] + influence[pt] / 8;
+    if (board[pt] == 2) score -= 4 + liberties[pt] + influence[pt] / 8;
+  }
+  return score;
+}
+
+int main(int argc, char **argv) {
+  int games = 60;
+  int g;
+  int total = 0;
+  if (argc > 1) games = atoi(argv[1]);
+  srand(7);
+  for (g = 0; g < games; g++) {
+    int mv;
+    int pt;
+    for (pt = 0; pt < 81; pt++) { board[pt] = 0; influence[pt] = 0; }
+    for (mv = 0; mv < 40; mv++) {
+      int at = rand() % 81;
+      board[at] = 1 + (mv & 1);
+      influence[at] = board[at] == 1 ? 64 : -64;
+      total = (total + evaluate()) % 1000000;
+    }
+  }
+  printf("go: total=%d\n", total);
+  return 0;
+}
+|}
+
+(* lbm: 1D-projected lattice-Boltzmann streaming/collision over double
+   grids. *)
+let lbm =
+  {|
+double grid_a[3000];
+double grid_b[3000];
+
+void collide_stream(double *src, double *dst, int n) {
+  int i;
+  for (i = 1; i < n - 1; i++) {
+    double rho = src[i - 1] + src[i] + src[i + 1];
+    double u = (src[i + 1] - src[i - 1]) / (rho + 1.0);
+    double eq = rho / 3.0 * (1.0 + 3.0 * u + 4.5 * u * u);
+    dst[i] = src[i] + 1.85 * (eq - src[i]) * 0.333;
+  }
+  dst[0] = dst[1];
+  dst[n - 1] = dst[n - 2];
+}
+
+typedef struct { double *src; double *dst; } lattice;
+lattice lat;
+
+int main(int argc, char **argv) {
+  int steps = 40;
+  int n = 3000;
+  int i;
+  int t;
+  double checksum = 0.0;
+  if (argc > 1) steps = atoi(argv[1]);
+  lat.src = grid_a;
+  lat.dst = grid_b;
+  for (i = 0; i < n; i++) grid_a[i] = 1.0 + (double)(i % 7) * 0.01;
+  for (t = 0; t < steps; t++) {
+    double *tmp;
+    collide_stream(lat.src, lat.dst, n);
+    tmp = lat.src; lat.src = lat.dst; lat.dst = tmp;
+  }
+  for (i = 0; i < n; i += 97) checksum += lat.src[i];
+  printf("lbm: checksum=%f\n", checksum);
+  return 0;
+}
+|}
+
+(* hmmer: profile-HMM Viterbi over integer score matrices. *)
+let hmmer =
+  {|
+int match_score[40][20];
+int mmx[41][40];
+int imx[41][40];
+int dmx[41][40];
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+int viterbi(int *seq, int len, int m) {
+  int i;
+  int k;
+  for (k = 0; k < m; k++) { mmx[0][k] = -10000; imx[0][k] = -10000; dmx[0][k] = -10000; }
+  mmx[0][0] = 0;
+  for (i = 1; i <= len; i++) {
+    int sym = seq[i - 1];
+    for (k = 1; k < m; k++) {
+      int sc = max2(mmx[i - 1][k - 1] - 11, imx[i - 1][k - 1] - 4);
+      sc = max2(sc, dmx[i - 1][k - 1] - 7);
+      mmx[i][k] = sc + match_score[k][sym];
+      imx[i][k] = max2(mmx[i - 1][k] - 8, imx[i - 1][k] - 2);
+      dmx[i][k] = max2(mmx[i][k - 1] - 10, dmx[i][k - 1] - 3);
+    }
+    mmx[i][0] = -10000; imx[i][0] = -10000; dmx[i][0] = -10000;
+  }
+  {
+    int best = -10000;
+    for (k = 0; k < m; k++) best = max2(best, mmx[len][k]);
+    return best;
+  }
+}
+
+int main(int argc, char **argv) {
+  int reps = 12;
+  int seq[40];
+  int r;
+  int k;
+  int s;
+  int total = 0;
+  if (argc > 1) reps = atoi(argv[1]);
+  srand(11);
+  for (k = 0; k < 40; k++)
+    for (s = 0; s < 20; s++)
+      match_score[k][s] = (rand() % 13) - 4;
+  for (r = 0; r < reps; r++) {
+    int i;
+    for (i = 0; i < 40; i++) seq[i] = rand() % 20;
+    total += viterbi(seq, 40, 40);
+  }
+  printf("hmmer: total=%d\n", total);
+  return 0;
+}
+|}
+
+(* compress: LZW-style compressor with an open-addressing code table. *)
+let compress =
+  {|
+int htab[4096];
+int codetab[4096];
+char inbuf[4096];
+char outbuf[8192];
+
+int compress_block(char *in, int n, char *out) {
+  int next_code = 256;
+  int prefix;
+  int i;
+  int outn = 0;
+  int h;
+  for (h = 0; h < 4096; h++) htab[h] = -1;
+  prefix = (int)in[0] & 0xff;
+  for (i = 1; i < n; i++) {
+    int c = (int)in[i] & 0xff;
+    int key = (prefix << 8) | c;
+    int probe = ((key * 2654435) ^ (key >> 7)) & 4095;
+    int found = -1;
+    while (htab[probe] != -1) {
+      if (htab[probe] == key) { found = codetab[probe]; break; }
+      probe = (probe + 1) & 4095;
+    }
+    if (found >= 0) {
+      prefix = found;
+    } else {
+      out[outn++] = (char)(prefix & 0xff);
+      out[outn++] = (char)((prefix >> 8) & 0xff);
+      if (next_code < 4096) {
+        htab[probe] = key;
+        codetab[probe] = next_code;
+        next_code++;
+      }
+      prefix = c;
+    }
+  }
+  out[outn++] = (char)(prefix & 0xff);
+  return outn;
+}
+
+int main(int argc, char **argv) {
+  int reps = 25;
+  int r;
+  int i;
+  int total = 0;
+  if (argc > 1) reps = atoi(argv[1]);
+  srand(3);
+  for (i = 0; i < 4096; i++)
+    inbuf[i] = (char)('a' + (((i * i) >> 3) + rand() % 5) % 16);
+  for (r = 0; r < reps; r++) total += compress_block(inbuf, 4096, outbuf);
+  printf("compress: out=%d\n", total);
+  return 0;
+}
+|}
+
+(* ijpeg: 8x8 integer DCT, quantization and zig-zag over image blocks. *)
+let ijpeg =
+  {|
+int image[64][64];
+int quant[64];
+int zigzag[64];
+
+void dct8(int *vec) {
+  int tmp[8];
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    int acc = 0;
+    for (j = 0; j < 8; j++) {
+      int c = (i == 0) ? 181 : 256 - (i * i * 3);
+      acc += vec[j] * c / 256;
+    }
+    tmp[i] = acc;
+  }
+  for (i = 0; i < 8; i++) vec[i] = tmp[i];
+}
+
+int encode_block(int bx, int by) {
+  int block[64];
+  int x;
+  int y;
+  int i;
+  int nz = 0;
+  for (y = 0; y < 8; y++)
+    for (x = 0; x < 8; x++)
+      block[y * 8 + x] = image[by * 8 + y][bx * 8 + x] - 128;
+  for (y = 0; y < 8; y++) dct8(&block[y * 8]);
+  for (i = 0; i < 64; i++) {
+    int q = block[zigzag[i]] / quant[i];
+    if (q != 0) nz++;
+    block[i] = q;
+  }
+  return nz;
+}
+
+int main(int argc, char **argv) {
+  int frames = 15;
+  int f;
+  int x;
+  int y;
+  int i;
+  int total = 0;
+  if (argc > 1) frames = atoi(argv[1]);
+  for (i = 0; i < 64; i++) { quant[i] = 1 + i / 4; zigzag[i] = (i * 37) % 64; }
+  srand(5);
+  for (f = 0; f < frames; f++) {
+    for (y = 0; y < 64; y++)
+      for (x = 0; x < 64; x++)
+        image[y][x] = (x * y + f * 31 + rand() % 7) & 0xff;
+    for (y = 0; y < 8; y++)
+      for (x = 0; x < 8; x++)
+        total += encode_block(x, y);
+  }
+  printf("ijpeg: nz=%d\n", total);
+  return 0;
+}
+|}
+
+(* libquantum: quantum register gate simulation.  The register is a
+   heap object holding a pointer to its cell array, accessed as
+   [qr->cells[i]] exactly like the original's [reg->node[i]] — which is
+   what gives libquantum its mid-range pointer-operation fraction. *)
+let libquantum =
+  {|
+typedef struct {
+  long state;
+  double amp_re;
+  double amp_im;
+} qcell;
+
+typedef struct {
+  qcell *cells;
+  int size;
+  int qubits;
+} qreg;
+
+qreg *qr;
+
+qreg *new_register(int size, int qubits) {
+  qreg *r = (qreg*)malloc(sizeof(qreg));
+  int i;
+  r->cells = (qcell*)malloc(sizeof(qcell) * size);
+  r->size = size;
+  r->qubits = qubits;
+  for (i = 0; i < size; i++) {
+    r->cells[i].state = i;
+    r->cells[i].amp_re = 1.0 / 32.0;
+    r->cells[i].amp_im = 0.0;
+  }
+  return r;
+}
+
+void sigma_x(qreg *r, int target) {
+  int i;
+  long mask = 1L << target;
+  for (i = 0; i < r->size; i++) r->cells[i].state = r->cells[i].state ^ mask;
+}
+
+void controlled_not(qreg *r, int control, int target) {
+  int i;
+  long cmask = 1L << control;
+  long tmask = 1L << target;
+  for (i = 0; i < r->size; i++) {
+    if (r->cells[i].state & cmask) r->cells[i].state = r->cells[i].state ^ tmask;
+  }
+}
+
+void phase_kick(qreg *r, int target, double gamma) {
+  int i;
+  long mask = 1L << target;
+  for (i = 0; i < r->size; i++) {
+    qcell *c = &r->cells[i];
+    if (c->state & mask) {
+      double re = c->amp_re;
+      double im = c->amp_im;
+      c->amp_re = re * 0.995 - im * gamma;
+      c->amp_im = im * 0.995 + re * gamma;
+    }
+  }
+}
+
+int main(int argc, char **argv) {
+  int iters = 60;
+  int i;
+  int t;
+  long checksum = 0;
+  if (argc > 1) iters = atoi(argv[1]);
+  qr = new_register(1024, 10);
+  for (t = 0; t < iters; t++) {
+    sigma_x(qr, t % 10);
+    controlled_not(qr, t % 7, (t + 3) % 10);
+    phase_kick(qr, (t + 1) % 10, 0.01);
+  }
+  for (i = 0; i < qr->size; i += 37) checksum += qr->cells[i].state;
+  printf("libquantum: checksum=%ld\n", checksum);
+  return 0;
+}
+|}

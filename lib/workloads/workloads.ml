@@ -1,0 +1,63 @@
+(* Registry of the 15 benchmark kernels evaluated in the paper
+   (section 6.3: 7 SPEC + 8 Olden programs).
+
+   The registry keeps the Figure 1 presentation order (sorted by the
+   fraction of memory operations that move pointers, SPEC shaded dark in
+   the paper's plot).  [scale_args] gives a reduced problem size for
+   quick runs (unit tests); the default sizes are used for the Figure 1/2
+   experiments. *)
+
+(* re-export the kernel source modules *)
+module W_spec = W_spec
+module W_olden = W_olden
+module W_olden2 = W_olden2
+
+type category = Spec | Olden
+
+type workload = {
+  name : string;
+  category : category;
+  description : string;
+  source : string;
+  quick_args : string list;  (** smaller size for tests *)
+}
+
+let mk name category description source quick_args =
+  { name; category; description; source; quick_args }
+
+let all : workload list =
+  [
+    mk "go" Spec "Go position evaluator (integer arrays)" W_spec.go
+      [ "8" ];
+    mk "lbm" Spec "lattice-Boltzmann streaming over double grids" W_spec.lbm
+      [ "6" ];
+    mk "hmmer" Spec "profile-HMM Viterbi (integer DP matrices)" W_spec.hmmer
+      [ "3" ];
+    mk "compress" Spec "LZW compressor with open-addressing code table"
+      W_spec.compress [ "4" ];
+    mk "ijpeg" Spec "8x8 integer DCT + quantization" W_spec.ijpeg [ "3" ];
+    mk "bh" Olden "Barnes-Hut N-body (quadtree + doubles)" W_olden2.bh
+      [ "48" ];
+    mk "tsp" Olden "closest-point tour over a city list" W_olden2.tsp
+      [ "40" ];
+    mk "libquantum" Spec "quantum register gate simulation" W_spec.libquantum
+      [ "12" ];
+    mk "perimeter" Olden "quadtree image perimeter" W_olden2.perimeter
+      [ "4" ];
+    mk "health" Olden "hospital hierarchy simulation (patient lists)"
+      W_olden2.health [ "20" ];
+    mk "bisort" Olden "bitonic sort over a binary tree" W_olden.bisort
+      [ "7" ];
+    mk "mst" Olden "minimum spanning tree (adjacency buckets)" W_olden.mst
+      [ "32" ];
+    mk "li" Spec "lisp interpreter kernel (cons cells, eval/apply)"
+      W_olden.li [ "25" ];
+    mk "em3d" Olden "electromagnetic bipartite graph relaxation" W_olden.em3d
+      [ "48" ];
+    mk "treeadd" Olden "binary tree build + recursive sum" W_olden.treeadd
+      [ "8" ];
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let names = List.map (fun w -> w.name) all

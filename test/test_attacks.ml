@@ -1,0 +1,59 @@
+(* Attack-suite and BugBench integration tests: the Table 3 and Table 4
+   claims, asserted programmatically. *)
+
+let suite =
+  List.map
+    (fun (a : Attacks.Wilander.attack) ->
+      Alcotest.test_case
+        (Printf.sprintf "attack %02d: %s / %s" a.id a.technique a.target)
+        `Quick
+        (fun () ->
+          let row = Harness.Exp_table3.run_one a in
+          Alcotest.(check bool)
+            "hijacks when unprotected" true row.hijacks_unprotected;
+          Alcotest.(check bool) "full checking detects" true row.detected_full;
+          Alcotest.(check bool)
+            "store-only detects" true row.detected_store_only))
+    Attacks.Wilander.all
+  @ List.map
+      (fun (p : Attacks.Bugbench.program) ->
+        Alcotest.test_case ("bugbench " ^ p.name) `Quick (fun () ->
+            let row = Harness.Exp_table4.run_one p in
+            let v, m, s, f =
+              match List.assoc_opt p.name Harness.Exp_table4.expected with
+              | Some e -> e
+              | None -> Alcotest.fail "program missing from Table 4"
+            in
+            Alcotest.(check bool) "runs silently when unprotected" true
+              row.runs_clean_unprotected;
+            Alcotest.(check bool) "valgrind-like verdict" v row.valgrind;
+            Alcotest.(check bool) "mudflap-like verdict" m row.mudflap;
+            Alcotest.(check bool) "sb store-only verdict" s row.sb_store;
+            Alcotest.(check bool) "sb full verdict" f row.sb_full))
+      Attacks.Bugbench.all
+  @ [
+      Alcotest.test_case "table 1 probes: SoftBound sweeps all attributes"
+        `Quick (fun () ->
+          let rows = Harness.Exp_table1.run () in
+          let sb = List.find (fun r -> r.Harness.Exp_table1.scheme = "SoftBound") rows in
+          let m = function
+            | Harness.Exp_table1.Measured b -> b
+            | Harness.Exp_table1.Literature b -> b
+          in
+          Alcotest.(check bool) "complete" true (m sb.complete_subfield);
+          Alcotest.(check bool) "layout" true (m sb.layout_unchanged);
+          Alcotest.(check bool) "casts" true (m sb.arbitrary_casts));
+      Alcotest.test_case "table 1 probes: object table misses subfield"
+        `Quick (fun () ->
+          let rows = Harness.Exp_table1.run () in
+          let jk =
+            List.find
+              (fun r ->
+                r.Harness.Exp_table1.scheme = "JKRLDA-style (object table)")
+              rows
+          in
+          match jk.complete_subfield with
+          | Harness.Exp_table1.Measured b ->
+              Alcotest.(check bool) "incomplete" false b
+          | _ -> Alcotest.fail "expected a measured cell");
+    ]

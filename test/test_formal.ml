@@ -1,0 +1,223 @@
+(* Formal-semantics tests (paper section 4): unit checks of the
+   instrumented operational semantics, plus randomized checking of
+   Preservation (4.1), Progress (4.2) and the agreement corollary over
+   type-correct commands. *)
+
+open Formal
+
+(* A fixed typing context rich enough to exercise every rule: ints,
+   pointers, pointer-to-pointer, and a recursive struct. *)
+let node_fields = [ ("v", TInt); ("next", TPtr (PNamed "node")) ]
+let tenv = [ ("node", node_fields) ]
+
+let vars =
+  [
+    ("x", TInt);
+    ("y", TInt);
+    ("p", TPtr (PAtom TInt));
+    ("q", TPtr (PAtom TInt));
+    ("pp", TPtr (PAtom (TPtr (PAtom TInt))));
+    ("n", TPtr (PNamed "node"));
+  ]
+
+let fresh_env () = initial_env ~limit:256 tenv vars
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let expect_ok env c =
+  match eval_cmd ~checked:true env c with
+  | Ok env -> env
+  | Abort -> Alcotest.fail "unexpected Abort"
+  | OutOfMem -> Alcotest.fail "unexpected OutOfMem"
+  | Stuck m -> Alcotest.fail ("stuck: " ^ m)
+
+let expect_abort env c =
+  match eval_cmd ~checked:true env c with
+  | Abort -> ()
+  | Ok _ -> Alcotest.fail "expected Abort, got Ok"
+  | OutOfMem -> Alcotest.fail "expected Abort, got OutOfMem"
+  | Stuck m -> Alcotest.fail ("stuck: " ^ m)
+
+(* --------------------------------------------------------------- *)
+(* Generators: type-directed random commands                        *)
+(* --------------------------------------------------------------- *)
+
+let gen_cmd : cmd QCheck.Gen.t =
+  let open QCheck.Gen in
+  let int_rhs =
+    oneof
+      [
+        map (fun i -> Int i) (int_range (-8) 64);
+        return (Lhs (Var "x"));
+        return (Lhs (Var "y"));
+        return (SizeOf TInt);
+        return (Lhs (Arrow (Var "n", "v")));
+        map2 (fun a b -> Add (a, b))
+          (oneofl [ Int 1; Int 2; Lhs (Var "x") ])
+          (oneofl [ Int 0; Int 3; Lhs (Var "y") ]);
+        return (Cast (TInt, Lhs (Var "p")));
+      ]
+  in
+  let intptr_rhs =
+    oneof
+      [
+        return (AddrOf (Var "x"));
+        return (AddrOf (Var "y"));
+        return (Lhs (Var "p"));
+        return (Lhs (Var "q"));
+        return (Lhs (Deref (Var "pp")));
+        map (fun n -> Cast (TPtr (PAtom TInt), Malloc (Int n)))
+          (int_range 1 4);
+        (* pointer arithmetic, possibly out of bounds *)
+        map2
+          (fun base off -> Add (base, Int off))
+          (oneofl [ Lhs (Var "p"); AddrOf (Var "x") ])
+          (int_range (-2) 4);
+        (* a wild cast: int becomes pointer with null bounds *)
+        map (fun i -> Cast (TPtr (PAtom TInt), Int i)) (int_range 0 64);
+        (* cast from the node pointer: arbitrary but metadata-preserving *)
+        return (Cast (TPtr (PAtom TInt), Lhs (Var "n")));
+      ]
+  in
+  let nodeptr_rhs =
+    oneof
+      [
+        return (Lhs (Var "n"));
+        map (fun n -> Cast (TPtr (PNamed "node"), Malloc (Int n)))
+          (int_range 1 3);
+        return (Lhs (Arrow (Var "n", "next")));
+        return (Cast (TPtr (PNamed "node"), Lhs (Var "p")));
+      ]
+  in
+  let assign =
+    oneof
+      [
+        map (fun r -> Assign (Var "x", r)) int_rhs;
+        map (fun r -> Assign (Var "y", r)) int_rhs;
+        map (fun r -> Assign (Var "p", r)) intptr_rhs;
+        map (fun r -> Assign (Var "q", r)) intptr_rhs;
+        map (fun r -> Assign (Deref (Var "p"), r)) int_rhs;
+        map (fun r -> Assign (Deref (Var "q"), r)) int_rhs;
+        map (fun r -> Assign (Var "pp", r))
+          (oneofl [ AddrOf (Var "p"); AddrOf (Var "q") ]);
+        map (fun r -> Assign (Deref (Var "pp"), r)) intptr_rhs;
+        map (fun r -> Assign (Var "n", r)) nodeptr_rhs;
+        map (fun r -> Assign (Arrow (Var "n", "v"), r)) int_rhs;
+        map (fun r -> Assign (Arrow (Var "n", "next"), r)) nodeptr_rhs;
+      ]
+  in
+  let rec seq depth =
+    if depth = 0 then assign
+    else
+      frequency
+        [ (3, assign); (2, map2 (fun a b -> Seq (a, b)) assign (seq (depth - 1))) ]
+  in
+  seq 8
+
+let arb_cmd = QCheck.make gen_cmd
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:1000 arb_cmd (fun c ->
+         let env = fresh_env () in
+         QCheck.assume (type_cmd env c);
+         f env c))
+
+let suite =
+  [
+    (* --- unit semantics --- *)
+    tc "assign int var" (fun () ->
+        let env = expect_ok (fresh_env ()) (Assign (Var "x", Int 7)) in
+        match eval_rhs ~checked:true env (Lhs (Var "x")) with
+        | Ok (d, TInt, _) -> Alcotest.(check int) "x" 7 d.v
+        | _ -> Alcotest.fail "bad read");
+    tc "write through &x" (fun () ->
+        let env =
+          expect_ok (fresh_env ())
+            (Seq
+               ( Assign (Var "p", AddrOf (Var "x")),
+                 Assign (Deref (Var "p"), Int 9) ))
+        in
+        match eval_rhs ~checked:true env (Lhs (Var "x")) with
+        | Ok (d, _, _) -> Alcotest.(check int) "x" 9 d.v
+        | _ -> Alcotest.fail "bad read");
+    tc "null pointer dereference aborts" (fun () ->
+        expect_abort (fresh_env ()) (Assign (Deref (Var "p"), Int 1)));
+    tc "out-of-bounds pointer arithmetic aborts on deref" (fun () ->
+        expect_abort (fresh_env ())
+          (Seq
+             ( Assign (Var "p", Add (AddrOf (Var "x"), Int 1)),
+               Assign (Deref (Var "p"), Int 1) )));
+    tc "malloc'd block is writable across its extent" (fun () ->
+        let env =
+          expect_ok (fresh_env ())
+            (Seq
+               ( Assign (Var "p", Cast (TPtr (PAtom TInt), Malloc (Int 3))),
+                 Seq
+                   ( Assign (Deref (Var "p"), Int 1),
+                     Seq
+                       ( Assign (Var "q", Add (Lhs (Var "p"), Int 2)),
+                         Assign (Deref (Var "q"), Int 2) ) ) ))
+        in
+        Alcotest.(check bool) "wf" true (wf_env env));
+    tc "one past malloc'd block aborts" (fun () ->
+        expect_abort (fresh_env ())
+          (Seq
+             ( Assign (Var "p", Cast (TPtr (PAtom TInt), Malloc (Int 3))),
+               Seq
+                 ( Assign (Var "q", Add (Lhs (Var "p"), Int 3)),
+                   Assign (Deref (Var "q"), Int 7) ) )));
+    tc "int cast to pointer has null bounds and aborts" (fun () ->
+        expect_abort (fresh_env ())
+          (Seq
+             ( Assign (Var "p", Cast (TPtr (PAtom TInt), Int 5)),
+               Assign (Deref (Var "p"), Int 1) )));
+    tc "wild pointer-to-pointer cast keeps metadata (section 5.2)" (fun () ->
+        let env =
+          expect_ok (fresh_env ())
+            (Seq
+               ( Assign (Var "n", Cast (TPtr (PNamed "node"), Malloc (Int 2))),
+                 Seq
+                   ( Assign (Var "p", Cast (TPtr (PAtom TInt), Lhs (Var "n"))),
+                     Assign (Deref (Var "p"), Int 3) ) ))
+        in
+        Alcotest.(check bool) "wf" true (wf_env env));
+    tc "recursive struct fields" (fun () ->
+        let env =
+          expect_ok (fresh_env ())
+            (Seq
+               ( Assign (Var "n", Cast (TPtr (PNamed "node"), Malloc (Int 2))),
+                 Seq
+                   ( Assign (Arrow (Var "n", "next"), Lhs (Var "n")),
+                     Assign (Arrow (Var "n", "v"), Int 5) ) ))
+        in
+        match eval_rhs ~checked:true env (Lhs (Arrow (Var "n", "v"))) with
+        | Ok (d, _, _) -> Alcotest.(check int) "v" 5 d.v
+        | _ -> Alcotest.fail "bad read");
+    tc "out of memory is OutOfMem, not Stuck" (fun () ->
+        let env = initial_env ~limit:8 tenv [ ("p", TPtr (PAtom TInt)) ] in
+        match
+          eval_cmd ~checked:true env
+            (Assign (Var "p", Cast (TPtr (PAtom TInt), Malloc (Int 100))))
+        with
+        | OutOfMem -> ()
+        | _ -> Alcotest.fail "expected OutOfMem");
+    tc "initial env is well-formed" (fun () ->
+        Alcotest.(check bool) "wf" true (wf_env (fresh_env ())));
+    tc "unchecked semantics gets stuck on a violation" (fun () ->
+        match
+          eval_cmd ~checked:false (fresh_env ())
+            (Assign (Deref (Var "p"), Int 1))
+        with
+        | Stuck _ -> ()
+        | _ -> Alcotest.fail "reference semantics should be undefined here");
+    (* --- the theorems, randomized --- *)
+    prop "theorem 4.1 (preservation)" (fun env c -> preservation_holds env c);
+    prop "theorem 4.2 (progress)" (fun env c -> progress_holds env c);
+    prop "corollary 4.1 (agreement with C semantics)" (fun env c ->
+        agreement_holds env c);
+    prop "well-formedness is invariant under evaluation" (fun env c ->
+        match eval_cmd ~checked:true env c with
+        | Ok env' -> wf_env env'
+        | _ -> true);
+  ]

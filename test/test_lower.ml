@@ -1,0 +1,262 @@
+(* Lowering and inliner unit tests: IR structure properties and semantic
+   preservation. *)
+
+module Ir = Sbir.Ir
+
+let compile_raw src = Sbir.Lower.compile src
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let find_func m name = Option.get (Ir.find_func m name)
+
+let insts_of (f : Ir.func) =
+  Array.to_list f.Ir.fblocks |> List.concat_map (fun b -> b.Ir.insts)
+
+let count_insts p f = List.length (List.filter p (insts_of f))
+
+let suite =
+  [
+    tc "modules validate" (fun () ->
+        Ir.validate
+          (compile_raw
+             "int g; int f(int x) { return x + g; } int main(void) { return f(1); }"));
+    tc "register promotion: scalar locals produce no loads/stores" (fun () ->
+        let m =
+          compile_raw "int f(void) { int a = 1; int b = 2; int c; c = a + b; return c; }"
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "no memory ops" 0
+          (count_insts
+             (function Ir.Load _ | Ir.Store _ -> true | _ -> false)
+             f);
+        Alcotest.(check int) "no slots" 0 (Array.length f.Ir.fslots));
+    tc "addressed locals get slots" (fun () ->
+        let m = compile_raw "int f(void) { int a; int *p = &a; return *p; }" in
+        let f = find_func m "f" in
+        Alcotest.(check int) "one slot" 1 (Array.length f.Ir.fslots));
+    tc "slot offsets follow declaration order" (fun () ->
+        let m =
+          compile_raw
+            "int f(void) { char buf[16]; long tgt; long *p = &tgt; buf[0] = 1; *p = 2; return (int)tgt; }"
+        in
+        let f = find_func m "f" in
+        let buf = f.Ir.fslots.(0) and tgt = f.Ir.fslots.(1) in
+        Alcotest.(check string) "buf first" "buf"
+          (String.sub buf.Ir.sl_name 0 3);
+        Alcotest.(check bool) "tgt above buf" true
+          (tgt.Ir.sl_offset >= buf.Ir.sl_offset + buf.Ir.sl_size));
+    tc "field address carries shrink info" (fun () ->
+        let m =
+          compile_raw
+            "struct s { char a[8]; long b; }; int f(struct s *p) { return (int)p->b; }"
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "one shrink gep" 1
+          (count_insts
+             (function Ir.Gep (_, _, _, Some 8) -> true | _ -> false)
+             f));
+    tc "memcpy-noptr hint on pointer-free operands" (fun () ->
+        let m =
+          compile_raw
+            "int f(char *a, char *b) { memcpy(a, b, 4); return 0; }"
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "hinted" 1
+          (count_insts
+             (function
+               | Ir.Call { hints; _ } -> List.mem "memcpy-noptr" hints
+               | _ -> false)
+             f));
+    tc "no memcpy-noptr hint when pointee holds pointers" (fun () ->
+        let m =
+          compile_raw
+            "int f(char **a, char **b) { memcpy((void*)a, (void*)b, 8); return 0; }"
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "unhinted" 0
+          (count_insts
+             (function
+               | Ir.Call { hints; _ } -> List.mem "memcpy-noptr" hints
+               | _ -> false)
+             f));
+    tc "free hint when pointee has pointers" (fun () ->
+        let m =
+          compile_raw
+            "struct n { struct n *next; }; int f(struct n *p) { free(p); return 0; }"
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "free-withmeta" 1
+          (count_insts
+             (function
+               | Ir.Call { hints; _ } -> List.mem "free-withmeta" hints
+               | _ -> false)
+             f));
+    tc "variadic calls append va_ptr and va_count" (fun () ->
+        let m = compile_raw "int main(void) { printf(\"%d\", 1); return 0; }" in
+        let f = find_func m "main" in
+        let nargs =
+          List.find_map
+            (function
+              | Ir.Call { callee = Ir.Func "printf"; args; _ } ->
+                  Some (List.length args)
+              | _ -> None)
+            (insts_of f)
+        in
+        match nargs with
+        | Some n -> Alcotest.(check int) "fmt + va_ptr + count" 3 n
+        | None -> Alcotest.fail "no printf call found");
+    tc "string literals are interned" (fun () ->
+        let m =
+          compile_raw
+            "int main(void) { puts(\"same\"); puts(\"same\"); puts(\"other\"); return 0; }"
+        in
+        let strs =
+          List.filter
+            (fun (g : Ir.global) -> String.length g.Ir.gname > 4
+                                    && String.sub g.Ir.gname 0 4 = ".str")
+            m.Ir.mglobals
+        in
+        Alcotest.(check int) "two distinct literals" 2 (List.length strs));
+    tc "switch lowers to TSwitch" (fun () ->
+        let m =
+          compile_raw
+            "int f(int x) { switch (x) { case 1: return 1; default: return 0; } }"
+        in
+        let f = find_func m "f" in
+        let has_switch =
+          Array.exists
+            (fun b -> match b.Ir.term with Ir.TSwitch _ -> true | _ -> false)
+            f.Ir.fblocks
+        in
+        Alcotest.(check bool) "tswitch" true has_switch);
+    (* --- optimizer --- *)
+    tc "optimizer folds constants and branches" (fun () ->
+        let m =
+          Sbir.Opt.run
+            (compile_raw "int f(void) { int x = 2 * 3 + 4; if (1) return x; return 9; }")
+        in
+        let f = find_func m "f" in
+        (* the constant condition folds: no conditional branches remain *)
+        let brs =
+          Array.to_list f.Ir.fblocks
+          |> List.filter (fun b ->
+                 match b.Ir.term with Ir.TBr _ -> true | _ -> false)
+        in
+        Alcotest.(check int) "no branches" 0 (List.length brs));
+    tc "optimizer DCE removes unused pure temps" (fun () ->
+        let raw = compile_raw "int f(int a) { int unused = a * 100; return a; }" in
+        let m = Sbir.Opt.run raw in
+        let f = find_func m "f" in
+        Alcotest.(check int) "no multiplies" 0
+          (count_insts
+             (function Ir.Bin (_, Ir.Mul, _, _, _) -> true | _ -> false)
+             f));
+    tc "optimizer keeps loads even when dead" (fun () ->
+        let m =
+          Sbir.Opt.run
+            (compile_raw
+               "int g[4]; int f(void) { int dead = g[0]; return 7; }")
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "load survives" 1
+          (count_insts (function Ir.Load _ -> true | _ -> false) f));
+    tc "optimizer never devirtualizes calls" (fun () ->
+        let m =
+          Sbir.Opt.run
+            (compile_raw
+               "int id(int x) { return x; }                 int f(void) { int (*fp)(int) = id; return fp(3); }")
+        in
+        let f = find_func m "f" in
+        Alcotest.(check int) "still an indirect call" 0
+          (count_insts
+             (function
+               | Ir.Call { callee = Ir.Func "id"; _ } -> true
+               | _ -> false)
+             f));
+    tc "optimized module runs identically" (fun () ->
+        let src =
+          {|int work(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * 2 + 1; return s; }
+            int main(void) { printf("%d\n", work(25)); return work(10) % 100; }|}
+        in
+        let raw = Sbir.Lower.compile src in
+        let opt = Sbir.Opt.run raw in
+        Ir.validate opt;
+        let a = Interp.Vm.run raw in
+        let b = Interp.Vm.run opt in
+        Alcotest.(check string) "stdout" a.stdout_text b.stdout_text;
+        (match (a.outcome, b.outcome) with
+        | Interp.State.Exit x, Interp.State.Exit y ->
+            Alcotest.(check int) "exit" x y
+        | _ -> Alcotest.fail "expected clean exits");
+        Alcotest.(check bool) "fewer instructions executed" true
+          (b.stats.Interp.State.insts <= a.stats.Interp.State.insts));
+    (* --- inliner --- *)
+    tc "inliner inlines a small leaf" (fun () ->
+        let src =
+          "int add(int a, int b) { return a + b; } \
+           int main(void) { return add(1, 2) + add(3, 4); }"
+        in
+        let m = Sbir.Inline.run (compile_raw src) in
+        let main = find_func m "main" in
+        Alcotest.(check int) "no calls to add remain" 0
+          (count_insts
+             (function
+               | Ir.Call { callee = Ir.Func "add"; _ } -> true
+               | _ -> false)
+             main));
+    tc "inliner skips address-taken functions" (fun () ->
+        let src =
+          "int id(int x) { return x; } \
+           int main(void) { int (*f)(int) = id; return id(1) + f(2); }"
+        in
+        let m = Sbir.Inline.run (compile_raw src) in
+        Alcotest.(check bool) "id kept" true (Ir.find_func m "id" <> None);
+        let main = find_func m "main" in
+        Alcotest.(check bool) "direct call not inlined" true
+          (count_insts
+             (function
+               | Ir.Call { callee = Ir.Func "id"; _ } -> true
+               | _ -> false)
+             main
+          > 0));
+    tc "inliner skips recursive functions" (fun () ->
+        let src =
+          "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); } \
+           int main(void) { return fact(5); }"
+        in
+        let m = Sbir.Inline.run (compile_raw src) in
+        let main = find_func m "main" in
+        Alcotest.(check bool) "call remains" true
+          (count_insts
+             (function
+               | Ir.Call { callee = Ir.Func "fact"; _ } -> true
+               | _ -> false)
+             main
+          > 0));
+    tc "inlined module validates and runs identically" (fun () ->
+        let src =
+          "int sq(int x) { return x * x; } \
+           int pick(int a, int b) { return a > b ? a : b; } \
+           int main(void) { int i; int s = 0; for (i = 0; i < 10; i++) s += pick(sq(i), i + 20); \
+           printf(\"%d\\n\", s); return s % 251; }"
+        in
+        let raw = compile_raw src in
+        let inl = Sbir.Inline.run raw in
+        Ir.validate inl;
+        let a = Interp.Vm.run raw in
+        let b = Interp.Vm.run inl in
+        Alcotest.(check string) "stdout" a.stdout_text b.stdout_text;
+        match (a.outcome, b.outcome) with
+        | Interp.State.Exit x, Interp.State.Exit y ->
+            Alcotest.(check int) "exit" x y
+        | _ -> Alcotest.fail "expected clean exits");
+    tc "inlining composes with the SoftBound transform" (fun () ->
+        let src =
+          "int get(int *a, int i) { return a[i]; } \
+           int main(void) { int v[4]; v[3] = 7; return get(v, 5); }"
+        in
+        let m = Sbir.Inline.run (compile_raw src) in
+        let r = Softbound.run_protected m in
+        Alcotest.(check bool) "still detected after inlining" true
+          (Softbound.detected r));
+  ]

@@ -1,0 +1,204 @@
+(* Machine substrate tests: sparse memory, heap allocator, cache,
+   layout, plus qcheck model-based properties. *)
+
+module Mem = Machine.Memory
+module Heap = Machine.Heap
+module Cache = Machine.Cache
+module L = Machine.Layout
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    tc "byte roundtrip" (fun () ->
+        let m = Mem.create () in
+        Mem.write_byte m 0x1000_0000 0xab;
+        Alcotest.(check int) "byte" 0xab (Mem.read_byte m 0x1000_0000));
+    tc "untouched memory reads zero" (fun () ->
+        let m = Mem.create () in
+        Alcotest.(check int) "zero" 0 (Mem.read_int m 0x1234_5678 8));
+    tc "little-endian encoding" (fun () ->
+        let m = Mem.create () in
+        Mem.write_int m 0x1000_0000 4 0x11223344;
+        Alcotest.(check int) "lsb first" 0x44 (Mem.read_byte m 0x1000_0000);
+        Alcotest.(check int) "msb last" 0x11 (Mem.read_byte m 0x1000_0003));
+    tc "sign extension" (fun () ->
+        Alcotest.(check int) "negative byte" (-1) (Mem.sign_extend 0xff 1);
+        Alcotest.(check int) "positive byte" 127 (Mem.sign_extend 0x7f 1);
+        Alcotest.(check int) "negative short" (-2) (Mem.sign_extend 0xfffe 2);
+        Alcotest.(check int) "negative int" (-1)
+          (Mem.sign_extend 0xffffffff 4));
+    tc "f64 roundtrip" (fun () ->
+        let m = Mem.create () in
+        Mem.write_f64 m 0x1000_0000 3.14159;
+        Alcotest.(check (float 1e-12)) "f64" 3.14159
+          (Mem.read_f64 m 0x1000_0000));
+    tc "f32 roundtrip loses precision consistently" (fun () ->
+        let m = Mem.create () in
+        Mem.write_f32 m 0x1000_0000 1.5;
+        Alcotest.(check (float 1e-6)) "f32" 1.5 (Mem.read_f32 m 0x1000_0000));
+    tc "cstring roundtrip" (fun () ->
+        let m = Mem.create () in
+        Mem.write_cstring m 0x1000_0000 "hello";
+        Alcotest.(check string) "str" "hello"
+          (Mem.read_cstring m 0x1000_0000));
+    tc "blit handles overlap" (fun () ->
+        let m = Mem.create () in
+        Mem.write_cstring m 0x1000_0000 "abcdef";
+        Mem.blit m ~src:0x1000_0000 ~dst:0x1000_0002 ~len:4;
+        Alcotest.(check string) "overlapped" "ababcd"
+          (Mem.read_cstring m 0x1000_0000));
+    tc "cross-page access" (fun () ->
+        let m = Mem.create () in
+        let a = 0x1000_0000 + Mem.page_size - 4 in
+        Mem.write_i64 m a 0x1122334455667788L;
+        Alcotest.(check int64) "crosses page" 0x1122334455667788L
+          (Mem.read_i64 m a));
+    tc "validity: outside all segments faults" (fun () ->
+        let m = Mem.create () in
+        match Mem.check_program_access m 0x10 4 with
+        | exception Mem.Segfault _ -> ()
+        | () -> Alcotest.fail "expected segfault");
+    tc "validity: globals after allocation" (fun () ->
+        let m = Mem.create () in
+        let a = Mem.alloc_global m ~size:64 ~align:8 in
+        Mem.check_program_access m a 64);
+    tc "stack watermark is monotonic" (fun () ->
+        let m = Mem.create () in
+        Mem.set_stack_low m (L.stack_top - 4096);
+        Mem.set_stack_low m (L.stack_top - 1024);
+        (* the deeper extent remains valid *)
+        Mem.check_program_access m (L.stack_top - 4000) 8);
+    (* --- heap --- *)
+    tc "malloc returns 16-aligned, gapped blocks" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 10) in
+        let b = Option.get (Heap.malloc h 10) in
+        Alcotest.(check int) "align" 0 (a mod 16);
+        Alcotest.(check int) "gap" 32 (b - a));
+    tc "free then malloc reuses the block" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 32) in
+        Heap.free h a;
+        let b = Option.get (Heap.malloc h 16) in
+        Alcotest.(check int) "reused" a b);
+    tc "double free raises" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 8) in
+        Heap.free h a;
+        match Heap.free h a with
+        | exception Heap.Bad_free _ -> ()
+        | () -> Alcotest.fail "expected Bad_free");
+    tc "free of wild pointer raises" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        match Heap.free h 0x4000_1234 with
+        | exception Heap.Bad_free _ -> ()
+        | () -> Alcotest.fail "expected Bad_free");
+    tc "free of null is a no-op" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        Heap.free h 0);
+    tc "realloc preserves contents" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 8) in
+        Mem.write_cstring m a "hiya";
+        let b = Option.get (Heap.realloc h a 64) in
+        Alcotest.(check string) "kept" "hiya" (Mem.read_cstring m b));
+    tc "live byte accounting" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 100) in
+        let _ = Option.get (Heap.malloc h 50) in
+        Alcotest.(check int) "live" 150 (Heap.live_bytes h);
+        Heap.free h a;
+        Alcotest.(check int) "after free" 50 (Heap.live_bytes h);
+        Alcotest.(check int) "peak" 150 (Heap.peak_bytes h));
+    (* --- cache --- *)
+    tc "cache: second access to a line hits" (fun () ->
+        let c = Cache.create () in
+        let miss = Cache.access c 0x1000 in
+        let hit = Cache.access c 0x1020 in
+        Alcotest.(check bool) "first misses" true (miss > 0);
+        Alcotest.(check int) "same line hits" 0 hit);
+    tc "cache: capacity eviction" (fun () ->
+        let c = Cache.create () in
+        (* touch far more lines than fit, then re-touch the first *)
+        for i = 0 to 4096 do
+          ignore (Cache.access c (i * 64))
+        done;
+        let penalty = Cache.access c 0 in
+        Alcotest.(check bool) "evicted" true (penalty > 0));
+    tc "layout: function addresses recognizable" (fun () ->
+        Alcotest.(check bool) "func addr" true
+          (L.is_function_addr (L.func_addr 7));
+        Alcotest.(check bool) "misaligned" false
+          (L.is_function_addr (L.func_addr 7 + 1));
+        Alcotest.(check int) "roundtrip" 7 (L.func_index (L.func_addr 7)));
+    tc "layout: shadow mapping is injective on distinct words" (fun () ->
+        let a = L.shadow_addr 0x1000_0000 in
+        let b = L.shadow_addr 0x1000_0008 in
+        Alcotest.(check int) "16 bytes apart" 16 (b - a));
+    (* --- qcheck model tests --- *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"memory matches a Bytes model" ~count:100
+         QCheck.(
+           list (pair (int_bound 2000) (int_bound 255)))
+         (fun writes ->
+           let m = Mem.create () in
+           let model = Bytes.make 2048 '\000' in
+           let base = 0x1000_0000 in
+           List.iter
+             (fun (off, v) ->
+               Mem.write_byte m (base + off) v;
+               Bytes.set model off (Char.chr v))
+             writes;
+           List.for_all
+             (fun (off, _) ->
+               Mem.read_byte m (base + off) = Char.code (Bytes.get model off))
+             writes));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int roundtrip at any width" ~count:300
+         QCheck.(pair (int_bound 3) (int_bound 0x3fff_ffff))
+         (fun (wi, v) ->
+           let w = [| 1; 2; 4; 8 |].(wi) in
+           let m = Mem.create () in
+           Mem.write_int m 0x1000_0000 w v;
+           let mask = if w >= 8 then v else v land ((1 lsl (w * 8)) - 1) in
+           Mem.read_int m 0x1000_0000 w = mask));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"norm_int is idempotent" ~count:300
+         QCheck.(pair (int_bound 6) int)
+         (fun (ti, v) ->
+           let t =
+             [| Sbir.Ir.I8; Sbir.Ir.U8; Sbir.Ir.I16; Sbir.Ir.U16;
+                Sbir.Ir.I32; Sbir.Ir.U32; Sbir.Ir.I64 |].(ti)
+           in
+           let n = Sbir.Ir.norm_int t v in
+           Sbir.Ir.norm_int t n = n));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap: disjoint live blocks" ~count:100
+         QCheck.(list_of_size (Gen.int_range 1 30) (int_range 1 200))
+         (fun sizes ->
+           let m = Mem.create () in
+           let h = Heap.create m in
+           let blocks =
+             List.filter_map (fun s ->
+                 Option.map (fun a -> (a, s)) (Heap.malloc h s))
+               sizes
+           in
+           (* no two live blocks overlap *)
+           let rec disjoint = function
+             | [] -> true
+             | (a, s) :: rest ->
+                 List.for_all
+                   (fun (a', s') -> a + s <= a' || a' + s' <= a)
+                   rest
+                 && disjoint rest
+           in
+           disjoint blocks));
+  ]

@@ -1,0 +1,18 @@
+(* Test entry point: all suites. *)
+
+let () =
+  Alcotest.run "softbound"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("machine", Test_machine.suite);
+      ("lower+inline", Test_lower.suite);
+      ("interp", Test_interp.suite);
+      ("softbound", Test_softbound.suite);
+      ("baselines", Test_baselines.suite);
+      ("attacks", Test_attacks.suite);
+      ("workloads", Test_workloads.suite);
+      ("formal", Test_formal.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,122 @@
+(* Parser unit tests: declarations, declarators, precedence, statements. *)
+
+open Cminus
+
+let parse src = Parser.parse_string src
+
+let parses name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (parse src))
+
+let parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | exception Parser.Parse_error _ -> ()
+      | exception Ctypes.Type_error _ -> ()
+      | _ -> Alcotest.fail "expected a parse error")
+
+(** Find a global variable's declared type. *)
+let gvar_ty src name =
+  let p = parse src in
+  let rec go = function
+    | [] -> Alcotest.fail ("no global " ^ name)
+    | Ast.Gvar g :: _ when g.gname = name -> g.gty
+    | _ :: rest -> go rest
+  in
+  go p.defs
+
+let check_ty name src var expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let ty = gvar_ty src var in
+      Alcotest.(check string)
+        name
+        (Ctypes.string_of_ty expected)
+        (Ctypes.string_of_ty ty))
+
+open Ctypes
+
+let suite =
+  [
+    (* --- declarators --- *)
+    check_ty "simple int" "int x;" "x" (Tint IInt);
+    check_ty "pointer" "int *p;" "p" (Tptr (Tint IInt));
+    check_ty "pointer to pointer" "char **pp;" "pp"
+      (Tptr (Tptr (Tint IChar)));
+    check_ty "array" "int a[10];" "a" (Tarray (Tint IInt, 10));
+    check_ty "2d array" "int m[3][4];" "m"
+      (Tarray (Tarray (Tint IInt, 4), 3));
+    check_ty "array of pointers" "int *ap[5];" "ap"
+      (Tarray (Tptr (Tint IInt), 5));
+    check_ty "pointer to array" "int (*pa)[5];" "pa"
+      (Tptr (Tarray (Tint IInt, 5)));
+    check_ty "function pointer" "int (*f)(int, char);" "f"
+      (Tptr (Tfunc { ret = Tint IInt;
+                     params = [ Tint IInt; Tint IChar ];
+                     variadic = false }));
+    check_ty "variadic function pointer" "int (*f)(char*, ...);" "f"
+      (Tptr (Tfunc { ret = Tint IInt;
+                     params = [ Tptr (Tint IChar) ];
+                     variadic = true }));
+    check_ty "unsigned kinds" "unsigned long ul;" "ul" (Tint IULong);
+    check_ty "short" "short s;" "s" (Tint IShort);
+    check_ty "unsigned char" "unsigned char c;" "c" (Tint IUChar);
+    check_ty "const ignored" "const int x;" "x" (Tint IInt);
+    check_ty "array size from constant expr" "int a[4 * 2 + 1];" "a"
+      (Tarray (Tint IInt, 9));
+    check_ty "array size from sizeof" "char a[sizeof(long)];" "a"
+      (Tarray (Tint IChar, 8));
+    check_ty "array size from enum" "enum { N = 6 }; int a[N];" "a"
+      (Tarray (Tint IInt, 6));
+    check_ty "typedef use" "typedef unsigned int uint; uint x;" "x"
+      (Tnamed "uint");
+    (* --- struct/union parsing --- *)
+    Alcotest.test_case "struct definition registers layout" `Quick (fun () ->
+        let p = parse "struct s { char c; int i; char d; };" in
+        let comp = Ctypes.find_comp p.penv ~is_struct:true "s" in
+        Alcotest.(check int) "size" 12 comp.csize;
+        Alcotest.(check int) "align" 4 comp.calign);
+    Alcotest.test_case "union size is max field" `Quick (fun () ->
+        let p = parse "union u { char c[5]; long l; };" in
+        let comp = Ctypes.find_comp p.penv ~is_struct:false "u" in
+        Alcotest.(check int) "size" 8 comp.csize);
+    parses "self-referential struct"
+      "struct node { int v; struct node *next; };";
+    parses "anonymous struct typedef"
+      "typedef struct { int a; int b; } pair_t; pair_t g;";
+    parses "nested struct"
+      "struct inner { int x; }; struct outer { struct inner i; int y; };";
+    (* --- functions --- *)
+    parses "function definition" "int add(int a, int b) { return a + b; }";
+    parses "pointer-returning function" "char *dup(char *s) { return s; }";
+    parses "void params" "int f(void) { return 0; }";
+    parses "variadic definition" "int f(int n, ...) { return n; }";
+    parses "prototype then definition"
+      "int f(int); int f(int x) { return x; }";
+    (* --- statements and expressions --- *)
+    parses "for with declaration" "int f(void) { for (int i = 0; i < 3; i++) ; return 0; }";
+    parses "do-while" "int f(void) { int i = 0; do { i++; } while (i < 3); return i; }";
+    parses "switch with cases"
+      "int f(int x) { switch (x) { case 1: return 1; case 2: case 3: return 23; default: return 0; } }";
+    parses "ternary chain" "int f(int x) { return x ? 1 : x > 2 ? 3 : 4; }";
+    parses "comma expression" "int f(void) { int x; x = (1, 2, 3); return x; }";
+    parses "casts in expressions"
+      "int f(void) { long l = (long)(int)'a'; return (int)l; }";
+    parses "sizeof forms"
+      "int f(void) { int a[3]; return sizeof(int) + sizeof a + sizeof(a[0]); }";
+    parses "address and deref"
+      "int f(void) { int x = 1; int *p = &x; return *p; }";
+    parses "string initializer" "char s[6] = \"hello\";";
+    parses "inferred array size" "int a[] = {1, 2, 3};";
+    parses "trailing comma in init list" "int a[3] = {1, 2, 3,};";
+    parses "struct initializer" "struct p { int x; int y; }; struct p g = {1, 2};";
+    parse_fails "missing semicolon" "int x";
+    parse_fails "unbalanced paren" "int f(void) { return (1; }";
+    parse_fails "bad declarator" "int 5x;";
+    parse_fails "case outside switch body" "int f(void) { case 1: return 0; }";
+    Alcotest.test_case "enum values assigned sequentially" `Quick (fun () ->
+        let p = parse "enum { A, B, C = 10, D };" in
+        let v n = Hashtbl.find p.penv.enums n in
+        Alcotest.(check int) "A" 0 (Int64.to_int (v "A"));
+        Alcotest.(check int) "B" 1 (Int64.to_int (v "B"));
+        Alcotest.(check int) "C" 10 (Int64.to_int (v "C"));
+        Alcotest.(check int) "D" 11 (Int64.to_int (v "D")));
+  ]

@@ -1,0 +1,110 @@
+(* Typechecker unit tests. *)
+
+open Cminus
+
+let check_ok name src =
+  Alcotest.test_case name `Quick (fun () ->
+      ignore (Typecheck.program_of_string src))
+
+let check_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.program_of_string src with
+      | exception Typecheck.Error _ -> ()
+      | exception Ctypes.Type_error _ -> ()
+      | _ -> Alcotest.fail "expected a type error")
+
+(** Type of the expression assigned to global [probe] in [src]. *)
+let fundef src name =
+  let p = Typecheck.program_of_string src in
+  List.find (fun f -> f.Tast.tfname = name) p.Tast.tfuns
+
+let suite =
+  [
+    check_ok "arithmetic conversions"
+      "int f(void) { char c = 'a'; short s = 2; long l = c + s; double d = l + 1.5; return (int)d; }";
+    check_ok "pointer arithmetic and comparison"
+      "int f(int *p, int *q) { return p + 2 < q ? (int)(q - p) : 0; }";
+    check_ok "void pointer compatibility"
+      "int f(void) { void *v = malloc(4); int *p = v; return p != NULL; }";
+    check_ok "function pointers assigned and called"
+      "int g(int x) { return x; } int f(void) { int (*fp)(int) = g; return fp(3) + (*fp)(4); }";
+    check_ok "array decay in calls"
+      "int sum(int *a, int n) { return n ? a[0] : 0; } int f(void) { int a[3]; return sum(a, 3); }";
+    check_ok "struct field chains"
+      "struct in { int v; }; struct out { struct in i; struct in *pi; };\n\
+       int f(struct out *o) { return o->i.v + o->pi->v; }";
+    check_ok "union access"
+      "union u { int i; char c[4]; }; int f(void) { union u x; x.i = 65; return x.c[0]; }";
+    check_ok "string literal as char pointer"
+      "int f(void) { char *s = \"hi\"; return s[0]; }";
+    check_ok "conditional with null pointer"
+      "int *f(int *p) { return p ? p : NULL; }";
+    check_ok "variadic call promotions"
+      "int f(void) { float fl = 1.5f; char c = 'x'; printf(\"%f %c\\n\", fl, c); return 0; }";
+    check_ok "setbound accepted on pointer variable"
+      "int f(void) { char *p = (char*)malloc(8); setbound(p, 8); return 0; }";
+    check_ok "struct assignment"
+      "struct p { int x; int y; }; int f(void) { struct p a; struct p b; a.x = 1; b = a; return b.x; }";
+    check_ok "implicit int-to-pointer allowed (SoftBound gives null bounds)"
+      "int f(void) { int *p = (int*)1234; return p == (int*)1234; }";
+    check_fails "undefined variable" "int f(void) { return y; }";
+    check_fails "undefined function" "int f(void) { return g(); }";
+    check_fails "call with too few args"
+      "int g(int a, int b) { return a; } int f(void) { return g(1); }";
+    check_fails "call with too many args"
+      "int g(int a) { return a; } int f(void) { return g(1, 2); }";
+    check_fails "deref of non-pointer" "int f(int x) { return *x; }";
+    check_fails "field of non-struct" "int f(int x) { return x.v; }";
+    check_fails "unknown field"
+      "struct s { int a; }; int f(struct s *p) { return p->b; }";
+    check_fails "assign to array" "int f(void) { int a[3]; int b[3]; a = b; return 0; }";
+    Alcotest.test_case "break outside loop fails in lowering" `Quick (fun () ->
+        match Sbir.Lower.compile "int f(void) { break; return 0; }" with
+        | exception Sbir.Lower.Error _ -> ()
+        | _ -> Alcotest.fail "expected a lowering error");
+    check_fails "struct params by value rejected"
+      "struct s { int a; }; int f(struct s x) { return x.a; }";
+    check_fails "struct return by value rejected"
+      "struct s { int a; }; struct s f(void) { struct s x; return x; }";
+    check_fails "va_start outside variadic function"
+      "int f(int x) { va_list ap; va_start(ap); return x; }";
+    check_ok "return expr from void function evaluates for effect"
+      "int gcount; void f(void) { return (void)(gcount = 1); }";
+    Alcotest.test_case "locals renamed uniquely across scopes" `Quick
+      (fun () ->
+        let f =
+          fundef
+            "int f(void) { int x = 1; { int x = 2; x++; } return x; }"
+            "f"
+        in
+        Alcotest.(check int) "two locals" 2 (List.length f.Tast.tflocals));
+    Alcotest.test_case "address-taken analysis" `Quick (fun () ->
+        let f =
+          fundef
+            "int f(void) { int a = 1; int b = 2; int *p = &a; return *p + b; }"
+            "f"
+        in
+        let find n =
+          List.find
+            (fun (l : Tast.local) ->
+              String.length l.lname > String.length n
+              && String.sub l.lname 0 (String.length n) = n)
+            f.Tast.tflocals
+        in
+        Alcotest.(check bool) "a addressed" true (find "a").laddressed;
+        Alcotest.(check bool) "b not addressed" false (find "b").laddressed);
+    Alcotest.test_case "arrays always addressed" `Quick (fun () ->
+        let f = fundef "int f(void) { int a[4]; return a[0]; }" "f" in
+        Alcotest.(check bool) "array local addressed" true
+          (List.hd f.Tast.tflocals).laddressed);
+    Alcotest.test_case "sizeof does not evaluate its operand" `Quick
+      (fun () ->
+        (* would trap at runtime if the deref were evaluated *)
+        let m =
+          Softbound.compile
+            "int main(void) { int *p = NULL; return (int)sizeof(*p) - 4; }"
+        in
+        match (Softbound.run_unprotected m).outcome with
+        | Interp.State.Exit 0 -> ()
+        | o -> Alcotest.fail (Interp.State.string_of_outcome o));
+  ]

@@ -1,0 +1,83 @@
+(* Workload integration tests: every benchmark runs cleanly in every
+   protection configuration with identical output — the paper's "no false
+   positives, no source modification" compatibility claim, measured. *)
+
+let schemes : (string * Harness.Runner.scheme) list =
+  [
+    ("unprotected", Harness.Runner.Unprotected);
+    ("sb-full-shadow", Harness.Runner.Softbound Harness.Runner.sb_full_shadow);
+    ("sb-full-hash", Harness.Runner.Softbound Harness.Runner.sb_full_hash);
+    ("sb-store-shadow", Harness.Runner.Softbound Harness.Runner.sb_store_shadow);
+    ("mscc", Harness.Runner.Mscc);
+    ("jones-kelly", Harness.Runner.Jones_kelly);
+    ("memcheck", Harness.Runner.Memcheck);
+    ("mudflap", Harness.Runner.Mudflap);
+  ]
+
+let suite =
+  List.map
+    (fun (w : Workloads.workload) ->
+      Alcotest.test_case w.name `Quick (fun () ->
+          let m = Harness.Runner.compile_workload w in
+          let argv = w.quick_args in
+          let reference = Harness.Runner.run ~argv Harness.Runner.Unprotected m in
+          (match reference.outcome with
+          | Interp.State.Exit 0 -> ()
+          | o ->
+              Alcotest.fail
+                ("unprotected run failed: " ^ Interp.State.string_of_outcome o));
+          List.iter
+            (fun (name, scheme) ->
+              let r = Harness.Runner.run ~argv scheme m in
+              (match r.outcome with
+              | Interp.State.Exit 0 -> ()
+              | o ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s under %s: %s" w.name name
+                       (Interp.State.string_of_outcome o)));
+              Alcotest.(check string)
+                (w.name ^ " output under " ^ name)
+                reference.stdout_text r.stdout_text)
+            schemes))
+    Workloads.all
+  @ [
+      Alcotest.test_case "pointer fractions match categories" `Quick
+        (fun () ->
+          let rows = Harness.Exp_fig1.run ~quick:true () in
+          List.iter
+            (fun (r : Harness.Exp_fig1.row) ->
+              match r.workload.Workloads.name with
+              | "go" | "lbm" | "hmmer" | "compress" | "ijpeg" ->
+                  Alcotest.(check bool)
+                    (r.workload.Workloads.name ^ " is scalar")
+                    true (r.ptr_fraction < 0.05)
+              | "treeadd" | "em3d" | "mst" | "perimeter" ->
+                  Alcotest.(check bool)
+                    (r.workload.Workloads.name ^ " is pointer-heavy")
+                    true (r.ptr_fraction > 0.30)
+              | _ -> ())
+            rows);
+      Alcotest.test_case "overheads ordered: full >= store, hash >= shadow"
+        `Quick (fun () ->
+          (* one representative from each side of Figure 2 *)
+          List.iter
+            (fun name ->
+              let w = Option.get (Workloads.find name) in
+              let row = Harness.Exp_fig2.run_one ~quick:true w in
+              Alcotest.(check bool) (name ^ ": hash >= shadow") true
+                (row.hash_full >= row.shadow_full -. 0.02);
+              Alcotest.(check bool) (name ^ ": full >= store") true
+                (row.shadow_full >= row.shadow_store -. 0.02))
+            [ "compress"; "treeadd" ]);
+      Alcotest.test_case "metadata ops track pointer ops" `Quick (fun () ->
+          let w = Option.get (Workloads.find "treeadd") in
+          let m = Harness.Runner.compile_workload w in
+          let r =
+            Harness.Runner.run ~argv:w.quick_args
+              (Harness.Runner.Softbound Harness.Runner.sb_full_shadow)
+              m
+          in
+          let s = r.stats in
+          Alcotest.(check bool) "meta ops happen" true
+            (s.Interp.State.meta_loads + s.Interp.State.meta_stores > 100));
+    ]
