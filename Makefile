@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench experiments examples verify clean
 
 all: build
 
@@ -17,6 +17,13 @@ bench:
 # every table and figure at full workload sizes (~2 min)
 experiments:
 	dune exec bin/experiments.exe -- all
+
+# what CI runs: build, the whole test suite, and a smoke pass of the
+# check-elimination ablation (quick workload sizes)
+verify:
+	dune build
+	dune runtest
+	dune exec bin/experiments.exe -- elim --quick
 
 examples:
 	dune exec examples/quickstart.exe

@@ -70,6 +70,19 @@ let test_mscc =
   Test.make ~name:"sec6.5: mscc-style (quick)"
     (Staged.stage (run_all_quick Harness.Runner.Mscc))
 
+let test_elim =
+  Test.make_grouped ~name:"elim (quick)"
+    [
+      Test.make ~name:"shadow/full elim-on"
+        (Staged.stage
+           (run_all_quick (Harness.Runner.Softbound Harness.Runner.sb_full_shadow)));
+      Test.make ~name:"shadow/full elim-off"
+        (Staged.stage
+           (run_all_quick
+              (Harness.Runner.Softbound
+                 (Harness.Exp_elim.without_elim Harness.Runner.sb_full_shadow))));
+    ]
+
 let test_ablations =
   Test.make ~name:"ablations: shrink/memcpy/clear/prune"
     (Staged.stage (fun () ->
@@ -97,7 +110,7 @@ let all_tests =
   Test.make_grouped ~name:"softbound"
     [
       test_table1; test_table3; test_table4; test_fig1; test_fig2_configs;
-      test_mscc; test_ablations; test_pipeline;
+      test_mscc; test_elim; test_ablations; test_pipeline;
     ]
 
 let run_bechamel () =
@@ -147,7 +160,15 @@ let print_artifacts () =
   print_endline (Harness.Exp_mscc.render (Harness.Exp_mscc.run ~quick:true ()));
   print_endline (Harness.Exp_memory.render (Harness.Exp_memory.run ()));
   print_endline (Harness.Exp_sweep.render (Harness.Exp_sweep.run ()));
-  print_endline (Harness.Exp_ablation.render ())
+  print_endline (Harness.Exp_ablation.render ());
+  (* elimination ablation, plus the machine-readable per-kernel cycle
+     record tracking the perf trajectory from PR to PR *)
+  let elim_rows = Harness.Exp_elim.run () in
+  print_endline (Harness.Exp_elim.render elim_rows);
+  let oc = open_out "BENCH_elim.json" in
+  output_string oc (Harness.Exp_elim.to_json elim_rows);
+  close_out oc;
+  print_endline "wrote BENCH_elim.json"
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -6,7 +6,9 @@
 
 let usage () =
   prerr_endline
-    "usage: experiments <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|all> [--quick]";
+    "usage: experiments \
+     <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|all> \
+     [--quick]";
   exit 2
 
 let () =
@@ -17,7 +19,7 @@ let () =
   let targets =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
-        "sweep"; "ablations" ]
+        "sweep"; "ablations"; "elim" ]
     else targets
   in
   List.iter
@@ -33,6 +35,13 @@ let () =
         | "memory" -> Harness.Exp_memory.(render (run ~quick ()))
         | "sweep" -> Harness.Exp_sweep.(render (run ()))
         | "ablations" -> Harness.Exp_ablation.render ()
+        | "elim" ->
+            (* also refresh the machine-readable per-kernel record *)
+            let rows = Harness.Exp_elim.run ~quick () in
+            let oc = open_out "BENCH_elim.json" in
+            output_string oc (Harness.Exp_elim.to_json rows);
+            close_out oc;
+            Harness.Exp_elim.render rows
         | other ->
             Printf.eprintf "unknown experiment %s\n" other;
             exit 2

@@ -66,6 +66,14 @@ let no_shrink_arg =
     & info [ "no-shrink" ]
         ~doc:"Disable bounds shrinking at struct-field access.")
 
+let no_elim_arg =
+  Arg.(
+    value & flag
+    & info [ "no-elim" ]
+        ~doc:
+          "Disable the redundant-check elimination / metadata-lookup \
+           hoisting pass over the instrumented code.")
+
 let fptr_sigs_arg =
   Arg.(
     value & flag
@@ -81,16 +89,17 @@ let prog_args =
     value & pos_right 0 string []
     & info [] ~docv:"ARGS" ~doc:"Arguments passed to the program's main().")
 
-let opts_of ?(fptr_sigs = false) mode facility no_shrink =
+let opts_of ?(fptr_sigs = false) ?(no_elim = false) mode facility no_shrink =
   {
     Softbound.Config.default with
     mode;
     facility;
     shrink_bounds = not no_shrink;
     fptr_signatures = fptr_sigs;
+    eliminate_checks = not no_elim;
   }
 
-let scheme_of unprotected checker mode facility no_shrink fptr_sigs =
+let scheme_of unprotected checker mode facility no_shrink fptr_sigs no_elim =
   if unprotected then Harness.Runner.Unprotected
   else
     match checker with
@@ -99,7 +108,8 @@ let scheme_of unprotected checker mode facility no_shrink fptr_sigs =
     | Some `Mf -> Harness.Runner.Mudflap
     | Some `Mscc -> Harness.Runner.Mscc
     | None ->
-        Harness.Runner.Softbound (opts_of ~fptr_sigs mode facility no_shrink)
+        Harness.Runner.Softbound
+          (opts_of ~fptr_sigs ~no_elim mode facility no_shrink)
 
 let report_err f =
   try f () with
@@ -123,11 +133,13 @@ let report_err f =
 
 let run_cmd =
   let doc = "compile, (optionally) instrument, and execute a program" in
-  let f src unprotected checker mode facility no_shrink fptr_sigs stats args =
+  let f src unprotected checker mode facility no_shrink fptr_sigs no_elim
+      stats args =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let scheme =
           scheme_of unprotected checker mode facility no_shrink fptr_sigs
+            no_elim
         in
         let r = Harness.Runner.run ~argv:args scheme m in
         print_string r.stdout_text;
@@ -154,7 +166,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const f $ src_arg $ unprotected_arg $ checker_arg $ mode_arg
-      $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ stats_arg $ prog_args)
+      $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ no_elim_arg $ stats_arg
+      $ prog_args)
 
 (* ---- check ---- *)
 
@@ -163,11 +176,13 @@ let check_cmd =
     "run under SoftBound (full checking unless $(b,--mode) overrides); \
      exit 0 iff no spatial violation"
   in
-  let f src mode facility =
+  let f src mode facility no_elim =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let r =
-          Softbound.run_protected ~opts:(opts_of mode facility false) m
+          Softbound.run_protected
+            ~opts:(opts_of ~no_elim mode facility false)
+            m
         in
         match r.outcome with
         | Interp.State.Trapped (Interp.State.Bounds_violation _ as t) ->
@@ -182,7 +197,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const f $ src_arg $ mode_arg $ facility_arg)
+    Term.(const f $ src_arg $ mode_arg $ facility_arg $ no_elim_arg)
 
 (* ---- dump-ir ---- *)
 
@@ -196,12 +211,12 @@ let dump_cmd =
   let no_inline =
     Arg.(value & flag & info [ "no-inline" ] ~doc:"Skip the inliner.")
   in
-  let f src instr no_inline mode facility =
+  let f src instr no_inline mode facility no_elim =
     report_err (fun () ->
         let m = Softbound.compile ~inline:(not no_inline) (read_file src) in
         let m =
           if instr then
-            Softbound.instrument ~opts:(opts_of mode facility false) m
+            Softbound.instrument ~opts:(opts_of ~no_elim mode facility false) m
           else m
         in
         print_string (Sbir.Pretty_ir.dump_module m))
@@ -209,7 +224,8 @@ let dump_cmd =
   Cmd.v
     (Cmd.info "dump-ir" ~doc)
     Term.(
-      const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg)
+      const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg
+      $ no_elim_arg)
 
 let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in

@@ -25,6 +25,7 @@ let options : Softbound.Config.options =
     clear_free_meta = true;
     fptr_signatures = false;
     prune_liveness = false;
+    eliminate_checks = false;
   }
 
 (** Run a module under the MSCC-style transformation. *)

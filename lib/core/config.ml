@@ -38,6 +38,12 @@ type options = {
           standing in for the paper's re-run of LLVM's optimizers over
           the instrumented code (section 6.1).  The MSCC-style baseline
           disables this (it eschews such whole-function cleanup). *)
+  eliminate_checks : bool;
+      (** run the redundant-check elimination / metadata-lookup
+          hoisting pass ({!Elim}) over the instrumented code — the
+          redundancy half of the section 6.1 optimizer re-run
+          ([prune_liveness] is the liveness half).  Off reproduces the
+          uncleaned instrumentation for the ablation experiment. *)
 }
 
 let default =
@@ -50,6 +56,7 @@ let default =
     clear_free_meta = true;
     fptr_signatures = false; (* matches the paper's prototype *)
     prune_liveness = true;
+    eliminate_checks = true;
   }
 
 let store_only = { default with mode = Store_only }

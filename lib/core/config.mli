@@ -38,6 +38,11 @@ type options = {
       (** drop metadata that no check/call/return/store can observe —
           standing in for the paper's re-run of LLVM's optimizers over
           the instrumented code (section 6.1) *)
+  eliminate_checks : bool;
+      (** run the redundant-check elimination / metadata-lookup
+          hoisting pass ({!Elim}) over the instrumented code — the
+          redundancy half of the section 6.1 optimizer re-run
+          ([prune_liveness] is the liveness half) *)
 }
 
 val default : options

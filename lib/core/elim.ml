@@ -1,0 +1,601 @@
+(* Redundant-check elimination and metadata-lookup hoisting over
+   SoftBound-instrumented IR (paper section 6.1).
+
+   The paper's prototype re-runs LLVM's standard optimizers after the
+   SoftBound pass, which removes checks and metadata lookups that the
+   instrumentation made redundant: two dereferences through the same
+   pointer need only one bounds check, and a loop that reloads the same
+   pointer every iteration needs only one metadata-space lookup.  The
+   [prune_liveness] pre-pass in [Transform] stands in for the
+   *liveness* part of that cleanup; this module stands in for the
+   *redundancy* part (CGuard makes the same observation: most of the
+   remaining headroom is provably-redundant spatial checks).
+
+   Three sub-passes, in order:
+
+   1. {b Loop hoisting.}  Using the dominator tree and natural loops
+      from {!Sbir.Dom}, loop-invariant instrumentation — [MetaLoad]s
+      whose address is invariant (and whose loop is free of metadata
+      writers), the pure metadata-propagation instructions introduced by
+      the transformation, and (under a stronger condition, below)
+      [Check]/[CheckFptr] on invariant operands — is moved into the
+      loop's preheader, created on demand.  A check executes a trap
+      conditionally, so hoisting one is allowed only when loop entry
+      already implies the check runs at least once: its block must
+      dominate every latch and every exit-edge source, the loop must
+      contain no in-loop return/unreachable terminator, and no call may
+      sit on a path that reaches the check's block (a callee could
+      terminate the program first).  This is precisely the "widen a
+      per-iteration check on a loop-invariant pointer into one check
+      per loop entry" rewrite.  Program (non-metadata) instructions are
+      hoisted only when a hoisted root transitively needs them, so the
+      instrumented/uninstrumented comparison stays fair: we never
+      optimize the program itself more than its baseline.
+
+   2. {b Local metadata-lookup CSE.}  Within a block, a second
+      [MetaLoad] from the same address reuses the first lookup's
+      registers (two 1-cycle moves instead of a 5- or 9-cycle
+      metadata-space probe); invalidated by [MetaStore], calls,
+      [SetBoundMark], and redefinition of any involved register.
+
+   3. {b Check elimination.}  A forward available-checks dataflow
+      (intersection over predecessors, iterated to a fixpoint over the
+      reverse postorder — the non-SSA analogue of "a dominating
+      identical check with no intervening redefinition"): a [Check] on
+      (ptr, base, bound) is dropped when an available check on the same
+      operand triple with width >= the required width reaches it, a
+      [CheckFptr] when an identical one reaches it.  Facts die when any
+      mentioned register is redefined.  Registers are the only state a
+      check reads, so stores, calls and metadata writes do not kill
+      facts.
+
+   Soundness note: a dropped check is dominated by an identical check
+   that either passed (so this one would pass: same register values,
+   [w' >= w] implies [ptr + w <= bound]) or aborted (so this one is
+   never reached).  Hoisted checks abort at loop entry exactly when the
+   first in-loop execution would have aborted.  Detection is therefore
+   unchanged — the test suite re-runs the full Wilander/BugBench
+   matrix with elimination on to hold this to account. *)
+
+module Ir = Sbir.Ir
+module Dom = Sbir.Dom
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Instruction facts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let defs_of (i : inst) : reg list =
+  match i with
+  | Mov (r, _, _)
+  | Bin (r, _, _, _, _)
+  | Cmp (r, _, _, _, _)
+  | Cast (r, _, _, _)
+  | Load (r, _, _)
+  | Gep (r, _, _, _)
+  | Slotaddr (r, _) ->
+      [ r ]
+  | Call { rets; _ } -> rets
+  | MetaLoad (r1, r2, _) -> [ r1; r2 ]
+  | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ -> []
+
+let ops_of (i : inst) : operand list =
+  match i with
+  | Mov (_, _, o) | Cast (_, _, _, o) | Load (_, _, o) | MetaLoad (_, _, o) ->
+      [ o ]
+  | Bin (_, _, _, a, b)
+  | Cmp (_, _, _, a, b)
+  | Store (_, a, b)
+  | Gep (_, a, b, _)
+  | SetBoundMark (a, b) ->
+      [ a; b ]
+  | Slotaddr _ -> []
+  | Call { callee; args; _ } -> callee :: args
+  | Check (p, b, e, _) | CheckFptr (p, b, e, _) | MetaStore (p, b, e) ->
+      [ p; b; e ]
+
+let term_ops (t : terminator) : operand list =
+  match t with
+  | TRet ops -> ops
+  | TBr (c, _, _) -> [ c ]
+  | TSwitch (v, _, _) -> [ v ]
+  | TJmp _ | TUnreachable -> []
+
+let reg_ops (ops : operand list) : reg list =
+  List.filter_map (function Reg r -> Some r | _ -> None) ops
+
+(** Pure register-writing instructions safe to execute speculatively
+    (no memory access, no trap — [Div]/[Rem] can fault on zero). *)
+let hoistable_pure = function
+  | Mov _ | Cmp _ | Cast _ | Gep _ | Slotaddr _ -> true
+  | Bin (_, (Div | Rem), _, _, _) -> false
+  | Bin _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: loop-invariant hoisting                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Positions are (block id, instruction index); a terminator "use"
+   position is (block id, max_int) so it is dominated by every
+   instruction of its own block. *)
+
+type loop_ctx = {
+  dom : Dom.t;
+  loop : Dom.loop;
+  def_count : (reg, int) Hashtbl.t;  (* defs within the loop *)
+  def_pos : (reg, int * int) Hashtbl.t;  (* meaningful when count = 1 *)
+  uses : (reg, (int * int) list) Hashtbl.t;  (* function-wide *)
+  meta_clobbered : bool;  (* MetaStore / Call / SetBoundMark in loop *)
+  has_stop : bool;  (* TRet / TUnreachable terminator in loop *)
+  calls : (int * int) list;  (* in-loop call positions *)
+}
+
+let dcount ctx r = try Hashtbl.find ctx.def_count r with Not_found -> 0
+
+let build_loop_ctx (f : func) (dom : Dom.t) (loop : Dom.loop) : loop_ctx =
+  let def_count = Hashtbl.create 32 in
+  let def_pos = Hashtbl.create 32 in
+  let uses = Hashtbl.create 64 in
+  let add_use r pos =
+    Hashtbl.replace uses r
+      (pos :: (try Hashtbl.find uses r with Not_found -> []))
+  in
+  let meta_clobbered = ref false in
+  let has_stop = ref false in
+  let calls = ref [] in
+  Array.iteri
+    (fun b blk ->
+      List.iteri
+        (fun i inst -> List.iter (fun r -> add_use r (b, i)) (reg_ops (ops_of inst)))
+        blk.insts;
+      List.iter (fun r -> add_use r (b, max_int)) (reg_ops (term_ops blk.term));
+      if loop.Dom.body.(b) then begin
+        (match blk.term with
+        | TRet _ | TUnreachable -> has_stop := true
+        | _ -> ());
+        List.iteri
+          (fun i inst ->
+            (match inst with
+            | MetaStore _ | SetBoundMark _ -> meta_clobbered := true
+            | Call _ ->
+                meta_clobbered := true;
+                calls := (b, i) :: !calls
+            | _ -> ());
+            List.iter
+              (fun r ->
+                Hashtbl.replace def_count r
+                  (1 + (try Hashtbl.find def_count r with Not_found -> 0));
+                Hashtbl.replace def_pos r (b, i))
+              (defs_of inst))
+          blk.insts
+      end)
+    f.fblocks;
+  {
+    dom;
+    loop;
+    def_count;
+    def_pos;
+    uses;
+    meta_clobbered = !meta_clobbered;
+    has_stop = !has_stop;
+    calls = !calls;
+  }
+
+(** Is position [q] strictly after [p] on every execution (same block
+    later, or in a block [p]'s block strictly dominates)? *)
+let dominated_by ctx ((b, i) : int * int) ((b', i') : int * int) : bool =
+  if b = b' then i' > i else Dom.dominates ctx.dom b b'
+
+(** All uses of [r], function-wide, lie inside the loop and after the
+    defining position — so moving the single definition to the
+    preheader changes no observable register value (in particular, a
+    zero-trip loop entry leaves no reader of the speculatively computed
+    value). *)
+let uses_ok ctx r pos =
+  List.for_all
+    (fun (b', _ as q) -> ctx.loop.Dom.body.(b') && dominated_by ctx pos q)
+    (try Hashtbl.find ctx.uses r with Not_found -> [])
+
+(** The set of hoistable pure/[MetaLoad] definitions of the loop, as a
+    growing fixpoint: an instruction joins once all its register
+    operands are invariant (undefined in the loop, or defined once by an
+    instruction already in the set — never by itself, which is how
+    inductive updates like [r <- r + 1] are excluded). *)
+let hoistable_defs (f : func) (ctx : loop_ctx) : ((int * int), inst) Hashtbl.t =
+  let h = Hashtbl.create 16 in
+  let invariant pos = function
+    | Reg r -> (
+        match dcount ctx r with
+        | 0 -> true
+        | 1 ->
+            let dp = Hashtbl.find ctx.def_pos r in
+            dp <> pos && Hashtbl.mem h dp
+        | _ -> false)
+    | _ -> true
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun b blk ->
+        if ctx.loop.Dom.body.(b) && Dom.reachable ctx.dom b then
+          List.iteri
+            (fun i inst ->
+              let pos = (b, i) in
+              if not (Hashtbl.mem h pos) then
+                let candidate =
+                  hoistable_pure inst
+                  ||
+                  match inst with
+                  | MetaLoad _ -> not ctx.meta_clobbered
+                  | _ -> false
+                in
+                if
+                  candidate
+                  && List.for_all
+                       (fun r -> dcount ctx r = 1 && uses_ok ctx r pos)
+                       (defs_of inst)
+                  && List.for_all (invariant pos) (ops_of inst)
+                then begin
+                  Hashtbl.add h pos inst;
+                  changed := true
+                end)
+            blk.insts)
+      f.fblocks
+  done;
+  h
+
+(** Positions to move to the preheader: instrumentation roots plus the
+    in-loop pure definitions they transitively need.  [meta_floor] is
+    the register count of the function {e before} instrumentation, so a
+    pure instruction writing only registers [>= meta_floor] is metadata
+    propagation introduced by the transformation; pure program
+    instructions are hoisted only as dependencies of a root. *)
+let hoist_candidates (f : func) (ctx : loop_ctx) ~(meta_floor : int) :
+    ((int * int) * inst) list =
+  let h = hoistable_defs f ctx in
+  let invariant pos = function
+    | Reg r -> (
+        match dcount ctx r with
+        | 0 -> true
+        | 1 ->
+            let dp = Hashtbl.find ctx.def_pos r in
+            dp <> pos && Hashtbl.mem h dp
+        | _ -> false)
+    | _ -> true
+  in
+  let loop = ctx.loop in
+  let roots = ref [] in
+  Array.iteri
+    (fun b blk ->
+      if loop.Dom.body.(b) && Dom.reachable ctx.dom b then
+        List.iteri
+          (fun i inst ->
+            let pos = (b, i) in
+            match inst with
+            | Check _ | CheckFptr _ ->
+                (* Sound only when loop entry implies this check runs:
+                   see the module header. *)
+                if
+                  (not ctx.has_stop)
+                  && List.for_all (invariant pos) (ops_of inst)
+                  && List.for_all
+                       (fun l -> Dom.dominates ctx.dom b l)
+                       (loop.Dom.latches @ loop.Dom.exits)
+                  && List.for_all
+                       (fun (cb, ci) -> cb = b && ci > i)
+                       ctx.calls
+                then roots := (pos, inst) :: !roots
+            | MetaLoad _ ->
+                if Hashtbl.mem h pos then roots := (pos, inst) :: !roots
+            | _ ->
+                if
+                  Hashtbl.mem h pos
+                  && defs_of inst <> []
+                  && List.for_all (fun r -> r >= meta_floor) (defs_of inst)
+                then roots := (pos, inst) :: !roots)
+          blk.insts)
+    f.fblocks;
+  let chosen = Hashtbl.create 16 in
+  let rec need pos inst =
+    if not (Hashtbl.mem chosen pos) then begin
+      Hashtbl.add chosen pos inst;
+      List.iter
+        (fun r ->
+          if dcount ctx r = 1 then
+            let dp = Hashtbl.find ctx.def_pos r in
+            if dp <> pos then
+              match Hashtbl.find_opt h dp with
+              | Some dinst -> need dp dinst
+              | None -> ())
+        (reg_ops (ops_of inst))
+    end
+  in
+  List.iter (fun (pos, inst) -> need pos inst) !roots;
+  Hashtbl.fold (fun pos inst acc -> (pos, inst) :: acc) chosen []
+
+let map_targets (g : int -> int) (t : terminator) : terminator =
+  match t with
+  | TJmp t -> TJmp (g t)
+  | TBr (c, t1, t2) -> TBr (c, g t1, g t2)
+  | TSwitch (v, cases, d) ->
+      TSwitch (v, List.map (fun (k, t) -> (k, g t)) cases, g d)
+  | (TRet _ | TUnreachable) as t -> t
+
+(** An existing preheader: the unique loop-outside predecessor of the
+    header, provided the header is its only successor (so appending to
+    it executes exactly once per loop entry). *)
+let find_preheader (dom : Dom.t) (loop : Dom.loop) : int option =
+  let outside =
+    List.filter (fun p -> not loop.Dom.body.(p)) dom.Dom.preds.(loop.Dom.header)
+  in
+  match outside with
+  | [ p ]
+    when dom.Dom.succs.(p) = [ loop.Dom.header ] && Dom.reachable dom p ->
+      Some p
+  | _ -> None
+
+(** Insert an empty preheader: every edge into the header from outside
+    the loop is redirected through a fresh block that jumps to the
+    header.  When the header is the (positional) entry block the new
+    block must become the entry, so every block shifts up by one. *)
+let insert_preheader (f : func) (loop : Dom.loop) : func =
+  let h = loop.Dom.header in
+  let n = Array.length f.fblocks in
+  if h = 0 then
+    let remap src t =
+      if t = 0 then if loop.Dom.body.(src) then 1 else 0 else t + 1
+    in
+    let fblocks =
+      Array.init (n + 1) (fun i ->
+          if i = 0 then { insts = []; term = TJmp 1 }
+          else
+            let b = f.fblocks.(i - 1) in
+            { b with term = map_targets (remap (i - 1)) b.term })
+    in
+    { f with fblocks }
+  else
+    let remap src t = if t = h && not loop.Dom.body.(src) then n else t in
+    let fblocks =
+      Array.init (n + 1) (fun i ->
+          if i = n then { insts = []; term = TJmp h }
+          else
+            let b = f.fblocks.(i) in
+            { b with term = map_targets (remap i) b.term })
+    in
+    { f with fblocks }
+
+(** Move [chosen] to the end of block [pre], in dependency order: a
+    definition dominates its uses, and dominators come strictly earlier
+    in reverse postorder, so sorting by (RPO position, index) is a
+    topological order of the moved instructions. *)
+let apply_hoist (f : func) (dom : Dom.t) (pre : int)
+    (chosen : ((int * int) * inst) list) : func =
+  let sorted =
+    List.sort
+      (fun ((b1, i1), _) ((b2, i2), _) ->
+        compare (dom.Dom.rpo_pos.(b1), i1) (dom.Dom.rpo_pos.(b2), i2))
+      chosen
+  in
+  let moved = List.map snd sorted in
+  let removed = Hashtbl.create 16 in
+  List.iter (fun (pos, _) -> Hashtbl.replace removed pos ()) chosen;
+  let fblocks =
+    Array.mapi
+      (fun b blk ->
+        let insts =
+          List.filteri (fun i _ -> not (Hashtbl.mem removed (b, i))) blk.insts
+        in
+        let insts = if b = pre then insts @ moved else insts in
+        { blk with insts })
+      f.fblocks
+  in
+  { f with fblocks }
+
+(** One round: find the innermost loop with hoisting candidates and
+    either hoist them (preheader present) or create its preheader (the
+    next round hoists).  Returns [None] when no loop has candidates. *)
+let hoist_round ~meta_floor (f : func) : func option =
+  let dom = Dom.compute f in
+  let loops = Dom.natural_loops dom in
+  let rec try_loops = function
+    | [] -> None
+    | loop :: rest -> (
+        let ctx = build_loop_ctx f dom loop in
+        match hoist_candidates f ctx ~meta_floor with
+        | [] -> try_loops rest
+        | chosen -> (
+            match find_preheader dom loop with
+            | Some pre -> Some (apply_hoist f dom pre chosen)
+            | None -> Some (insert_preheader f loop)))
+  in
+  try_loops loops
+
+let hoist_loops ~meta_floor (f : func) : func =
+  (* Each round either inserts one preheader or strictly shrinks some
+     loop body; instructions re-hoist at most once per enclosing loop,
+     so the budget is never the binding constraint in practice. *)
+  let budget = ref (16 + (4 * Array.length f.fblocks)) in
+  let f = ref f in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    match hoist_round ~meta_floor !f with
+    | Some f' -> f := f'
+    | None -> continue_ := false
+  done;
+  !f
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: within-block metadata-lookup CSE                             *)
+(* ------------------------------------------------------------------ *)
+
+let local_metaload_cse (f : func) : func =
+  let rewrite blk =
+    (* available lookups: address operand -> registers holding its
+       base/bound, newest first *)
+    let tbl = ref [] in
+    let kill_reg r =
+      tbl :=
+        List.filter
+          (fun (a, (b, e)) -> (not (equal_operand a (Reg r))) && b <> r && e <> r)
+          !tbl
+    in
+    let rev =
+      List.fold_left
+        (fun acc inst ->
+          match inst with
+          | MetaLoad (rb, re, a) -> (
+              match
+                List.find_opt (fun (a0, _) -> equal_operand a0 a) !tbl
+              with
+              | Some (_, (b0, e0)) when b0 = rb && e0 = re ->
+                  (* same destinations already hold this lookup *)
+                  acc
+              | Some (_, (b0, e0)) ->
+                  kill_reg rb;
+                  kill_reg re;
+                  tbl := (a, (rb, re)) :: !tbl;
+                  Mov (re, P, Reg e0) :: Mov (rb, P, Reg b0) :: acc
+              | None ->
+                  kill_reg rb;
+                  kill_reg re;
+                  tbl := (a, (rb, re)) :: !tbl;
+                  inst :: acc)
+          | MetaStore _ | Call _ | SetBoundMark _ ->
+              tbl := [];
+              inst :: acc
+          | _ ->
+              List.iter kill_reg (defs_of inst);
+              inst :: acc)
+        [] blk.insts
+    in
+    { blk with insts = List.rev rev }
+  in
+  { f with fblocks = Array.map rewrite f.fblocks }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: available-checks dataflow and elimination                    *)
+(* ------------------------------------------------------------------ *)
+
+type fact =
+  | FCheck of operand * operand * operand
+  | FFptr of operand * operand * operand * int option
+
+module FM = Map.Make (struct
+  type t = fact
+
+  let compare = Stdlib.compare
+end)
+
+let fact_mentions_reg r = function
+  | FCheck (a, b, c) | FFptr (a, b, c, _) ->
+      let m = equal_operand (Reg r) in
+      m a || m b || m c
+
+let kill_defs defs m =
+  if defs = [] then m
+  else
+    FM.filter
+      (fun k _ -> not (List.exists (fun r -> fact_mentions_reg r k) defs))
+      m
+
+let transfer_inst m inst =
+  match inst with
+  | Check (p, b, e, w) ->
+      let key = FCheck (p, b, e) in
+      let w' = match FM.find_opt key m with Some x -> max x w | None -> w in
+      FM.add key w' m
+  | CheckFptr (p, b, e, h) -> FM.add (FFptr (p, b, e, h)) 0 m
+  | _ -> kill_defs (defs_of inst) m
+
+(* Intersection meet: a fact is available with the weakest width any
+   predecessor guarantees. *)
+let meet a b =
+  FM.merge
+    (fun _ x y ->
+      match (x, y) with Some x, Some y -> Some (min x y) | _ -> None)
+    a b
+
+let check_cse (f : func) : func =
+  let dom = Dom.compute f in
+  let n = Array.length f.fblocks in
+  (* [None] is the optimistic top element (not yet computed); the meet
+     ignores top predecessors, which is what makes back edges converge
+     from above. *)
+  let out = Array.make n None in
+  let in_of b =
+    if b = 0 then Some FM.empty
+    else
+      List.fold_left
+        (fun acc p ->
+          match out.(p) with
+          | None -> acc
+          | Some m -> (
+              match acc with None -> Some m | Some a -> Some (meet a m)))
+        None dom.Dom.preds.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        match in_of b with
+        | None -> ()
+        | Some m ->
+            let m' = List.fold_left transfer_inst m f.fblocks.(b).insts in
+            let same =
+              match out.(b) with
+              | Some prev -> FM.equal Int.equal prev m'
+              | None -> false
+            in
+            if not same then begin
+              out.(b) <- Some m';
+              changed := true
+            end)
+      dom.Dom.rpo
+  done;
+  let rewrite b blk =
+    match if Dom.reachable dom b then in_of b else None with
+    | None -> blk
+    | Some m0 ->
+        let _, rev =
+          List.fold_left
+            (fun (m, acc) inst ->
+              match inst with
+              | Check (p, b_, e, w) -> (
+                  match FM.find_opt (FCheck (p, b_, e)) m with
+                  | Some w' when w' >= w -> (m, acc)
+                  | _ -> (transfer_inst m inst, inst :: acc))
+              | CheckFptr (p, b_, e, h) ->
+                  if FM.mem (FFptr (p, b_, e, h)) m then (m, acc)
+                  else (transfer_inst m inst, inst :: acc)
+              | _ -> (transfer_inst m inst, inst :: acc))
+            (m0, []) blk.insts
+        in
+        { blk with insts = List.rev rev }
+  in
+  { f with fblocks = Array.mapi rewrite f.fblocks }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let elim_func ~(meta_floor : int) (f : func) : func =
+  let f = hoist_loops ~meta_floor f in
+  let f = local_metaload_cse f in
+  let f = check_cse f in
+  f
+
+(** Static instrumentation census, for tests and reporting. *)
+let count_insts (p : inst -> bool) (f : func) : int =
+  Array.fold_left
+    (fun acc blk ->
+      acc + List.length (List.filter p blk.insts))
+    0 f.fblocks
+
+let count_checks =
+  count_insts (function Check _ | CheckFptr _ -> true | _ -> false)
+
+let count_metaloads = count_insts (function MetaLoad _ -> true | _ -> false)

@@ -1,0 +1,35 @@
+(** Redundant-check elimination and metadata-lookup hoisting over
+    SoftBound-instrumented IR — the redundancy half of the cleanup the
+    paper gets by re-running LLVM's standard optimizers after the
+    transformation (section 6.1); [Config.prune_liveness] is the
+    liveness half.
+
+    Three sub-passes: loop-invariant hoisting of metadata lookups,
+    metadata propagation, and (when loop entry provably implies they
+    execute) bounds checks into loop preheaders; within-block reuse of
+    an earlier [MetaLoad] from the same address; and a forward
+    available-checks dataflow that drops a [Check] reached by an
+    identical dominating check of at least its width with no intervening
+    redefinition.  Elimination never weakens detection: a dropped check
+    is implied by one that already ran, and a hoisted check aborts
+    exactly when its first in-loop execution would have.
+
+    Enabled by {!Config.options.eliminate_checks} (default on);
+    disabling it reproduces the uncleaned instrumentation for the
+    ablation experiment. *)
+
+module Ir = Sbir.Ir
+
+val elim_func : meta_floor:int -> Ir.func -> Ir.func
+(** Optimize one instrumented function.  [meta_floor] is the function's
+    register count {e before} instrumentation: registers at or above it
+    were introduced by the transformation, which is how the pass tells
+    metadata propagation (hoisted eagerly) from program computation
+    (hoisted only as a dependency of hoisted instrumentation, keeping
+    the overhead comparison against the uninstrumented baseline fair). *)
+
+val count_checks : Ir.func -> int
+(** Static number of [Check]/[CheckFptr] instructions, for tests. *)
+
+val count_metaloads : Ir.func -> int
+(** Static number of [MetaLoad] instructions, for tests. *)

@@ -13,6 +13,7 @@ module Ir = Sbir.Ir
 (* [softbound] is the library's root module; re-export the submodules. *)
 module Config = Config
 module Transform = Transform
+module Elim = Elim
 
 type mode = Config.mode = Full_checking | Store_only
 type facility = Config.facility = Hash_table | Shadow_space

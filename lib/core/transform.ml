@@ -486,7 +486,15 @@ let transform ?(opts = Config.default) (m : modul) : modul =
   let mfunc_order =
     List.map
       (fun n ->
-        let f = transform_func opts defined (Hashtbl.find m.mfuncs n) in
+        let f0 = Hashtbl.find m.mfuncs n in
+        let f = transform_func opts defined f0 in
+        (* The register count before instrumentation separates metadata
+           registers from program registers for the elimination pass. *)
+        let f =
+          if opts.Config.eliminate_checks then
+            Elim.elim_func ~meta_floor:f0.fnregs f
+          else f
+        in
         Hashtbl.replace mfuncs f.fname f;
         f.fname)
       m.mfunc_order

@@ -1,0 +1,170 @@
+(* Ablation of the redundant-check elimination pass (Elim): every
+   Figure 2 configuration — {hash-table, shadow-space} x {full,
+   store-only} — run over the 15 kernels with [eliminate_checks] on and
+   off, reporting per-benchmark and geometric-mean simulated-cycle
+   overheads plus the dynamic check/metadata-lookup counts the pass
+   removed.
+
+   The acceptance bar: with elimination on, the geometric-mean overhead
+   must drop versus off in at least the shadow/full configuration (the
+   paper's headline config), with detection untouched — the test suite
+   re-runs the Wilander/BugBench matrix under elimination separately. *)
+
+type cell = {
+  cycles_on : int;
+  cycles_off : int;
+  ov_on : float;  (** overhead vs uninstrumented, elimination on *)
+  ov_off : float;  (** overhead vs uninstrumented, elimination off *)
+}
+
+type row = {
+  workload : Workloads.workload;
+  base_cycles : int;
+  shadow_full : cell;
+  hash_full : cell;
+  shadow_store : cell;
+  hash_store : cell;
+  checks_on : int;  (** dynamic checks executed, shadow/full, elim on *)
+  checks_off : int;
+  metaloads_on : int;  (** dynamic metadata lookups, shadow/full, elim on *)
+  metaloads_off : int;
+}
+
+let without_elim o = { o with Softbound.Config.eliminate_checks = false }
+
+let run_one ?(quick = false) (w : Workloads.workload) : row =
+  let m = Runner.compile_workload w in
+  let argv = if quick then w.Workloads.quick_args else [] in
+  let base = Runner.run ~argv Runner.Unprotected m in
+  let pair opts =
+    let on = Runner.run ~argv (Runner.Softbound opts) m in
+    let off = Runner.run ~argv (Runner.Softbound (without_elim opts)) m in
+    ( {
+        cycles_on = on.stats.Interp.State.cycles;
+        cycles_off = off.stats.Interp.State.cycles;
+        ov_on = Runner.overhead on base;
+        ov_off = Runner.overhead off base;
+      },
+      on,
+      off )
+  in
+  let shadow_full, sf_on, sf_off = pair Runner.sb_full_shadow in
+  let hash_full, _, _ = pair Runner.sb_full_hash in
+  let shadow_store, _, _ = pair Runner.sb_store_shadow in
+  let hash_store, _, _ = pair Runner.sb_store_hash in
+  {
+    workload = w;
+    base_cycles = base.stats.Interp.State.cycles;
+    shadow_full;
+    hash_full;
+    shadow_store;
+    hash_store;
+    checks_on = sf_on.stats.Interp.State.checks;
+    checks_off = sf_off.stats.Interp.State.checks;
+    metaloads_on = sf_on.stats.Interp.State.meta_loads;
+    metaloads_off = sf_off.stats.Interp.State.meta_loads;
+  }
+
+let run ?(quick = false) () : row list =
+  List.map (run_one ~quick) Workloads.all
+
+(** Geometric mean of the cycle ratios (instrumented / base), reported
+    as an overhead — the acceptance metric. *)
+let geomean_ov (cell_of : row -> cell) (value : cell -> float)
+    (rows : row list) : float =
+  let log_sum =
+    List.fold_left
+      (fun acc r -> acc +. log (1.0 +. value (cell_of r)))
+      0.0 rows
+  in
+  exp (log_sum /. float_of_int (List.length rows)) -. 1.0
+
+let render (rows : row list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Check-elimination ablation: simulated-cycle overhead with the Elim \
+     pass on / off\n";
+  Buffer.add_string buf
+    (Texttable.render
+       ~headers:
+         [ "benchmark"; "shadow/full on"; "shadow/full off"; "saved";
+           "checks on/off"; "meta-loads on/off" ]
+       (List.map
+          (fun r ->
+            let c = r.shadow_full in
+            [
+              r.workload.Workloads.name;
+              Texttable.pct c.ov_on;
+              Texttable.pct c.ov_off;
+              Texttable.pct (c.ov_off -. c.ov_on);
+              Printf.sprintf "%d/%d" r.checks_on r.checks_off;
+              Printf.sprintf "%d/%d" r.metaloads_on r.metaloads_off;
+            ])
+          rows));
+  let gm cell_of v = geomean_ov cell_of v rows in
+  let line name cell_of =
+    Printf.sprintf "  %-13s %s -> %s  (geomean overhead off -> on)\n" name
+      (Texttable.pct (gm cell_of (fun c -> c.ov_off)))
+      (Texttable.pct (gm cell_of (fun c -> c.ov_on)))
+  in
+  Buffer.add_string buf "\ngeometric-mean overheads across the 15 kernels:\n";
+  Buffer.add_string buf (line "shadow/full" (fun r -> r.shadow_full));
+  Buffer.add_string buf (line "hash/full" (fun r -> r.hash_full));
+  Buffer.add_string buf (line "shadow/store" (fun r -> r.shadow_store));
+  Buffer.add_string buf (line "hash/store" (fun r -> r.hash_store));
+  let sf_off = gm (fun r -> r.shadow_full) (fun c -> c.ov_off) in
+  let sf_on = gm (fun r -> r.shadow_full) (fun c -> c.ov_on) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nacceptance (shadow/full): elimination %s the geomean overhead \
+        (%s -> %s)\n"
+       (if sf_on < sf_off then "LOWERS" else "DOES NOT LOWER")
+       (Texttable.pct sf_off) (Texttable.pct sf_on));
+  Buffer.contents buf
+
+(** Machine-readable per-kernel cycles for the perf trajectory
+    ([BENCH_elim.json]). *)
+let to_json (rows : row list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiment\": \"elim-ablation\",\n";
+  Buffer.add_string buf "  \"unit\": \"simulated cycles\",\n";
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      let cell name c =
+        Printf.sprintf
+          "      \"%s\": { \"on\": %d, \"off\": %d, \"overhead_on\": %.4f, \
+           \"overhead_off\": %.4f }"
+          name c.cycles_on c.cycles_off c.ov_on c.ov_off
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\n      \"name\": \"%s\",\n      \"base_cycles\": %d,\n\
+            %s,\n%s,\n%s,\n%s,\n\
+           \      \"checks\": { \"on\": %d, \"off\": %d },\n\
+           \      \"meta_loads\": { \"on\": %d, \"off\": %d }\n    }%s\n"
+           r.workload.Workloads.name r.base_cycles
+           (cell "shadow_full" r.shadow_full)
+           (cell "hash_full" r.hash_full)
+           (cell "shadow_store" r.shadow_store)
+           (cell "hash_store" r.hash_store)
+           r.checks_on r.checks_off r.metaloads_on r.metaloads_off
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"geomean_overhead\": {\n\
+       \    \"shadow_full\": { \"on\": %.4f, \"off\": %.4f },\n\
+       \    \"hash_full\": { \"on\": %.4f, \"off\": %.4f },\n\
+       \    \"shadow_store\": { \"on\": %.4f, \"off\": %.4f },\n\
+       \    \"hash_store\": { \"on\": %.4f, \"off\": %.4f }\n  }\n}\n"
+       (geomean_ov (fun r -> r.shadow_full) (fun c -> c.ov_on) rows)
+       (geomean_ov (fun r -> r.shadow_full) (fun c -> c.ov_off) rows)
+       (geomean_ov (fun r -> r.hash_full) (fun c -> c.ov_on) rows)
+       (geomean_ov (fun r -> r.hash_full) (fun c -> c.ov_off) rows)
+       (geomean_ov (fun r -> r.shadow_store) (fun c -> c.ov_on) rows)
+       (geomean_ov (fun r -> r.shadow_store) (fun c -> c.ov_off) rows)
+       (geomean_ov (fun r -> r.hash_store) (fun c -> c.ov_on) rows)
+       (geomean_ov (fun r -> r.hash_store) (fun c -> c.ov_off) rows));
+  Buffer.contents buf

@@ -354,20 +354,25 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       charge st Cost.libc_call;
       let old = argi 0 and size = argi 1 in
       (try
+         (* the old size must be read before [Heap.realloc] retires the
+            block, or the checkers' free event is silently skipped *)
+         let old_size =
+           if old = 0 then None else Machine.Heap.block_size st.heap old
+         in
          match Machine.Heap.realloc st.heap old size with
          | None -> ret_ptr 0 (0, 0)
          | Some a ->
-             if old <> 0 then begin
-               (match Machine.Heap.block_size st.heap old with
-               | Some osz ->
-                   checker_event st (Ev_free { base = old; size = osz; kind = AHeap })
-               | None -> ());
-               ()
-             end;
+             (match old_size with
+             | Some osz ->
+                 checker_event st (Ev_free { base = old; size = osz; kind = AHeap })
+             | None -> ());
              checker_event st (Ev_alloc { base = a; size; kind = AHeap });
-             (* metadata moves with the contents *)
-             if old <> 0 && w.checked then
-               copy_meta_range w ~dst:a ~src:old ~len:size;
+             (* metadata moves with the contents (already in place when
+                the block was resized in place) *)
+             (match old_size with
+             | Some osz when w.checked && a <> old ->
+                 copy_meta_range w ~dst:a ~src:old ~len:(min osz size)
+             | _ -> ());
              ret_ptr a (a, a + size)
        with Machine.Heap.Bad_free a -> raise (Trap (Bad_free a)))
   | "free" ->

@@ -29,12 +29,38 @@ type t = {
   mutable misses : int;
 }
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Exact integer log2 of a power of two. *)
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
 let create ?(cfg = default_config) () =
+  (* Line indexing shifts and masks, so every geometry parameter must be
+     a power of two; a float log2 rounded to the nearest integer
+     silently mis-masked here for non-power-of-two line sizes, folding
+     distinct lines together and overstating hit rates. *)
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg
+      (Printf.sprintf "Cache.create: line_bytes %d is not a power of two"
+         cfg.line_bytes);
+  if not (is_pow2 cfg.size_bytes) then
+    invalid_arg
+      (Printf.sprintf "Cache.create: size_bytes %d is not a power of two"
+         cfg.size_bytes);
+  if not (is_pow2 cfg.assoc) then
+    invalid_arg
+      (Printf.sprintf "Cache.create: assoc %d is not a power of two" cfg.assoc);
+  if cfg.size_bytes < cfg.line_bytes * cfg.assoc then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.create: size_bytes %d holds no full set (line_bytes %d x \
+          assoc %d)"
+         cfg.size_bytes cfg.line_bytes cfg.assoc);
   let n_lines = cfg.size_bytes / cfg.line_bytes in
   let n_sets = max 1 (n_lines / cfg.assoc) in
-  let line_bits =
-    int_of_float (Float.round (Float.log2 (float_of_int cfg.line_bytes)))
-  in
+  let line_bits = log2 cfg.line_bytes in
   {
     cfg;
     n_sets;
@@ -57,7 +83,7 @@ let reset c =
 let access c addr =
   c.clock <- c.clock + 1;
   let line = addr lsr c.line_bits in
-  let set = line mod c.n_sets in
+  let set = line land (c.n_sets - 1) in
   let base = set * c.cfg.assoc in
   let rec find w =
     if w >= c.cfg.assoc then None

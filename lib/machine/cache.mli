@@ -19,6 +19,12 @@ val default_config : config
 type t
 
 val create : ?cfg:config -> unit -> t
+(** Create a cache.  Raises [Invalid_argument] unless [line_bytes],
+    [size_bytes] and [assoc] are all powers of two and the cache holds
+    at least one full set — line indexing shifts and masks, so
+    non-power-of-two geometries would silently mis-map addresses to
+    lines. *)
+
 val reset : t -> unit
 
 val access : t -> int -> int

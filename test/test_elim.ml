@@ -1,0 +1,187 @@
+(* Redundant-check elimination (Elim) tests.
+
+   The pass must be invisible except in the instruction stream: every
+   program — safe or attacking — behaves identically with
+   [eliminate_checks] on and off, while the static and dynamic check
+   counts only ever go down.  Detection completeness is re-asserted over
+   the whole Wilander/BugBench matrix with elimination explicitly on,
+   in both full and store-only modes. *)
+
+let on = Softbound.Config.default (* eliminate_checks defaults to true *)
+let off = { on with Softbound.Config.eliminate_checks = false }
+let store_on = Softbound.Config.store_only
+
+let store_off =
+  { store_on with Softbound.Config.eliminate_checks = false }
+
+let hash_on =
+  { on with Softbound.Config.facility = Softbound.Config.Hash_table }
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let static_checks opts src =
+  let m = Softbound.instrument ~opts (Softbound.compile src) in
+  Hashtbl.fold
+    (fun _ f acc -> acc + Softbound.Elim.count_checks f)
+    m.Sbir.Ir.mfuncs 0
+
+let static_metaloads opts src =
+  let m = Softbound.instrument ~opts (Softbound.compile src) in
+  Hashtbl.fold
+    (fun _ f acc -> acc + Softbound.Elim.count_metaloads f)
+    m.Sbir.Ir.mfuncs 0
+
+let runs opts src =
+  Softbound.run_protected ~opts (Softbound.compile src)
+
+(* Read-modify-write accesses produce back-to-back identical checks
+   (the load's and the store's), which the available-checks CSE merges;
+   the loop-invariant metadata computation for [a] and [p] is hoisted
+   to the preheader.  Exercises both halves of the pass. *)
+let loopy =
+  "int main(void) { int a[64]; int *p = (int*)malloc(4); int i; \
+   for (i = 0; i < 100; i++) { a[i % 64] = i; a[i % 64] += 3; \
+   *p = *p + a[i % 64]; } \
+   printf(\"%d\\n\", *p); return 0; }"
+
+(* Same outcome, same stdout, whatever the flag. *)
+let agrees name src =
+  tc name (fun () ->
+      let a = runs on src and b = runs off src in
+      (match (a.outcome, b.outcome) with
+      | Interp.State.Exit x, Interp.State.Exit y when x = y -> ()
+      | x, y ->
+          Alcotest.fail
+            (Printf.sprintf "outcomes differ: %s vs %s"
+               (Interp.State.string_of_outcome x)
+               (Interp.State.string_of_outcome y)));
+      Alcotest.(check string) "stdout agrees" b.stdout_text a.stdout_text)
+
+let suite =
+  [
+    (* ---------------- the pass actually fires ---------------- *)
+    tc "static checks drop on a loopy program" (fun () ->
+        let n_on = static_checks on loopy and n_off = static_checks off loopy in
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer static checks (%d < %d)" n_on n_off)
+          true (n_on < n_off));
+    tc "static metadata lookups drop too" (fun () ->
+        let n_on = static_metaloads on loopy
+        and n_off = static_metaloads off loopy in
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer static MetaLoads (%d <= %d)" n_on n_off)
+          true (n_on <= n_off));
+    tc "dynamic checks drop on a loopy program" (fun () ->
+        let a = runs on loopy and b = runs off loopy in
+        let ca = a.stats.Interp.State.checks
+        and cb = b.stats.Interp.State.checks in
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer dynamic checks (%d < %d)" ca cb)
+          true (ca < cb);
+        Alcotest.(check bool) "fewer cycles" true
+          (a.stats.Interp.State.cycles < b.stats.Interp.State.cycles));
+    tc "eliminated module still validates" (fun () ->
+        Sbir.Ir.validate
+          (Softbound.instrument ~opts:on (Softbound.compile loopy)));
+    (* ---------------- behavioural equivalence ---------------- *)
+    agrees "safe loop is untouched observationally" loopy;
+    agrees "linked list build and sum"
+      "typedef struct n { int v; struct n *next; } n_t; \
+       int main(void) { n_t *h = NULL; int i; for (i = 0; i < 30; i++) { \
+       n_t *x = (n_t*)malloc(sizeof(n_t)); x->v = i; x->next = h; h = x; } \
+       int s = 0; n_t *c; for (c = h; c; c = c->next) s += c->v; \
+       printf(\"%d\\n\", s); return 0; }";
+    agrees "early exit inside the loop (no zero-trip miscompile)"
+      "int main(void) { int a[8]; int i; for (i = 0; i < 100; i++) { \
+       if (i == 3) return 7; a[i] = i; } return 0; }";
+    agrees "zero-trip loop over out-of-bounds body"
+      "int main(void) { int a[4]; int i; int n = 0; \
+       for (i = 0; i < n; i++) a[i + 100] = 1; printf(\"ok\\n\"); return 0; }";
+    agrees "pointer redefinition in the loop kills availability"
+      "int main(void) { int x = 1; int y = 2; int *p = &x; int i; int s = 0; \
+       for (i = 0; i < 10; i++) { s += *p; p = (i % 2 == 0) ? &y : &x; } \
+       printf(\"%d\\n\", s); return 0; }";
+    (* ---------------- detection is preserved ---------------- *)
+    tc "overflow in a hoisted-check loop still aborts" (fun () ->
+        let src =
+          "int main(void) { int a[8]; int i; int s = 0; \
+           for (i = 0; i < 9; i++) s += a[i]; return s; }"
+        in
+        Alcotest.(check bool) "elim on detects" true
+          (Softbound.detected (runs on src));
+        Alcotest.(check bool) "elim off detects" true
+          (Softbound.detected (runs off src)));
+    tc "overflow on the last iteration only" (fun () ->
+        let src =
+          "int main(void) { int *p = (int*)malloc(16); int i; \
+           for (i = 0; i <= 4; i++) p[i] = i; return 0; }"
+        in
+        Alcotest.(check bool) "detected" true
+          (Softbound.detected (runs on src));
+        Alcotest.(check bool) "hash facility too" true
+          (Softbound.detected (runs hash_on src)));
+    tc "store-only with elimination still catches writes" (fun () ->
+        let src =
+          "int main(void) { char *d = (char*)malloc(4); \
+           strcpy(d, \"much too long\"); return 0; }"
+        in
+        Alcotest.(check bool) "detected" true
+          (Softbound.detected (runs store_on src)));
+    tc "all 18 attacks abort with elimination on (full + store-only)"
+      (fun () ->
+        List.iter
+          (fun (a : Attacks.Wilander.attack) ->
+            let label o =
+              Printf.sprintf "attack %02d (%s): %s" a.id o a.technique
+            in
+            Alcotest.(check bool) (label "full") true
+              (Softbound.detected (runs on a.source));
+            Alcotest.(check bool)
+              (label "store-only")
+              true
+              (Softbound.detected (runs store_on a.source)))
+          Attacks.Wilander.all);
+    tc "bugbench verdicts are unchanged by elimination" (fun () ->
+        List.iter
+          (fun (p : Attacks.Bugbench.program) ->
+            let v o = Softbound.detected (runs o p.source) in
+            Alcotest.(check bool) (p.name ^ " full") (v off) (v on);
+            Alcotest.(check bool)
+              (p.name ^ " store-only")
+              (v store_off) (v store_on))
+          Attacks.Bugbench.all);
+    (* ---------------- qcheck properties ---------------- *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"random in-bounds walks agree (outcome, stdout, check count)"
+         ~count:30
+         QCheck.(pair (int_range 1 40) (int_range 1 5))
+         (fun (n, stride) ->
+           let src =
+             Printf.sprintf
+               "int main(void) { int a[%d]; int i; int s = 0; \
+                for (i = 0; i < %d; i += %d) a[i] = i; \
+                for (i = 0; i < %d; i += %d) s += a[i]; \
+                printf(\"%%d\\n\", s); return 0; }"
+               n n stride n stride
+           in
+           let a = runs on src and b = runs off src in
+           a.outcome = b.outcome
+           && a.stdout_text = b.stdout_text
+           && a.stats.Interp.State.checks <= b.stats.Interp.State.checks));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"random overflows detected identically with elim on/off"
+         ~count:30
+         QCheck.(pair (int_range 1 32) (int_range 0 8))
+         (fun (n, past) ->
+           let src =
+             Printf.sprintf
+               "int main(void) { int a[%d]; int i; int s = 0; \
+                for (i = 0; i <= %d; i++) s += a[i]; return s; }"
+               n
+               (n + past)
+           in
+           Softbound.detected (runs on src)
+           && Softbound.detected (runs off src)));
+  ]

@@ -118,6 +118,62 @@ let suite =
         Heap.free h a;
         Alcotest.(check int) "after free" 50 (Heap.live_bytes h);
         Alcotest.(check int) "peak" 150 (Heap.peak_bytes h));
+    tc "free returns the full capacity, not the last request" (fun () ->
+        (* regression: the free list used to record the *requested* size
+           of the dying block, so reusing a 100-byte region for a
+           10-byte request shrank it permanently *)
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 100) in
+        Heap.free h a;
+        let b = Option.get (Heap.malloc h 10) in
+        Alcotest.(check int) "head of the region reused" a b;
+        Heap.free h b;
+        (* every grabbed byte is back on the free list (as capacity or
+           per-entry guard gap) — nothing shrank *)
+        let free_cap =
+          List.fold_left (fun s (_, c) -> s + c) 0 (Heap.free_regions h)
+        in
+        let entries = List.length (Heap.free_regions h) in
+        Alcotest.(check int) "conserved"
+          (Heap.grabbed_bytes h)
+          (free_cap + (Heap.gap * entries));
+        (* so a later medium request still fits in the original region *)
+        let c = Option.get (Heap.malloc h 60) in
+        Alcotest.(check bool) "reused the original region" true
+          (c >= a && c < a + 112 + Heap.gap));
+    tc "oversized free block is split, tail stays allocatable" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 256) in
+        let grabbed = Heap.grabbed_bytes h in
+        Heap.free h a;
+        let b = Option.get (Heap.malloc h 16) in
+        let c = Option.get (Heap.malloc h 100) in
+        Alcotest.(check int) "head reused" a b;
+        Alcotest.(check int) "tail carved right after head + gap"
+          (a + 16 + Heap.gap) c;
+        Alcotest.(check int) "no new segment bytes grabbed" grabbed
+          (Heap.grabbed_bytes h);
+        (* freeing the splinters returns every byte to the free list *)
+        Heap.free h b;
+        Heap.free h c;
+        let free_cap =
+          List.fold_left (fun s (_, cp) -> s + cp) 0 (Heap.free_regions h)
+        in
+        let entries = List.length (Heap.free_regions h) in
+        Alcotest.(check int) "conserved" grabbed
+          (free_cap + (Heap.gap * entries)));
+    tc "realloc within capacity stays in place" (fun () ->
+        let m = Mem.create () in
+        let h = Heap.create m in
+        let a = Option.get (Heap.malloc h 64) in
+        let b = Option.get (Heap.realloc h a 32) in
+        Alcotest.(check int) "shrink in place" a b;
+        let c = Option.get (Heap.realloc h b 64) in
+        Alcotest.(check int) "regrow within capacity in place" a c;
+        Alcotest.(check int) "live bytes track the request" 64
+          (Heap.live_bytes h));
     (* --- cache --- *)
     tc "cache: second access to a line hits" (fun () ->
         let c = Cache.create () in
@@ -133,6 +189,39 @@ let suite =
         done;
         let penalty = Cache.access c 0 in
         Alcotest.(check bool) "evicted" true (penalty > 0));
+    tc "cache: non-power-of-two geometries are rejected" (fun () ->
+        (* regression: a float log2 rounded to the nearest bit count used
+           to silently mis-map lines for these geometries *)
+        let expect_invalid cfg =
+          match Cache.create ~cfg () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        let d = Cache.default_config in
+        expect_invalid { d with Cache.line_bytes = 48 };
+        expect_invalid { d with Cache.size_bytes = 3000 };
+        expect_invalid { d with Cache.assoc = 3 };
+        expect_invalid
+          { d with Cache.size_bytes = 256; assoc = 8; line_bytes = 64 });
+    tc "cache: set indexing distinguishes lines, wraps at n_sets" (fun () ->
+        (* direct-mapped, 16 sets of 64-byte lines: addresses one line
+           apart go to different sets; 16 lines apart collide *)
+        let cfg =
+          {
+            Cache.size_bytes = 1024;
+            assoc = 1;
+            line_bytes = 64;
+            miss_penalty = 30;
+          }
+        in
+        let c = Cache.create ~cfg () in
+        ignore (Cache.access c 0);
+        ignore (Cache.access c 64);
+        Alcotest.(check int) "different sets: both resident" 0
+          (Cache.access c 0 + Cache.access c 64);
+        ignore (Cache.access c (16 * 64));
+        Alcotest.(check bool) "same set 16 lines later: evicted" true
+          (Cache.access c 0 > 0));
     tc "layout: function addresses recognizable" (fun () ->
         Alcotest.(check bool) "func addr" true
           (L.is_function_addr (L.func_addr 7));
@@ -201,4 +290,70 @@ let suite =
                  && disjoint rest
            in
            disjoint blocks));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "heap: capacity conservation over random malloc/free/realloc \
+            traces"
+         ~count:200
+         (* each step: (op selector, size, victim selector) *)
+         QCheck.(
+           list_of_size (Gen.int_range 1 60)
+             (triple (int_bound 5) (int_range 0 300) (int_bound 1000)))
+         (fun trace ->
+           let m = Mem.create () in
+           let h = Heap.create m in
+           let live = ref [] in
+           let pick sel =
+             match !live with
+             | [] -> None
+             | l -> Some (List.nth l (sel mod List.length l))
+           in
+           let invariant () =
+             let lr = Heap.live_regions h and fr = Heap.free_regions h in
+             let sum f l = List.fold_left (fun a x -> a + f x) 0 l in
+             let accounted =
+               sum (fun (_, _, cap) -> cap) lr
+               + sum snd fr
+               + (Heap.gap * (List.length lr + List.length fr))
+             in
+             (* exact conservation: every grabbed byte is a live
+                capacity, a free capacity, or one block's guard gap *)
+             Heap.grabbed_bytes h = accounted
+             (* and no two regions (capacity + gap extents) overlap *)
+             && begin
+                  let extents =
+                    List.map (fun (a, _, cap) -> (a, cap)) lr @ fr
+                  in
+                  let rec disjoint = function
+                    | [] -> true
+                    | (a, c) :: rest ->
+                        List.for_all
+                          (fun (a', c') ->
+                            a + c + Heap.gap <= a'
+                            || a' + c' + Heap.gap <= a)
+                          rest
+                        && disjoint rest
+                  in
+                  disjoint extents
+                end
+           in
+           List.for_all
+             (fun (op, size, sel) ->
+               (match (op, pick sel) with
+               | (0 | 1 | 2), _ ->
+                   Option.iter
+                     (fun a -> live := a :: !live)
+                     (Heap.malloc h size)
+               | 3, Some v ->
+                   Heap.free h v;
+                   live := List.filter (fun a -> a <> v) !live
+               | _, Some v -> (
+                   match Heap.realloc h v size with
+                   | Some a' when a' <> v ->
+                       live := a' :: List.filter (fun a -> a <> v) !live
+                   | _ -> ())
+               | _, None -> ());
+               invariant ())
+             trace));
   ]

@@ -10,6 +10,7 @@ let () =
       ("lower+inline", Test_lower.suite);
       ("interp", Test_interp.suite);
       ("softbound", Test_softbound.suite);
+      ("elim", Test_elim.suite);
       ("baselines", Test_baselines.suite);
       ("attacks", Test_attacks.suite);
       ("workloads", Test_workloads.suite);
