@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples verify clean
+.PHONY: all build test bench experiments examples fuzz-smoke verify clean
 
 all: build
 
@@ -18,12 +18,20 @@ bench:
 experiments:
 	dune exec bin/experiments.exe -- all
 
-# what CI runs: build, the whole test suite, and a smoke pass of the
-# check-elimination ablation (quick workload sizes)
+# bounded differential-fuzzing pass: fixed seeds, a few hundred
+# programs, well under 30s — any finding fails the target
+fuzz-smoke:
+	dune exec bin/softbound_cli.exe -- fuzz --seed 1 --count 200
+	dune exec bin/softbound_cli.exe -- fuzz --seed 20260805 --count 100
+
+# what CI runs: build, the whole test suite, a smoke pass of the
+# check-elimination ablation (quick workload sizes), and the
+# differential-fuzzing smoke campaign
 verify:
 	dune build
 	dune runtest
 	dune exec bin/experiments.exe -- elim --quick
+	$(MAKE) fuzz-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -227,10 +227,56 @@ let dump_cmd =
       const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg
       $ no_elim_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let doc =
+    "differential fuzzing: generate random programs and run them in \
+     lock-step under every pipeline configuration, flagging divergence"
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (reproducible).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"K" ~doc:"Number of programs to generate.")
+  in
+  let no_minimize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report findings as generated, without minimizing them.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 20_000_000
+      & info [ "max-steps" ] ~docv:"M"
+          ~doc:"Per-run instruction budget before a case is skipped.")
+  in
+  let f seed count no_minimize max_steps =
+    let progress k =
+      if k > 0 && k mod 20 = 0 then (
+        Printf.eprintf "fuzz: %d cases...\n" k;
+        flush stderr)
+    in
+    let r =
+      Fuzz.run_campaign ~shrink:(not no_minimize) ~max_steps ~progress
+        ~seed ~count ()
+    in
+    print_string (Fuzz.render r);
+    exit (if r.Fuzz.findings = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg)
+
 let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in
   Cmd.group
     (Cmd.info "softbound" ~version:"1.0.0" ~doc)
-    [ run_cmd; check_cmd; dump_cmd ]
+    [ run_cmd; check_cmd; dump_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,399 @@
+(* MiniC source printer: renders an {!Ast.program} back to concrete
+   syntax that re-parses to a structurally identical AST.
+
+   This is the bridge the differential fuzzer relies on: the generator
+   builds ASTs, this module prints them, and the normal pipeline
+   (lexer -> parser -> typechecker -> lowering) consumes the text, so
+   every generated program exercises the same front end as hand-written
+   sources.  The round-trip property — [print (parse (print ast))] is
+   the same string as [print ast] — is pinned by the fuzz test suite. *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarators                                                *)
+(* ------------------------------------------------------------------ *)
+
+let base_type_name (ty : Ctypes.ty) : string =
+  match ty with
+  | Ctypes.Tvoid -> "void"
+  | Ctypes.Tint IChar -> "char"
+  | Ctypes.Tint IUChar -> "unsigned char"
+  | Ctypes.Tint IShort -> "short"
+  | Ctypes.Tint IUShort -> "unsigned short"
+  | Ctypes.Tint IInt -> "int"
+  | Ctypes.Tint IUInt -> "unsigned int"
+  | Ctypes.Tint ILong -> "long"
+  | Ctypes.Tint IULong -> "unsigned long"
+  | Ctypes.Tfloat FFloat -> "float"
+  | Ctypes.Tfloat FDouble -> "double"
+  | Ctypes.Tstruct n -> "struct " ^ n
+  | Ctypes.Tunion n -> "union " ^ n
+  | Ctypes.Tnamed n -> n
+  | Ctypes.Tptr _ | Ctypes.Tarray _ | Ctypes.Tfunc _ ->
+      invalid_arg "base_type_name: derived type"
+
+(** C declarator syntax: [decl_string ty "x"] is the text declaring [x]
+    of type [ty] — e.g. ["int ( *x)(long)"] without the space, or
+    ["char *x[4]"]. *)
+let rec decl_string (ty : Ctypes.ty) (inner : string) : string =
+  match ty with
+  | Ctypes.Tptr t ->
+      let inner = "*" ^ inner in
+      (* pointer binds weaker than [] and (): parenthesize through
+         array and function layers *)
+      (match t with
+      | Ctypes.Tarray _ | Ctypes.Tfunc _ -> decl_string t ("(" ^ inner ^ ")")
+      | _ -> decl_string t inner)
+  | Ctypes.Tarray (t, n) -> decl_string t (Printf.sprintf "%s[%d]" inner n)
+  | Ctypes.Tfunc sg ->
+      let params =
+        match sg.Ctypes.params with
+        | [] -> if sg.Ctypes.variadic then "..." else "void"
+        | ps ->
+            String.concat ", " (List.map (fun p -> decl_string p "") ps)
+            ^ if sg.Ctypes.variadic then ", ..." else ""
+      in
+      decl_string sg.Ctypes.ret (Printf.sprintf "%s(%s)" inner params)
+  | base ->
+      let b = base_type_name base in
+      if inner = "" then b else b ^ " " ^ inner
+
+let type_string ty = decl_string ty ""
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_hex_digit c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(** Escape one character for a string literal.  [next] is the character
+    following it in the source string (a hex escape followed by a hex
+    digit would be mis-lexed; the caller splits the literal instead). *)
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '"' -> "\\\""
+  | c when c >= ' ' && c <= '~' -> String.make 1 c
+  | c -> Printf.sprintf "\\x%02x" (Char.code c)
+
+let string_lit (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  Buffer.add_char buf '"';
+  String.iteri
+    (fun i c ->
+      let e = escape_char c in
+      Buffer.add_string buf e;
+      (* a \xNN escape swallows any following hex digits: close and
+         reopen the literal (the lexer concatenates adjacent strings) *)
+      if
+        String.length e = 4
+        && e.[0] = '\\'
+        && e.[1] = 'x'
+        && i + 1 < String.length s
+        && is_hex_digit s.[i + 1]
+      then Buffer.add_string buf "\" \"")
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let char_lit (c : char) : string =
+  match c with
+  | '\n' -> "'\\n'"
+  | '\t' -> "'\\t'"
+  | '\r' -> "'\\r'"
+  | '\000' -> "'\\0'"
+  | '\\' -> "'\\\\'"
+  | '\'' -> "'\\''"
+  | c when c >= ' ' && c <= '~' -> Printf.sprintf "'%c'" c
+  | c -> Printf.sprintf "'\\x%02x'" (Char.code c)
+
+let int_lit (v : int64) (k : Ctypes.ikind) : string =
+  let body v = Int64.to_string v in
+  (* negative literals do not exist in the grammar; print them as a
+     parenthesized negation so they re-parse *)
+  let wrap s = if Int64.compare v 0L < 0 then "(-" ^ s ^ ")" else s in
+  let mag = if Int64.compare v 0L < 0 then Int64.neg v else v in
+  match k with
+  | Ctypes.IInt -> wrap (body mag)
+  | Ctypes.ILong -> wrap (body mag ^ "L")
+  | Ctypes.IUInt -> wrap (body mag ^ "U")
+  | Ctypes.IULong -> wrap (body mag ^ "UL")
+  (* kinds with no literal suffix: a cast reconstructs them *)
+  | k -> Printf.sprintf "(%s)%s" (base_type_name (Ctypes.Tint k)) (wrap (body mag))
+
+let float_lit (v : float) (k : Ctypes.fkind) : string =
+  let s =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+  in
+  let s = if String.length s > 0 && s.[0] = '-' then "(" ^ s ^ ")" else s in
+  match k with Ctypes.FFloat -> s ^ "f" | Ctypes.FDouble -> s
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let binop_info (op : binop) : string * int * bool =
+  (* symbol, precedence, left-associative *)
+  match op with
+  | Bmul -> ("*", 13, true)
+  | Bdiv -> ("/", 13, true)
+  | Bmod -> ("%", 13, true)
+  | Badd -> ("+", 12, true)
+  | Bsub -> ("-", 12, true)
+  | Bshl -> ("<<", 11, true)
+  | Bshr -> (">>", 11, true)
+  | Blt -> ("<", 10, true)
+  | Bgt -> (">", 10, true)
+  | Ble -> ("<=", 10, true)
+  | Bge -> (">=", 10, true)
+  | Beq -> ("==", 9, true)
+  | Bne -> ("!=", 9, true)
+  | Bband -> ("&", 8, true)
+  | Bbxor -> ("^", 7, true)
+  | Bbor -> ("|", 6, true)
+  | Bland -> ("&&", 5, true)
+  | Blor -> ("||", 4, true)
+
+let unop_sym = function Uneg -> "-" | Unot -> "!" | Ubnot -> "~"
+
+(** Print [e]; wrap in parens unless its precedence is at least [min_prec]. *)
+let rec expr (min_prec : int) (e : expr) : string =
+  let prec, s =
+    match e.edesc with
+    | Eintlit (v, k) ->
+        (* suffix/cast forms carry their own parens where needed *)
+        ((if Int64.compare v 0L < 0 then 16 else 16), int_lit v k)
+    | Efloatlit (v, k) -> (16, float_lit v k)
+    | Echarlit c -> (16, char_lit c)
+    | Estrlit s -> (16, string_lit s)
+    | Eident x -> (16, x)
+    | Ecall (f, args) ->
+        (15, Printf.sprintf "%s(%s)" (expr 15 f)
+               (String.concat ", " (List.map (expr 2) args)))
+    | Eindex (a, i) -> (15, Printf.sprintf "%s[%s]" (expr 15 a) (expr 1 i))
+    | Efield (a, f) -> (15, Printf.sprintf "%s.%s" (expr 15 a) f)
+    | Earrow (a, f) -> (15, Printf.sprintf "%s->%s" (expr 15 a) f)
+    | Eincrdecr (is_incr, is_prefix, l) ->
+        let op = if is_incr then "++" else "--" in
+        if is_prefix then (14, op ^ expr 14 l) else (15, expr 15 l ^ op)
+    | Eunop (op, a) ->
+        (* avoid gluing "- -x" into "--x" *)
+        let body = expr 14 a in
+        let sym = unop_sym op in
+        let sep =
+          if String.length body > 0 && String.make 1 body.[0] = sym then " "
+          else ""
+        in
+        (14, sym ^ sep ^ body)
+    | Eaddrof a -> (14, "&" ^ expr 14 a)
+    | Ederef a -> (14, "*" ^ expr 14 a)
+    | Ecast (ty, a) -> (14, Printf.sprintf "(%s)%s" (type_string ty) (expr 14 a))
+    | Esizeof_ty ty -> (14, Printf.sprintf "sizeof(%s)" (type_string ty))
+    | Esizeof_e a -> (14, Printf.sprintf "sizeof(%s)" (expr 1 a))
+    | Ebinop (op, a, b) ->
+        let sym, p, _left = binop_info op in
+        (p, Printf.sprintf "%s %s %s" (expr p a) sym (expr (p + 1) b))
+    | Econd (c, t, f) ->
+        (3, Printf.sprintf "%s ? %s : %s" (expr 4 c) (expr 2 t) (expr 3 f))
+    | Eassign (op, l, r) ->
+        let sym =
+          match op with
+          | None -> "="
+          | Some o ->
+              let s, _, _ = binop_info o in
+              s ^ "="
+        in
+        (2, Printf.sprintf "%s %s %s" (expr 14 l) sym (expr 2 r))
+    | Ecomma (a, b) -> (1, Printf.sprintf "%s, %s" (expr 2 a) (expr 1 b))
+  in
+  if prec < min_prec then "(" ^ s ^ ")" else s
+
+let expr_string e = expr 1 e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec init_string = function
+  | Iexpr e -> expr 2 e
+  | Ilist is ->
+      "{ " ^ String.concat ", " (List.map init_string is) ^ " }"
+
+let decl_text (d : decl) : string =
+  Printf.sprintf "%s%s%s"
+    (if d.dstatic then "static " else "")
+    (decl_string d.dty d.dname)
+    (match d.dinit with
+    | None -> ""
+    | Some i -> " = " ^ init_string i)
+
+let decls_text (ds : decl list) : string =
+  (* the parser re-splits comma declarations; print one per declarator
+     only when they share a base type, otherwise one statement each.
+     Simplest faithful form: independent statements joined by "; ". *)
+  String.concat "; " (List.map decl_text ds)
+
+let rec stmt (buf : Buffer.t) (ind : int) (s : stmt) : unit =
+  let pad = String.make (2 * ind) ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  match s.sdesc with
+  | Sempty -> line ";"
+  | Sexpr e -> line "%s;" (expr_string e)
+  | Sdecl ds -> line "%s;" (decls_text ds)
+  | Sreturn None -> line "return;"
+  | Sreturn (Some e) -> line "return %s;" (expr_string e)
+  | Sbreak -> line "break;"
+  | Scontinue -> line "continue;"
+  | Sblock ss ->
+      line "{";
+      List.iter (stmt buf (ind + 1)) ss;
+      line "}"
+  | Sif (c, t, f) ->
+      line "if (%s)" (expr_string c);
+      stmt_block buf ind t;
+      (match f with
+      | None -> ()
+      | Some f ->
+          line "else";
+          stmt_block buf ind f)
+  | Swhile (c, b) ->
+      line "while (%s)" (expr_string c);
+      stmt_block buf ind b
+  | Sdo (b, c) ->
+      line "do";
+      stmt_block buf ind b;
+      line "while (%s);" (expr_string c)
+  | Sfor (i, c, step, b) ->
+      let i_s =
+        match i with
+        | Fnone -> ""
+        | Fdecl ds -> decls_text ds
+        | Fexpr e -> expr_string e
+      in
+      line "for (%s; %s; %s)" i_s
+        (match c with None -> "" | Some e -> expr_string e)
+        (match step with None -> "" | Some e -> expr_string e);
+      stmt_block buf ind b
+  | Sswitch (e, cases) ->
+      line "switch (%s) {" (expr_string e);
+      List.iter
+        (fun c ->
+          if c.cis_default then line "default:"
+          else List.iter (fun v -> line "case %s:" (expr_string v)) c.cvals;
+          List.iter (stmt buf (ind + 1)) c.cbody)
+        cases;
+      line "}"
+
+(** A statement in a control-flow slot: always brace it, so dangling
+    elses cannot re-associate on re-parse. *)
+and stmt_block buf ind (s : stmt) : unit =
+  match s.sdesc with
+  | Sblock _ -> stmt buf ind s
+  | _ ->
+      let pad = String.make (2 * ind) ' ' in
+      Buffer.add_string buf (pad ^ "{\n");
+      stmt buf (ind + 1) s;
+      Buffer.add_string buf (pad ^ "}\n")
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fundef_text (buf : Buffer.t) (f : fundef) : unit =
+  let params =
+    match f.fparams with
+    | [] -> if f.fvariadic then "..." else "void"
+    | ps ->
+        String.concat ", " (List.map (fun (t, n) -> decl_string t n) ps)
+        ^ if f.fvariadic then ", ..." else ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s {\n"
+       (decl_string f.fret (Printf.sprintf "%s(%s)" f.fname params)));
+  List.iter (stmt buf 1) f.fbody;
+  Buffer.add_string buf "}\n"
+
+let gdef_text (buf : Buffer.t) (g : gdef) : unit =
+  match g with
+  | Gfun f -> fundef_text buf f
+  | Gfundecl { name; sg; _ } ->
+      Buffer.add_string buf
+        (decl_string (Ctypes.Tfunc sg) name ^ ";\n")
+  | Gvar { gty; gname; ginit; gextern; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s;\n"
+           (if gextern then "extern " else "")
+           (decl_string gty gname)
+           (match ginit with
+           | None -> ""
+           | Some i -> " = " ^ init_string i))
+
+(** Struct/union definitions referenced by the program, in dependency
+    order (a composite is printed after any composite its fields embed
+    by value).  Anonymous composites (parser-invented [$anon] names)
+    cannot be re-declared by name and are skipped — programs meant for
+    round-tripping name their composites. *)
+let comp_defs_text (env : Ctypes.env) : string =
+  let comps =
+    Hashtbl.fold
+      (fun name c acc ->
+        if String.length name > 0 && name.[0] = '$' then acc else c :: acc)
+      env.Ctypes.comps []
+    |> List.sort (fun a b -> compare a.Ctypes.cname b.Ctypes.cname)
+  in
+  let rec deps ty acc =
+    match ty with
+    | Ctypes.Tstruct n | Ctypes.Tunion n -> n :: acc
+    | Ctypes.Tarray (t, _) -> deps t acc
+    | _ -> acc
+  in
+  let dep_names (c : Ctypes.comp) =
+    List.concat_map (fun f -> deps f.Ctypes.fty []) c.Ctypes.cfields
+  in
+  (* emit in topological order, ties broken by name *)
+  let emitted = Hashtbl.create 8 in
+  let buf = Buffer.create 256 in
+  let rec emit (c : Ctypes.comp) =
+    if not (Hashtbl.mem emitted c.Ctypes.cname) then begin
+      Hashtbl.replace emitted c.Ctypes.cname ();
+      List.iter
+        (fun n ->
+          match List.find_opt (fun c -> c.Ctypes.cname = n) comps with
+          | Some d -> emit d
+          | None -> ())
+        (dep_names c);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s {\n"
+           (if c.Ctypes.cstruct then "struct" else "union")
+           c.Ctypes.cname);
+      List.iter
+        (fun (f : Ctypes.field) ->
+          Buffer.add_string buf
+            ("  " ^ decl_string f.Ctypes.fty f.Ctypes.fname ^ ";\n"))
+        c.Ctypes.cfields;
+      Buffer.add_string buf "};\n"
+    end
+  in
+  List.iter emit comps;
+  Buffer.contents buf
+
+(** Render a whole translation unit.  Composite definitions come from
+    the program's type environment; typedefs beyond the built-in ones
+    are not reconstructed (the fuzzer does not generate them). *)
+let program_string (p : program) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (comp_defs_text p.penv);
+  List.iter
+    (fun g ->
+      gdef_text buf g;
+      Buffer.add_char buf '\n')
+    p.defs;
+  Buffer.contents buf

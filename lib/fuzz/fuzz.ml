@@ -1,0 +1,122 @@
+(* Campaign driver: generate, cross-check, shrink, report.
+
+   Program [k] of a campaign draws from [Rng.split root k], so any
+   finding replays in isolation: the same seed and index always
+   regenerate the same program. *)
+
+(* [fuzz]'s root module: re-export the pieces. *)
+module Rng = Rng
+module Gen = Gen
+module Oracle = Oracle
+module Shrink = Shrink
+
+let expect_name = function
+  | Gen.Safe -> "safe"
+  | Gen.Trap_read -> "oob-read"
+  | Gen.Trap_write -> "oob-write"
+
+type finding_report = {
+  index : int;  (** case number within the campaign *)
+  note : string;  (** generator's description of the case *)
+  expect : Gen.expect;
+  cls : string;
+  detail : string;
+  source : string;  (** the program as generated *)
+  shrunk : string option;  (** minimized reproducer, when shrinking ran *)
+}
+
+type report = {
+  seed : int;
+  count : int;
+  tested : int;  (** cases that ran to a verdict *)
+  skipped : int;  (** cases dropped for hitting resource limits *)
+  trap_cases : int;  (** cases carrying an injected violation *)
+  findings : finding_report list;
+}
+
+(** Regenerate case [index] of campaign [seed] (for replaying a
+    reported finding). *)
+let case_of ~seed ~index : Gen.case =
+  let root = Rng.create seed in
+  let r = Rng.split root index in
+  let oob = Rng.chance r ~pct:30 in
+  Gen.generate r ~oob
+
+let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
+    ?(progress = fun (_ : int) -> ()) ~seed ~count () : report =
+  let tested = ref 0 and skipped = ref 0 and traps = ref 0 in
+  let findings = ref [] in
+  for k = 0 to count - 1 do
+    progress k;
+    let case = case_of ~seed ~index:k in
+    if case.Gen.expect <> Gen.Safe then incr traps;
+    let verdict =
+      try Oracle.check ?max_steps ~expect:case.Gen.expect case.Gen.prog
+      with e ->
+        Oracle.Bug
+          {
+            Oracle.cls = "harness-exception";
+            detail = Printexc.to_string e;
+            runs = [];
+          }
+    in
+    match verdict with
+    | Oracle.Ok_ -> incr tested
+    | Oracle.Skip _ -> incr skipped
+    | Oracle.Bug f ->
+        incr tested;
+        let source = Cminus.Pretty.program_string case.Gen.prog in
+        let shrunk =
+          if not shrink then None
+          else
+            let small =
+              try
+                Shrink.minimize ?max_steps ~budget:shrink_budget
+                  ~expect:case.Gen.expect ~cls:f.Oracle.cls case.Gen.prog
+              with _ -> case.Gen.prog
+            in
+            Some (Cminus.Pretty.program_string small)
+        in
+        findings :=
+          {
+            index = k;
+            note = case.Gen.note;
+            expect = case.Gen.expect;
+            cls = f.Oracle.cls;
+            detail = f.Oracle.detail;
+            source;
+            shrunk;
+          }
+          :: !findings
+  done;
+  {
+    seed;
+    count;
+    tested = !tested;
+    skipped = !skipped;
+    trap_cases = !traps;
+    findings = List.rev !findings;
+  }
+
+let render_finding (f : finding_report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "FINDING case=%d class=%s expect=%s (%s)\n  %s\n" f.index
+       f.cls (expect_name f.expect) f.note f.detail);
+  let body = Option.value f.shrunk ~default:f.source in
+  Buffer.add_string b "  reproducer:\n";
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         Buffer.add_string b "    ";
+         Buffer.add_string b line;
+         Buffer.add_char b '\n');
+  Buffer.contents b
+
+let render (r : report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "fuzz: seed=%d count=%d tested=%d skipped=%d injected=%d findings=%d\n"
+       r.seed r.count r.tested r.skipped r.trap_cases (List.length r.findings));
+  List.iter (fun f -> Buffer.add_string b (render_finding f)) r.findings;
+  Buffer.contents b

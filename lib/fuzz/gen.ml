@@ -1,0 +1,1067 @@
+(* Seeded random MiniC program generator.
+
+   Programs are *safe by construction*: every variable is initialized
+   before use, every index is masked or loop-bounded to its array's
+   extent, every divisor is a nonzero literal, and string operations
+   track exact buffer occupancy.  Under that invariant, any trap in an
+   instrumented configuration — and any divergence from the
+   uninstrumented run — is a pipeline bug (the paper's completeness
+   property, section 4).
+
+   With [~oob:true] the generator additionally plants one deliberate
+   out-of-bounds access at a random straight-line point; then every
+   full-checking configuration must abort there with a bounds
+   violation, and the store-only configurations must as well when the
+   access is a write.
+
+   The generation is weighted toward the constructs the SoftBound
+   transform has to get right: pointer arithmetic, casts between
+   pointer views, structs (field-bounds shrinking), nested arrays,
+   pointers stored in memory (metadata table/shadow traffic), string
+   and heap builtins (wrapper checks and metadata propagation), and
+   calls through function pointers. *)
+
+module A = Cminus.Ast
+module C = Cminus.Ctypes
+
+type expect = Safe | Trap_read | Trap_write
+
+type case = { prog : A.program; expect : expect; note : string }
+
+(* ------------------------------------------------------------------ *)
+(* AST shorthands                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let nl = Cminus.Lexer.no_loc
+let e d = { A.edesc = d; eloc = nl }
+let stm d = { A.sdesc = d; sloc = nl }
+let ei n = e (A.Eintlit (Int64.of_int n, C.IInt))
+let id x = e (A.Eident x)
+let bin op a b = e (A.Ebinop (op, a, b))
+let asn l r = e (A.Eassign (None, l, r))
+let opasn op l r = e (A.Eassign (Some op, l, r))
+let idx a i = e (A.Eindex (a, i))
+let fld a f = e (A.Efield (a, f))
+let arrow a f = e (A.Earrow (a, f))
+let deref a = e (A.Ederef a)
+let addrof a = e (A.Eaddrof a)
+let cast ty a = e (A.Ecast (ty, a))
+let call f args = e (A.Ecall (id f, args))
+let strlit s = e (A.Estrlit s)
+let charlit c = e (A.Echarlit c)
+let sexpr x = stm (A.Sexpr x)
+let sblock ss = stm (A.Sblock ss)
+
+let sdecl ty name init =
+  stm
+    (A.Sdecl
+       [
+         {
+           A.dty = ty;
+           dname = name;
+           dinit = Option.map (fun x -> A.Iexpr x) init;
+           dstatic = false;
+           dloc = nl;
+         };
+       ])
+
+(* for (i = lo; i < hi; i = i + 1) { body } *)
+let sfor_count i lo hi body =
+  stm
+    (A.Sfor
+       ( A.Fexpr (asn (id i) (ei lo)),
+         Some (bin A.Blt (id i) hi),
+         Some (asn (id i) (bin A.Badd (id i) (ei 1))),
+         sblock body ))
+
+let lng = C.Tint C.ILong
+let intt = C.Tint C.IInt
+let chr = C.Tint C.IChar
+let dbl = C.Tfloat C.FDouble
+let ptr t = C.Tptr t
+let fsig2 = { C.ret = lng; params = [ lng; lng ]; variadic = false }
+let acc_add ex = sexpr (opasn A.Badd (id "acc") ex)
+
+(* largest power of two <= n (n >= 1) *)
+let floor_pow2 n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Generation context and scope tracking                                *)
+(* ------------------------------------------------------------------ *)
+
+type buf_info = { cap : int; mutable len : int }
+
+type vinfo =
+  | Int_v of C.ikind  (** initialized integer scalar *)
+  | Arr_v of C.ty * int  (** scalar-element array; length is a power of two *)
+  | Arr2_v of int * int  (** [long m[r][c]], both powers of two *)
+  | Ptr_v of int  (** [long*] valid for at least this many elements *)
+  | Bytes_v of int  (** [char*] view, capacity in bytes (power of two) *)
+  | Ints_v of int  (** [int*] view, capacity in ints (power of two) *)
+  | Parr_v of int * int
+      (** [long *pa[len]]: all slots initialized; every stored pointer
+          is valid for at least the second component elements *)
+  | Buf_v of buf_info  (** char buffer, NUL-terminated, occupancy tracked *)
+  | S0_v of int  (** struct S0 variable; its [b] field's length *)
+  | S1_v of int  (** struct S1 variable; capacity of its [q] field *)
+  | Fptr_v  (** pointer to [long -> long -> long], always a valid target *)
+
+type vrec = { vn : string; vi : vinfo; born : int; mutable alive : bool }
+
+type ctx = {
+  r : Rng.t;
+  env : C.env;
+  mutable vars : vrec list;
+  mutable scene : int;  (** index of the scene being generated; -1 = toplevel *)
+  mutable nfresh : int;
+  mutable helpers : string list;  (** generated [long f(long, long)] *)
+  mutable phelpers : string list;  (** generated [long h(long *, long)] *)
+  mutable gdefs_rev : A.gdef list;
+  mutable s0_blen : int;
+}
+
+let fresh ctx p =
+  let n = ctx.nfresh in
+  ctx.nfresh <- n + 1;
+  Printf.sprintf "%s%d" p n
+
+let add_var ctx vn vi =
+  ctx.vars <- { vn; vi; born = ctx.scene; alive = true } :: ctx.vars
+
+let live_vars ctx f =
+  List.filter_map
+    (fun v -> if v.alive then f v else None)
+    ctx.vars
+
+let int_scalars ctx =
+  live_vars ctx (fun v ->
+      match v.vi with Int_v _ -> Some v.vn | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Safe integer expressions                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* No dynamic divisors, shift amounts are small literals; everything
+   else wraps deterministically in the simulated machine. *)
+let rec int_expr ctx depth : A.expr =
+  let r = ctx.r in
+  if depth <= 0 || Rng.chance r ~pct:35 then begin
+    let scal = int_scalars ctx in
+    if scal <> [] && Rng.chance r ~pct:72 then id (Rng.pick r scal)
+    else ei (Rng.range r (-99) 99)
+  end
+  else
+    match Rng.int r 10 with
+    | 0 | 1 -> bin A.Badd (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 2 -> bin A.Bsub (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 3 -> bin A.Bmul (int_expr ctx (depth - 1)) (ei (Rng.range r (-9) 9))
+    | 4 ->
+        bin
+          (Rng.pick r [ A.Bband; A.Bbxor; A.Bbor ])
+          (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | 5 ->
+        bin
+          (Rng.pick r [ A.Bshl; A.Bshr ])
+          (int_expr ctx (depth - 1))
+          (ei (Rng.range r 0 7))
+    | 6 ->
+        bin
+          (Rng.pick r [ A.Bdiv; A.Bmod ])
+          (int_expr ctx (depth - 1))
+          (ei (Rng.pick r [ 3; 5; 7; 9; 17 ]))
+    | 7 -> e (A.Eunop (Rng.pick r [ A.Uneg; A.Ubnot ], int_expr ctx (depth - 1)))
+    | 8 -> cast (Rng.pick r [ lng; intt ]) (int_expr ctx (depth - 1))
+    | _ ->
+        e
+          (A.Econd
+             ( cond_expr ctx (depth - 1),
+               int_expr ctx (depth - 1),
+               int_expr ctx (depth - 1) ))
+
+and cond_expr ctx depth : A.expr =
+  let r = ctx.r in
+  let cmp () =
+    bin
+      (Rng.pick r [ A.Blt; A.Bgt; A.Ble; A.Bge; A.Beq; A.Bne ])
+      (int_expr ctx depth) (int_expr ctx depth)
+  in
+  if depth > 0 && Rng.chance r ~pct:25 then
+    bin (Rng.pick r [ A.Bland; A.Blor ]) (cmp ()) (cmp ())
+  else cmp ()
+
+(* index expression masked to [0, n) for a power-of-two n *)
+let masked ctx n = bin A.Bband (int_expr ctx 1) (ei (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Scenes: each yields a straight-line-reachable statement chunk        *)
+(* ------------------------------------------------------------------ *)
+
+let scene_scalars ctx : A.stmt list =
+  let r = ctx.r in
+  let decls =
+    List.concat
+      (List.map
+         (fun _ ->
+           let k =
+             Rng.weighted r
+               [
+                 (5, C.IInt);
+                 (6, C.ILong);
+                 (1, C.IUInt);
+                 (1, C.IULong);
+                 (1, C.IShort);
+                 (1, C.IChar);
+               ]
+           in
+           let name = fresh ctx "v" in
+           let d = sdecl (C.Tint k) name (Some (int_expr ctx 2)) in
+           add_var ctx name (Int_v k);
+           [ d ])
+         (List.init (Rng.range r 1 3) Fun.id))
+  in
+  let ops =
+    List.map
+      (fun _ ->
+        let tgt = Rng.pick r (int_scalars ctx) in
+        match Rng.int r 4 with
+        | 0 -> sexpr (asn (id tgt) (int_expr ctx 3))
+        | 1 ->
+            sexpr
+              (opasn
+                 (Rng.pick r [ A.Badd; A.Bsub; A.Bbxor ])
+                 (id tgt) (int_expr ctx 2))
+        | 2 -> sexpr (e (A.Eincrdecr (Rng.bool r, Rng.bool r, id tgt)))
+        | _ -> acc_add (int_expr ctx 2))
+      (List.init (Rng.range r 1 4) Fun.id)
+  in
+  decls @ ops
+
+(* declare + fully initialize a 1-D array; returns its statements *)
+let scene_array ?(force_long = false) ctx : A.stmt list =
+  let r = ctx.r in
+  let len = Rng.pick r [ 4; 8; 16 ] in
+  let ety =
+    if force_long then lng else Rng.weighted r [ (6, lng); (4, intt) ]
+  in
+  let a = fresh ctx "a" in
+  let i = fresh ctx "i" in
+  let d1 = sdecl (C.Tarray (ety, len)) a None in
+  let d2 = sdecl lng i (Some (ei 0)) in
+  add_var ctx a (Arr_v (ety, len));
+  add_var ctx i (Int_v C.ILong);
+  let fill =
+    sfor_count i 0 (ei len)
+      [
+        sexpr
+          (asn
+             (idx (id a) (id i))
+             (bin A.Badd
+                (bin A.Bmul (id i) (ei (Rng.range r 1 5)))
+                (int_expr ctx 1)));
+      ]
+  in
+  let reduce_body =
+    if Rng.chance r ~pct:20 then
+      [
+        stm
+          (A.Sif
+             ( cond_expr ctx 1,
+               sblock [ stm A.Scontinue ],
+               None ));
+        acc_add (idx (id a) (id i));
+      ]
+    else [ acc_add (idx (id a) (id i)) ]
+  in
+  let reduce = sfor_count i 0 (ei len) reduce_body in
+  let extra =
+    List.map
+      (fun _ ->
+        if Rng.bool r then acc_add (idx (id a) (masked ctx len))
+        else sexpr (asn (idx (id a) (masked ctx len)) (int_expr ctx 2)))
+      (List.init (Rng.int r 3) Fun.id)
+  in
+  let copy =
+    (* memcpy into a same-typed array exercises the metadata-copy
+       heuristic (pointer-free element types skip the metadata blit) *)
+    let others =
+      live_vars ctx (fun v ->
+          match v.vi with
+          | Arr_v (t, l) when t = ety && v.vn <> a -> Some (v.vn, l)
+          | _ -> None)
+    in
+    if others <> [] && Rng.chance r ~pct:40 then begin
+      let src, slen = Rng.pick r others in
+      let n = min len slen in
+      [
+        sexpr
+          (call "memcpy"
+             [
+               id a;
+               id src;
+               bin A.Bmul (ei n) (e (A.Esizeof_ty ety));
+             ]);
+      ]
+    end
+    else []
+  in
+  [ d1; d2; fill; reduce ] @ extra @ copy
+
+let scene_array2 ctx : A.stmt list =
+  let r = ctx.r in
+  let rows = Rng.pick r [ 2; 4 ] and cols = Rng.pick r [ 4; 8 ] in
+  let m = fresh ctx "m" in
+  let i = fresh ctx "i" in
+  let j = fresh ctx "j" in
+  add_var ctx m (Arr2_v (rows, cols));
+  add_var ctx i (Int_v C.ILong);
+  add_var ctx j (Int_v C.ILong);
+  [
+    sdecl (C.Tarray (C.Tarray (lng, cols), rows)) m None;
+    sdecl lng i (Some (ei 0));
+    sdecl lng j (Some (ei 0));
+    sfor_count i 0 (ei rows)
+      [
+        sfor_count j 0 (ei cols)
+          [
+            sexpr
+              (asn
+                 (idx (idx (id m) (id i)) (id j))
+                 (bin A.Badd
+                    (bin A.Bmul (id i) (ei cols))
+                    (bin A.Badd (id j) (int_expr ctx 1))));
+          ];
+      ]
+    ;
+    sfor_count i 0 (ei rows)
+      [
+        sfor_count j 0 (ei cols)
+          [ acc_add (idx (idx (id m) (id i)) (id j)) ];
+      ];
+    acc_add (idx (idx (id m) (masked ctx rows)) (masked ctx cols));
+  ]
+
+(* a long-array or live heap-pointer source usable as a pointer *)
+let long_sources ctx =
+  live_vars ctx (fun v ->
+      match v.vi with
+      | Arr_v (t, l) when t = lng -> Some (v.vn, l)
+      | Ptr_v c when c >= 2 -> Some (v.vn, c)
+      | _ -> None)
+
+let rec scene_ptr_walk ctx : A.stmt list =
+  let r = ctx.r in
+  match long_sources ctx with
+  | [] -> scene_array ~force_long:true ctx @ scene_ptr_walk ctx
+  | cands ->
+      let src, cap = Rng.pick r cands in
+      let off = if Rng.chance r ~pct:30 then Rng.int r (cap / 2) else 0 in
+      let pcap = cap - off in
+      let p = fresh ctx "p" in
+      let i = fresh ctx "i" in
+      add_var ctx p (Ptr_v pcap);
+      add_var ctx i (Int_v C.ILong);
+      let d1 =
+        sdecl (ptr lng) p
+          (Some (if off = 0 then id src else bin A.Badd (id src) (ei off)))
+      in
+      let d2 = sdecl lng i (Some (ei 0)) in
+      let walk =
+        sfor_count i 0 (ei pcap)
+          (if Rng.chance r ~pct:35 then
+             [
+               sexpr (opasn A.Badd (deref (bin A.Badd (id p) (id i))) (id i));
+               acc_add (idx (id p) (id i));
+             ]
+           else [ acc_add (deref (bin A.Badd (id p) (id i))) ])
+      in
+      let pp_bit =
+        if Rng.chance r ~pct:30 then begin
+          let pp = fresh ctx "pp" in
+          [
+            sdecl (ptr (ptr lng)) pp (Some (addrof (id p)));
+            acc_add
+              (idx (deref (id pp)) (masked ctx (floor_pow2 pcap)));
+          ]
+        end
+        else []
+      in
+      [ d1; d2; walk ] @ pp_bit
+
+let rec scene_cast_view ctx : A.stmt list =
+  let r = ctx.r in
+  let arrs =
+    live_vars ctx (fun v ->
+        match v.vi with
+        | Arr_v (t, l) when t = lng -> Some (v.vn, l)
+        | _ -> None)
+  in
+  match arrs with
+  | [] -> scene_array ~force_long:true ctx @ scene_cast_view ctx
+  | cands ->
+      let a, len = Rng.pick r cands in
+      if Rng.bool r then begin
+        let bytes = len * 8 in
+        let c = fresh ctx "cv" in
+        add_var ctx c (Bytes_v bytes);
+        [
+          sdecl (ptr chr) c (Some (cast (ptr chr) (id a)));
+          sexpr
+            (asn (idx (id c) (masked ctx bytes)) (cast chr (int_expr ctx 1)));
+          acc_add (idx (id c) (masked ctx bytes));
+        ]
+      end
+      else begin
+        let words = len * 2 in
+        let iv = fresh ctx "iv" in
+        add_var ctx iv (Ints_v words);
+        [
+          sdecl (ptr intt) iv (Some (cast (ptr intt) (id a)));
+          sexpr (asn (idx (id iv) (masked ctx words)) (int_expr ctx 1));
+          acc_add (idx (id iv) (masked ctx words));
+        ]
+      end
+
+let scene_struct ctx : A.stmt list =
+  let r = ctx.r in
+  let bl = ctx.s0_blen in
+  let s = fresh ctx "s" in
+  add_var ctx s (S0_v bl);
+  let init_b =
+    List.map
+      (fun k -> sexpr (asn (idx (fld (id s) "b") (ei k)) (int_expr ctx 1)))
+      (List.init bl Fun.id)
+  in
+  let uses =
+    [
+      acc_add (fld (id s) "a");
+      acc_add (idx (fld (id s) "b") (masked ctx bl));
+      acc_add (fld (id s) "c");
+    ]
+  in
+  let via_ptr =
+    if Rng.chance r ~pct:60 then begin
+      let sp = fresh ctx "sp" in
+      [
+        sdecl (ptr (C.Tstruct "S0")) sp (Some (addrof (id s)));
+        sexpr (asn (arrow (id sp) "a") (int_expr ctx 2));
+        acc_add (idx (arrow (id sp) "b") (masked ctx bl));
+      ]
+    end
+    else []
+  in
+  [
+    sdecl (C.Tstruct "S0") s None;
+    sexpr (asn (fld (id s) "a") (int_expr ctx 2));
+  ]
+  @ init_b
+  @ [ sexpr (asn (fld (id s) "c") (charlit (Char.chr (97 + Rng.int r 26)))) ]
+  @ uses @ via_ptr
+
+let rec scene_s1 ctx : A.stmt list =
+  let r = ctx.r in
+  let arrs =
+    live_vars ctx (fun v ->
+        match v.vi with
+        | Arr_v (t, l) when t = lng -> Some (v.vn, l)
+        | _ -> None)
+  in
+  match arrs with
+  | [] -> scene_array ~force_long:true ctx @ scene_s1 ctx
+  | cands ->
+      let a, cap = Rng.pick r cands in
+      let t = fresh ctx "t" in
+      add_var ctx t (S1_v cap);
+      [
+        sdecl (C.Tstruct "S1") t None;
+        sexpr (asn (fld (id t) "q") (id a));
+        sexpr (asn (fld (id t) "n") (ei cap));
+        acc_add (idx (fld (id t) "q") (masked ctx cap));
+        sexpr
+          (asn (idx (fld (id t) "q") (masked ctx cap)) (int_expr ctx 2));
+        acc_add (fld (id t) "n");
+      ]
+
+let scene_heap ctx : A.stmt list =
+  let r = ctx.r in
+  let k = Rng.pick r [ 4; 8; 16; 32 ] in
+  let h = fresh ctx "h" in
+  let i = fresh ctx "i" in
+  let use_calloc = Rng.chance r ~pct:30 in
+  let alloc =
+    if use_calloc then
+      cast (ptr lng) (call "calloc" [ ei k; e (A.Esizeof_ty lng) ])
+    else
+      cast (ptr lng)
+        (call "malloc" [ bin A.Bmul (ei k) (e (A.Esizeof_ty lng)) ])
+  in
+  add_var ctx h (Ptr_v k);
+  add_var ctx i (Int_v C.ILong);
+  let fill =
+    if use_calloc then []
+    else
+      [
+        sfor_count i 0 (ei k)
+          [
+            sexpr
+              (asn (idx (id h) (id i)) (bin A.Badd (id i) (int_expr ctx 1)));
+          ];
+      ]
+  in
+  let reduce = [ sfor_count i 0 (ei k) [ acc_add (idx (id h) (id i)) ] ] in
+  let grow =
+    if (not use_calloc) && Rng.chance r ~pct:30 then begin
+      (* realloc: metadata must follow the (possibly moved) block *)
+      let k2 = k * 2 in
+      ctx.vars <-
+        List.map
+          (fun v -> if v.vn = h then { v with vi = Ptr_v k2 } else v)
+          ctx.vars;
+      [
+        sexpr
+          (asn (id h)
+             (cast (ptr lng)
+                (call "realloc"
+                   [ id h; bin A.Bmul (ei k2) (e (A.Esizeof_ty lng)) ])));
+        sfor_count i 0 (ei k2) [ sexpr (asn (idx (id h) (id i)) (id i)) ];
+        sfor_count i 0 (ei k2) [ acc_add (idx (id h) (id i)) ];
+      ]
+    end
+    else []
+  in
+  let release =
+    if Rng.chance r ~pct:50 then begin
+      List.iter (fun v -> if v.vn = h then v.alive <- false) ctx.vars;
+      [ sexpr (call "free" [ id h ]) ]
+    end
+    else []
+  in
+  [ sdecl (ptr lng) h (Some alloc); sdecl lng i (Some (ei 0)) ]
+  @ fill @ reduce @ grow @ release
+
+let rand_word r n = String.init (Rng.range r 1 n) (fun _ -> Char.chr (97 + Rng.int r 26))
+
+let scene_strings ctx : A.stmt list =
+  let r = ctx.r in
+  let cap = Rng.pick r [ 8; 16; 24; 32 ] in
+  let b = fresh ctx "b" in
+  let info = { cap; len = 0 } in
+  add_var ctx b (Buf_v info);
+  let first = rand_word r (min 6 (cap - 1)) in
+  info.len <- String.length first;
+  let others () =
+    live_vars ctx (fun v ->
+        match v.vi with
+        | Buf_v o when v.vn <> b -> Some (v.vn, o)
+        | _ -> None)
+  in
+  let op () =
+    match Rng.int r 8 with
+    | 0 ->
+        let w = rand_word r (min 6 (cap - 1)) in
+        info.len <- String.length w;
+        [ sexpr (call "strcpy" [ id b; strlit w ]) ]
+    | 1 ->
+        let room = cap - 1 - info.len in
+        if room >= 1 then begin
+          let w = rand_word r (min 5 room) in
+          info.len <- info.len + String.length w;
+          [ sexpr (call "strcat" [ id b; strlit w ]) ]
+        end
+        else []
+    | 2 -> (
+        match others () with
+        | [] -> []
+        | cands ->
+            let src, o = Rng.pick r cands in
+            let n = Rng.range r 1 (cap - 1) in
+            info.len <- min o.len n;
+            (* strncpy may leave [b] unterminated when the source fills
+               the budget; terminate explicitly like careful C does *)
+            [
+              sexpr (call "strncpy" [ id b; id src; ei n ]);
+              sexpr (asn (idx (id b) (ei n)) (ei 0));
+            ])
+    | 3 ->
+        let v = bin A.Bband (int_expr ctx 1) (ei 999) in
+        let pre = rand_word r 3 in
+        let need = String.length pre + 3 in
+        if need <= cap - 1 then begin
+          info.len <- need;
+          [ sexpr (call "sprintf" [ id b; strlit (pre ^ "%ld"); v ]) ]
+        end
+        else []
+    | 4 ->
+        [ acc_add (cast lng (call "strlen" [ id b ])) ]
+    | 5 -> (
+        match others () with
+        | [] -> [ sexpr (call "printf" [ strlit "s=%s\n"; id b ]) ]
+        | cands ->
+            let src, _ = Rng.pick r cands in
+            [ acc_add (call "strcmp" [ id b; id src ]) ])
+    | 6 ->
+        [
+          acc_add
+            (bin A.Bne
+               (call "strchr" [ id b; charlit (Char.chr (97 + Rng.int r 26)) ])
+               (ei 0));
+        ]
+    | _ -> [ sexpr (call "printf" [ strlit "s=%s\n"; id b ]) ]
+  in
+  [ sdecl (C.Tarray (chr, cap)) b None; sexpr (call "strcpy" [ id b; strlit first ]) ]
+  @ List.concat (List.map (fun _ -> op ()) (List.init (Rng.range r 2 5) Fun.id))
+
+let scene_fptr ctx : A.stmt list =
+  let r = ctx.r in
+  match ctx.helpers with
+  | [] -> [ acc_add (int_expr ctx 2) ]
+  | hs ->
+      let fp = fresh ctx "fp" in
+      add_var ctx fp Fptr_v;
+      let first = Rng.pick r hs in
+      let reassign =
+        if List.length hs >= 2 && Rng.chance r ~pct:60 then
+          [
+            stm
+              (A.Sif
+                 ( cond_expr ctx 1,
+                   sblock [ sexpr (asn (id fp) (id (Rng.pick r hs))) ],
+                   None ));
+          ]
+        else []
+      in
+      [ sdecl (ptr (C.Tfunc fsig2)) fp (Some (id first)) ]
+      @ reassign
+      @ [ acc_add (call fp [ int_expr ctx 2; int_expr ctx 2 ]) ]
+
+let rec scene_helper_call ctx : A.stmt list =
+  let r = ctx.r in
+  match (ctx.phelpers, long_sources ctx) with
+  | [], _ -> [ acc_add (int_expr ctx 2) ]
+  | _, [] -> scene_array ~force_long:true ctx @ scene_helper_call ctx
+  | hs, cands ->
+      let h = Rng.pick r hs in
+      let src, cap = Rng.pick r cands in
+      let off = if Rng.chance r ~pct:25 then Rng.int r (cap / 2) else 0 in
+      let arg = if off = 0 then id src else bin A.Badd (id src) (ei off) in
+      [ acc_add (call h [ arg; ei (cap - off) ]) ]
+
+let rec scene_parr ctx : A.stmt list =
+  let r = ctx.r in
+  let arrs =
+    live_vars ctx (fun v ->
+        match v.vi with
+        | Arr_v (t, l) when t = lng -> Some (v.vn, l)
+        | _ -> None)
+  in
+  match arrs with
+  | [] -> scene_array ~force_long:true ctx @ scene_parr ctx
+  | cands ->
+      let len = 4 in
+      let pa = fresh ctx "pa" in
+      let slots =
+        List.map
+          (fun _ ->
+            let a, cap = Rng.pick r cands in
+            let off = if Rng.chance r ~pct:30 then Rng.int r (cap / 2) else 0 in
+            ((if off = 0 then id a else bin A.Badd (id a) (ei off)), cap - off))
+          (List.init len Fun.id)
+      in
+      let mincap = List.fold_left (fun m (_, c) -> min m c) max_int slots in
+      let mask = floor_pow2 mincap in
+      add_var ctx pa (Parr_v (len, mincap));
+      let fills =
+        List.mapi
+          (fun k (src, _) -> sexpr (asn (idx (id pa) (ei k)) src))
+          slots
+      in
+      let uses =
+        [
+          acc_add (idx (idx (id pa) (masked ctx len)) (masked ctx mask));
+          sexpr
+            (asn
+               (idx (idx (id pa) (masked ctx len)) (masked ctx mask))
+               (int_expr ctx 2));
+        ]
+      in
+      let pp_bit =
+        if Rng.chance r ~pct:30 then begin
+          let pp = fresh ctx "qq" in
+          [
+            sdecl (ptr (ptr lng)) pp (Some (id pa));
+            acc_add (idx (deref (id pp)) (masked ctx mask));
+          ]
+        end
+        else []
+      in
+      (sdecl (C.Tarray (ptr lng, len)) pa None :: fills) @ uses @ pp_bit
+
+let scene_switch ctx : A.stmt list =
+  let r = ctx.r in
+  let ncase = Rng.range r 2 4 in
+  let cases =
+    List.map
+      (fun k ->
+        {
+          A.cvals = [ ei k ];
+          cis_default = false;
+          cbody = [ acc_add (int_expr ctx 2); stm A.Sbreak ];
+        })
+      (List.init ncase Fun.id)
+    @ [
+        {
+          A.cvals = [];
+          cis_default = true;
+          cbody =
+            [ sexpr (opasn A.Bbxor (id "acc") (int_expr ctx 1)); stm A.Sbreak ];
+        };
+      ]
+  in
+  [ stm (A.Sswitch (cast intt (bin A.Bband (int_expr ctx 2) (ei 7)), cases)) ]
+
+let scene_while ctx : A.stmt list =
+  let r = ctx.r in
+  let w = fresh ctx "w" in
+  add_var ctx w (Int_v C.ILong);
+  let k = Rng.range r 2 9 in
+  let body =
+    [ acc_add (int_expr ctx 1); sexpr (asn (id w) (bin A.Badd (id w) (ei 1))) ]
+  in
+  if Rng.bool r then
+    [ sdecl lng w (Some (ei 0)); stm (A.Swhile (bin A.Blt (id w) (ei k), sblock body)) ]
+  else
+    [ sdecl lng w (Some (ei 0)); stm (A.Sdo (sblock body, bin A.Blt (id w) (ei k))) ]
+
+let scene_dbl ctx : A.stmt list =
+  let r = ctx.r in
+  let d = fresh ctx "d" in
+  let lit = float_of_int (Rng.range r 1 9) /. 2.0 in
+  [
+    sdecl dbl d (Some (e (A.Efloatlit (lit, C.FDouble))));
+    sexpr
+      (asn (id d)
+         (bin A.Badd
+            (bin A.Bmul (id d) (e (A.Efloatlit (2.25, C.FDouble))))
+            (cast dbl (bin A.Bband (int_expr ctx 1) (ei 255)))));
+    acc_add (cast lng (id d));
+  ]
+  @ (if Rng.chance r ~pct:30 then
+       [ sexpr (call "printf" [ strlit (d ^ "=%g\n"); id d ]) ]
+     else [])
+
+let scene_condacc ctx : A.stmt list =
+  let r = ctx.r in
+  let t = [ acc_add (int_expr ctx 2) ] in
+  let f = [ sexpr (opasn A.Bbxor (id "acc") (int_expr ctx 2)) ] in
+  if Rng.bool r then [ stm (A.Sif (cond_expr ctx 2, sblock t, Some (sblock f))) ]
+  else [ stm (A.Sif (cond_expr ctx 2, sblock t, None)) ]
+
+let gen_scene ctx : A.stmt list =
+  let f =
+    Rng.weighted ctx.r
+      [
+        (8, scene_scalars);
+        (9, fun c -> scene_array c);
+        (4, scene_array2);
+        (8, scene_ptr_walk);
+        (6, scene_cast_view);
+        (7, scene_struct);
+        (4, scene_s1);
+        (8, scene_heap);
+        (8, scene_strings);
+        (5, scene_fptr);
+        (5, scene_helper_call);
+        (6, scene_parr);
+        (3, scene_switch);
+        (3, scene_while);
+        (3, scene_dbl);
+        (4, scene_condacc);
+      ]
+  in
+  f ctx
+
+(* ------------------------------------------------------------------ *)
+(* Helper functions (generated before main)                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_f_helper ctx : unit =
+  let r = ctx.r in
+  let name = fresh ctx "f" in
+  let saved = ctx.vars in
+  ctx.vars <- List.filter (fun v -> v.born < 0) ctx.vars;
+  add_var ctx "x" (Int_v C.ILong);
+  add_var ctx "y" (Int_v C.ILong);
+  let t = fresh ctx "t" in
+  let body0 = [ sdecl lng t (Some (int_expr ctx 2)) ] in
+  add_var ctx t (Int_v C.ILong);
+  let branch =
+    if Rng.chance r ~pct:60 then
+      [
+        stm
+          (A.Sif
+             ( cond_expr ctx 1,
+               sblock [ sexpr (asn (id t) (int_expr ctx 2)) ],
+               Some (sblock [ sexpr (opasn A.Badd (id t) (int_expr ctx 2)) ]) ));
+      ]
+    else []
+  in
+  let garr =
+    if Rng.chance r ~pct:50 then
+      [ sexpr (opasn A.Badd (id t) (idx (id "g0") (masked ctx 8))) ]
+    else []
+  in
+  let chain =
+    match ctx.helpers with
+    | prev :: _ when Rng.chance r ~pct:30 ->
+        [
+          sexpr
+            (opasn A.Badd (id t)
+               (call prev [ ei (Rng.range r 0 9); ei (Rng.range r 0 9) ]));
+        ]
+    | _ -> []
+  in
+  let ret = [ stm (A.Sreturn (Some (bin A.Badd (id t) (int_expr ctx 1)))) ] in
+  ctx.vars <- saved;
+  ctx.helpers <- ctx.helpers @ [ name ];
+  ctx.gdefs_rev <-
+    A.Gfun
+      {
+        A.fname = name;
+        fret = lng;
+        fparams = [ (lng, "x"); (lng, "y") ];
+        fvariadic = false;
+        fbody = body0 @ branch @ garr @ chain @ ret;
+        floc = nl;
+      }
+    :: ctx.gdefs_rev
+
+let gen_p_helper ctx : unit =
+  let r = ctx.r in
+  let name = fresh ctx "h" in
+  let writes = Rng.chance r ~pct:40 in
+  let loop_body =
+    if writes then
+      [
+        sexpr (opasn A.Badd (idx (id "p") (id "i")) (id "i"));
+        sexpr (opasn A.Badd (id "s") (idx (id "p") (id "i")));
+      ]
+    else [ sexpr (opasn A.Badd (id "s") (idx (id "p") (id "i"))) ]
+  in
+  ctx.phelpers <- ctx.phelpers @ [ name ];
+  ctx.gdefs_rev <-
+    A.Gfun
+      {
+        A.fname = name;
+        fret = lng;
+        fparams = [ (ptr lng, "p"); (lng, "n") ];
+        fvariadic = false;
+        fbody =
+          [
+            sdecl lng "s" (Some (ei 0));
+            sdecl lng "i" (Some (ei 0));
+            sfor_count "i" 0 (id "n") loop_body;
+            stm (A.Sreturn (Some (id "s")));
+          ];
+        floc = nl;
+      }
+    :: ctx.gdefs_rev
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-bounds injection                                              *)
+(* ------------------------------------------------------------------ *)
+
+type injection = { istmt : A.stmt; iexpect : expect; inote : string }
+
+let targetable v =
+  v.alive
+  &&
+  match v.vi with
+  | Arr_v _ | Arr2_v _ | Ptr_v _ | Bytes_v _ | Ints_v _ | Parr_v _ | Buf_v _
+  | S0_v _ | S1_v _ ->
+      true
+  | Int_v _ | Fptr_v -> false
+
+(* Build one deliberate spatial violation against a variable born
+   before scene [boundary].  The access sits in straight-line main code,
+   so every full-checking run must reach and trap on it. *)
+let build_injection ctx boundary : injection =
+  let r = ctx.r in
+  let cands =
+    List.filter (fun v -> targetable v && v.born < boundary) ctx.vars
+  in
+  (* the fixed globals guarantee candidates exist *)
+  let v = Rng.pick r cands in
+  let d = Rng.int r 3 in
+  let write = Rng.bool r in
+  let mk ?(rd_cast = false) lv note =
+    if write then
+      {
+        istmt = sexpr (asn lv (ei 7));
+        iexpect = Trap_write;
+        inote = Printf.sprintf "oob-write %s" note;
+      }
+    else
+      {
+        istmt = acc_add (if rd_cast then cast lng lv else lv);
+        iexpect = Trap_read;
+        inote = Printf.sprintf "oob-read %s" note;
+      }
+  in
+  match v.vi with
+  | Arr_v (_, l) ->
+      if write && Rng.chance r ~pct:25 then
+        mk
+          (idx (id v.vn) (ei (-1 - Rng.int r 2)))
+          (Printf.sprintf "%s[negative]" v.vn)
+      else mk (idx (id v.vn) (ei (l + d))) (Printf.sprintf "%s[%d/%d]" v.vn (l + d) l)
+  | Arr2_v (rows, cols) ->
+      mk
+        (idx (idx (id v.vn) (ei (rows - 1))) (ei (cols + d)))
+        (Printf.sprintf "%s[%d][%d/%d]" v.vn (rows - 1) (cols + d) cols)
+  | Ptr_v c ->
+      mk
+        (deref (bin A.Badd (id v.vn) (ei (c + d))))
+        (Printf.sprintf "*(%s+%d/cap %d)" v.vn (c + d) c)
+  | Bytes_v c ->
+      mk (idx (id v.vn) (ei (c + d))) (Printf.sprintf "%s[%d/%d]" v.vn (c + d) c)
+  | Ints_v c ->
+      mk (idx (id v.vn) (ei (c + d))) (Printf.sprintf "%s[%d/%d]" v.vn (c + d) c)
+  | Parr_v (l, _) ->
+      mk ~rd_cast:true
+        (idx (id v.vn) (ei (l + d)))
+        (Printf.sprintf "%s[%d/%d] (pointer array)" v.vn (l + d) l)
+  | Buf_v { cap; _ } ->
+      if write && Rng.bool r then
+        {
+          istmt = sexpr (call "strcpy" [ id v.vn; strlit (String.make cap 'z') ]);
+          iexpect = Trap_write;
+          inote = Printf.sprintf "strcpy overflow into %s[%d]" v.vn cap;
+        }
+      else
+        mk (idx (id v.vn) (ei (cap + d))) (Printf.sprintf "%s[%d/%d]" v.vn (cap + d) cap)
+  | S0_v bl ->
+      (* one past the [b] field: still inside the struct object, so only
+         shrunken (sub-object) bounds can catch it *)
+      mk
+        (idx (fld (id v.vn) "b") (ei (bl + Rng.int r 2)))
+        (Printf.sprintf "%s.b[%d/%d] (field overflow)" v.vn bl bl)
+  | S1_v c ->
+      mk
+        (idx (fld (id v.vn) "q") (ei (c + d)))
+        (Printf.sprintf "%s.q[%d/cap %d]" v.vn (c + d) c)
+  | Int_v _ | Fptr_v -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program assembly                                               *)
+(* ------------------------------------------------------------------ *)
+
+let generate (r : Rng.t) ~(oob : bool) : case =
+  let env = C.create_env () in
+  let ctx =
+    {
+      r;
+      env;
+      vars = [];
+      scene = -1;
+      nfresh = 0;
+      helpers = [];
+      phelpers = [];
+      gdefs_rev = [];
+      s0_blen = 0;
+    }
+  in
+  (* composite types *)
+  let blen = Rng.pick r [ 2; 4; 8 ] in
+  ctx.s0_blen <- blen;
+  let s0_fields =
+    [ ("a", lng); ("b", C.Tarray (intt, blen)); ("c", chr) ]
+    @ if Rng.bool r then [ ("d", dbl) ] else []
+  in
+  ignore (C.define_comp env ~is_struct:true "S0" s0_fields);
+  ignore
+    (C.define_comp env ~is_struct:true "S1"
+       [ ("inner", C.Tstruct "S0"); ("q", ptr lng); ("n", lng) ]);
+  (* fixed globals: always-available safe targets *)
+  let gvar ty name init vi =
+    ctx.gdefs_rev <-
+      A.Gvar
+        {
+          gty = ty;
+          gname = name;
+          ginit = Option.map (fun x -> A.Iexpr x) init;
+          gextern = false;
+          gloc = nl;
+        }
+      :: ctx.gdefs_rev;
+    ctx.vars <- { vn = name; vi; born = -1; alive = true } :: ctx.vars
+  in
+  gvar (C.Tarray (lng, 8)) "g0" None (Arr_v (lng, 8));
+  gvar (C.Tarray (intt, 16)) "g1" None (Arr_v (intt, 16));
+  gvar lng "gs0" (Some (ei (Rng.range r 1 50))) (Int_v C.ILong);
+  gvar lng "gs1" (Some (ei (Rng.range r 1 50))) (Int_v C.ILong);
+  (* helpers *)
+  let nf = Rng.range r 2 3 in
+  for _ = 1 to nf do
+    gen_f_helper ctx
+  done;
+  gen_p_helper ctx;
+  (* main body: scenes with checkpoints *)
+  ctx.vars <- { vn = "acc"; vi = Int_v C.ILong; born = -1; alive = true } :: ctx.vars;
+  let nscenes = Rng.range r 4 9 in
+  let chunks = ref [] in
+  for k = 0 to nscenes - 1 do
+    ctx.scene <- k;
+    let body = gen_scene ctx in
+    let chk =
+      if Rng.chance r ~pct:55 then
+        [
+          sexpr
+            (call "printf"
+               [ strlit (Printf.sprintf "c%d=%%ld\n" k); cast lng (id "acc") ]);
+        ]
+      else []
+    in
+    chunks := (body @ chk) :: !chunks
+  done;
+  let chunks = List.rev !chunks in
+  (* candidates must be born before the insertion point, so draw the
+     boundary first and use it for both placement and target choice *)
+  let inj =
+    if oob then
+      let b = Rng.range r 1 nscenes in
+      Some (b, build_injection ctx b)
+    else None
+  in
+  let body =
+    List.concat
+      (List.mapi
+         (fun k c ->
+           match inj with
+           | Some (b, i) when b = k + 1 -> c @ [ i.istmt ]
+           | _ -> c)
+         chunks)
+  in
+  let main_body =
+    (sdecl lng "acc" (Some (ei (Rng.range r 0 9))) :: body)
+    @ [
+        sexpr (call "printf" [ strlit "end=%ld\n"; cast lng (id "acc") ]);
+        stm (A.Sreturn (Some (cast intt (bin A.Bband (id "acc") (ei 63)))));
+      ]
+  in
+  let main =
+    A.Gfun
+      {
+        A.fname = "main";
+        fret = intt;
+        fparams = [];
+        fvariadic = false;
+        fbody = main_body;
+        floc = nl;
+      }
+  in
+  let prog = { A.defs = List.rev (main :: ctx.gdefs_rev); penv = env } in
+  match inj with
+  | None -> { prog; expect = Safe; note = "safe" }
+  | Some (_, i) -> { prog; expect = i.iexpect; note = i.inote }

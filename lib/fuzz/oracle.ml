@@ -1,0 +1,182 @@
+(* Differential oracle: run one generated program in lock-step under
+   every pipeline configuration and compare what should be identical.
+
+   Seven runs per case:
+
+   - [U]: uninstrumented.
+   - Four full-checking runs crossing the metadata facility
+     (shadow-space / hash-table) with the elimination pass (on / off).
+   - Two store-only runs (shadow / hash).
+
+   What must agree depends on what the generator promised:
+
+   - The four full-checking runs must agree *exactly* — outcome string,
+     program stdout, and live heap bytes at exit — with each other,
+     always: neither the metadata facility nor check elimination may
+     change observable behavior.  The two store-only runs likewise
+     share one instrumented IR (the facility is a VM knob) and must
+     agree with each other.
+   - A [Safe] case additionally pins every instrumented run to the
+     uninstrumented one: completeness says instrumentation never
+     changes a correct program's behavior (paper section 4), and the
+     heap-bytes comparison checks allocation conservation.
+   - A [Trap_write] case must abort with a bounds violation in all six
+     instrumented runs; a [Trap_read] only in the full-checking ones
+     (store-only trades read checks away by design, section 3.5 — after
+     the un-trapped read the store-only runs may legitimately diverge
+     from [U], because they observe different stack leftovers). *)
+
+module A = Cminus.Ast
+module St = Interp.State
+module Vm = Interp.Vm
+
+type run_info = {
+  tag : string;
+  outcome : string;
+  out : string;
+  heap_live : int;
+}
+
+type finding = { cls : string; detail : string; runs : run_info list }
+
+type verdict = Ok_ | Skip of string | Bug of finding
+
+let full_configs : (string * Softbound.Config.options) list =
+  let d = Softbound.Config.default in
+  [
+    ("F-shadow-elim", d);
+    ("F-shadow-noelim", { d with eliminate_checks = false });
+    ("F-hash-elim", { d with facility = Hash_table });
+    ("F-hash-noelim", { d with facility = Hash_table; eliminate_checks = false });
+  ]
+
+let store_configs : (string * Softbound.Config.options) list =
+  let s = Softbound.Config.store_only in
+  [
+    ("S-shadow", s);
+    ("S-hash", { s with facility = Hash_table });
+  ]
+
+let info tag (r : Vm.result) =
+  {
+    tag;
+    outcome = St.string_of_outcome r.Vm.outcome;
+    out = r.Vm.stdout_text;
+    heap_live = r.Vm.heap_live;
+  }
+
+let same a b = a.outcome = b.outcome && a.out = b.out && a.heap_live = b.heap_live
+
+let is_bounds (r : Vm.result) =
+  match r.Vm.outcome with St.Trapped (St.Bounds_violation _) -> true | _ -> false
+
+let limited (r : Vm.result) =
+  match r.Vm.outcome with
+  | St.Trapped St.Step_limit | St.Trapped St.Out_of_memory -> true
+  | _ -> false
+
+let clip s = if String.length s <= 160 then s else String.sub s 0 160 ^ "..."
+
+let describe i =
+  Printf.sprintf "%s: %s | heap %d | out %S" i.tag i.outcome i.heap_live
+    (clip i.out)
+
+(* first pair in the group whose observations differ, if any *)
+let disagreement = function
+  | [] -> None
+  | x :: rest ->
+      List.find_opt (fun y -> not (same x y)) rest
+      |> Option.map (fun y -> (x, y))
+
+let frontend_error (f : unit -> 'a) : ('a, string) result =
+  let at (l : Cminus.Lexer.loc) = Printf.sprintf "%d:%d" l.line l.col in
+  try Ok (f ()) with
+  | Cminus.Lexer.Lex_error (m, l) -> Error (Printf.sprintf "lex %s: %s" (at l) m)
+  | Cminus.Parser.Parse_error (m, l) ->
+      Error (Printf.sprintf "parse %s: %s" (at l) m)
+  | Cminus.Typecheck.Error (m, l) ->
+      Error (Printf.sprintf "typecheck %s: %s" (at l) m)
+  | Cminus.Ctypes.Type_error m -> Error (Printf.sprintf "type: %s" m)
+  | Sbir.Lower.Error m -> Error (Printf.sprintf "lower: %s" m)
+  | Sbir.Ir.Invalid m -> Error (Printf.sprintf "ir: %s" m)
+
+(** Print, compile, and cross-check one generated program. *)
+let check ?(max_steps = 20_000_000) ~(expect : Gen.expect) (prog : A.program) :
+    verdict =
+  let src = Cminus.Pretty.program_string prog in
+  match frontend_error (fun () -> Softbound.compile src) with
+  | Error msg -> Bug { cls = "frontend-reject"; detail = msg; runs = [] }
+  | Ok m -> (
+      let cfg = { St.default_config with St.max_steps } in
+      let attempt () =
+        let u = Softbound.run_unprotected ~cfg m in
+        let fulls =
+          List.map
+            (fun (tag, opts) -> (tag, Softbound.run_protected ~opts ~cfg m))
+            full_configs
+        in
+        let stores =
+          List.map
+            (fun (tag, opts) -> (tag, Softbound.run_protected ~opts ~cfg m))
+            store_configs
+        in
+        (u, fulls, stores)
+      in
+      match frontend_error attempt with
+      | Error msg -> Bug { cls = "frontend-reject"; detail = msg; runs = [] }
+      | Ok (u, fulls, stores) ->
+          let all = ("U", u) :: (fulls @ stores) in
+          let infos = List.map (fun (t, r) -> info t r) all in
+          let ui = info "U" u in
+          let fis = List.map (fun (t, r) -> info t r) fulls in
+          let sis = List.map (fun (t, r) -> info t r) stores in
+          let f0 = snd (List.hd fulls) in
+          let s0 = snd (List.hd stores) in
+          let bug cls detail = Bug { cls; detail; runs = infos } in
+          if List.exists (fun (_, r) -> limited r) all then
+            Skip
+              (Printf.sprintf "resource limit: %s"
+                 (String.concat "; " (List.map describe infos)))
+          else begin
+            match (disagreement fis, disagreement sis) with
+            | Some (a, b), _ ->
+                bug "full-configs-disagree"
+                  (Printf.sprintf "%s / %s" (describe a) (describe b))
+            | _, Some (a, b) ->
+                bug "store-configs-disagree"
+                  (Printf.sprintf "%s / %s" (describe a) (describe b))
+            | None, None -> (
+                match expect with
+                | Gen.Safe ->
+                    if not (same ui (List.hd fis)) then
+                      if is_bounds f0 then
+                        bug "false-positive"
+                          (Printf.sprintf "%s / %s" (describe ui)
+                             (describe (List.hd fis)))
+                      else
+                        bug "unsafe-divergence"
+                          (Printf.sprintf "%s / %s" (describe ui)
+                             (describe (List.hd fis)))
+                    else if not (same ui (List.hd sis)) then
+                      bug "store-divergence"
+                        (Printf.sprintf "%s / %s" (describe ui)
+                           (describe (List.hd sis)))
+                    else Ok_
+                | Gen.Trap_write ->
+                    if not (is_bounds f0) then
+                      bug "missed-detection"
+                        (Printf.sprintf "expected bounds trap on write; %s"
+                           (describe (List.hd fis)))
+                    else if not (is_bounds s0) then
+                      bug "missed-detection-store"
+                        (Printf.sprintf
+                           "store-only must catch OOB writes; %s"
+                           (describe (List.hd sis)))
+                    else Ok_
+                | Gen.Trap_read ->
+                    if not (is_bounds f0) then
+                      bug "missed-detection"
+                        (Printf.sprintf "expected bounds trap on read; %s"
+                           (describe (List.hd fis)))
+                    else Ok_)
+          end)

@@ -1,0 +1,55 @@
+(* Deterministic PRNG for the fuzzer: splitmix64.
+
+   Every campaign is reproducible from [--seed]: program [k] of a
+   campaign draws from a generator derived as [split (create seed) k],
+   so a finding can be replayed in isolation without re-running the
+   programs before it. *)
+
+type t = { mutable s : int64 }
+
+let create (seed : int) : t = { s = Int64.of_int seed }
+
+let next (t : t) : int64 =
+  let open Int64 in
+  t.s <- add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** A fresh generator for stream [k] of this one (does not advance [t]).
+    The stream index is spread across the word before mixing; deriving
+    it additively would make nearby root seeds produce index-shifted
+    copies of the same campaign. *)
+let split (t : t) (k : int) : t =
+  let d =
+    { s = Int64.logxor t.s (Int64.mul (Int64.of_int k) 0xD1342543DE82EF95L) }
+  in
+  { s = next d }
+
+(** 62 uniform non-negative bits. *)
+let bits (t : t) : int = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+(** Uniform in [0, n). *)
+let int (t : t) (n : int) : int = if n <= 0 then 0 else bits t mod n
+
+let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+(** True with probability [pct]%. *)
+let chance (t : t) ~(pct : int) : bool = int t 100 < pct
+
+let pick (t : t) (l : 'a list) : 'a = List.nth l (int t (List.length l))
+
+(** Pick from [(weight, value)] pairs with probability proportional to
+    weight. *)
+let weighted (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 xs in
+  let k = int t total in
+  let rec go k = function
+    | [] -> invalid_arg "Rng.weighted: empty"
+    | (w, x) :: rest -> if k < w then x else go (k - w) rest
+  in
+  go k xs
+
+(** Uniform in [lo, hi] inclusive. *)
+let range (t : t) (lo : int) (hi : int) : int = lo + int t (hi - lo + 1)

@@ -13,12 +13,9 @@ let run_one ?(quick = false) (w : Workloads.workload) : row =
   let m = Runner.compile_workload w in
   let argv = if quick then w.Workloads.quick_args else [] in
   let r = Runner.run ~argv Runner.Unprotected m in
-  (match r.outcome with
-  | Interp.State.Exit 0 -> ()
-  | o ->
-      failwith
-        (Printf.sprintf "fig1: %s did not run cleanly: %s" w.Workloads.name
-           (Interp.State.string_of_outcome o)));
+  Runner.check_clean ~quick ~workload:w.Workloads.name
+    ~scheme:(Runner.scheme_name Runner.Unprotected)
+    r;
   {
     workload = w;
     ptr_fraction = Runner.pointer_op_fraction r;

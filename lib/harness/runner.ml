@@ -55,6 +55,39 @@ let run ?(argv = []) ?(inputs = []) ?(max_steps = 2_000_000_000)
         ~cfg:{ base with checker = Some (Baselines.Mudflap_like.make ()) }
         m
 
+exception
+  Workload_failed of {
+    workload : string;
+    scheme : string;
+    quick : bool;
+    outcome : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Workload_failed { workload; scheme; quick; outcome } ->
+        Some
+          (Printf.sprintf
+             "workload %S under scheme %S (%s args) did not run cleanly: %s"
+             workload scheme
+             (if quick then "quick" else "full")
+             outcome)
+    | _ -> None)
+
+let check_clean ?(quick = false) ~workload ~scheme (r : Interp.Vm.result) :
+    unit =
+  match r.Interp.Vm.outcome with
+  | Interp.State.Exit 0 -> ()
+  | o ->
+      raise
+        (Workload_failed
+           {
+             workload;
+             scheme;
+             quick;
+             outcome = Interp.State.string_of_outcome o;
+           })
+
 (** Classify a run for detection tables. *)
 type verdict =
   | Detected of string  (** the scheme reported a violation *)

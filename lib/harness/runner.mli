@@ -30,6 +30,26 @@ val run :
   Ir.modul ->
   Interp.Vm.result
 
+exception
+  Workload_failed of {
+    workload : string;  (** which benchmark *)
+    scheme : string;  (** which protection configuration *)
+    quick : bool;  (** quick or full argument set *)
+    outcome : string;  (** how it actually ended *)
+  }
+(** Raised (with a registered printer) when an experiment expected a
+    clean exit and did not get one — replaces the old bare [failwith]
+    that died without saying which kernel/config failed. *)
+
+val check_clean :
+  ?quick:bool ->
+  workload:string ->
+  scheme:string ->
+  Interp.Vm.result ->
+  unit
+(** [check_clean ~workload ~scheme r] raises {!Workload_failed} unless
+    [r] exited 0. *)
+
 (** {1 Outcome classification for the detection tables} *)
 
 type verdict =

@@ -86,6 +86,28 @@ let check_read w ~ptr ~meta:(b, e) ~size =
 let check_write w ~ptr ~meta:(b, e) ~size =
   if w.checked then sb_check w.st ~where:w.fname ~ptr ~base:b ~bound:e ~size
 
+(** strlen that validates each byte against the string's bounds before
+    reading it, so an unterminated string traps at its first
+    out-of-bounds byte instead of silently scanning adjacent memory.
+    Looks at most [limit] bytes and never reads past the terminator. *)
+let checked_strnlen w ~ptr ~meta limit =
+  let st = w.st in
+  let rec go i =
+    if i >= limit then i
+    else begin
+      check_read w ~ptr:(ptr + i) ~meta ~size:1;
+      Mem.check_program_access st.mem (ptr + i) 1;
+      if Mem.read_byte st.mem (ptr + i) = 0 then i else go (i + 1)
+    end
+  in
+  go 0
+
+let checked_strlen w ~ptr ~meta =
+  let cap = 1 lsl 20 in
+  let len = checked_strnlen w ~ptr ~meta cap in
+  if len >= cap then raise (Trap (Runtime_error "unterminated string"));
+  len
+
 (* ------------------------------------------------------------------ *)
 (* Varargs access                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -197,8 +219,9 @@ let format_into w ~put ~fmt ~fmt_meta ~va_ptr ~va_meta ~va_count =
             let slot = !arg in
             let p = next_slot () in
             let meta = va_slot_meta w ~va_ptr slot in
-            let len = raw_strlen st p in
-            check_read w ~ptr:p ~meta ~size:(len + 1);
+            (* checked scan: an unterminated %s argument must trap at
+               its bound, not print whatever follows in memory *)
+            let len = checked_strlen w ~ptr:p ~meta in
             range_access st p (len + 1) ~is_store:false;
             emit_str (Mem.read_cstring st.mem p)
         | '%' -> emit '%'
@@ -432,11 +455,14 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       charge st (Cost.bulk_cost (len + 1));
       ret_ptr dst (meta_of 0)
   | "strncpy" ->
-      let dst = argi 0 and src = argi 1 and n = argi 2 in
-      let len = min (raw_strlen st src) n in
-      check_read w ~ptr:src ~meta:(meta_of 1) ~size:len;
-      check_write w ~ptr:dst ~meta:(meta_of 0) ~size:n;
-      range_access st src len ~is_store:false;
+      let dst = argi 0 and src = argi 1 and n = max (argi 2) 0 in
+      (* bounded scan: strncpy reads min(strlen+1, n) source bytes and
+         must not look past either [n] or the source's bounds — the old
+         unbounded scan read past both, and the read check also missed
+         the terminator byte when the string is shorter than [n] *)
+      let len = checked_strnlen w ~ptr:src ~meta:(meta_of 1) n in
+      if n > 0 then check_write w ~ptr:dst ~meta:(meta_of 0) ~size:n;
+      range_access st src (min (len + 1) n) ~is_store:false;
       range_access st dst n ~is_store:true;
       Mem.blit st.mem ~src ~dst ~len;
       if len < n then Mem.fill st.mem (dst + len) (n - len) 0;
@@ -444,26 +470,29 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       ret_ptr dst (meta_of 0)
   | "strcat" ->
       let dst = argi 0 and src = argi 1 in
-      let dlen = raw_strlen st dst in
-      let slen = raw_strlen st src in
-      check_read w ~ptr:src ~meta:(meta_of 1) ~size:(slen + 1);
+      (* the dst-prefix scan reads program memory, so it is checked:
+         an unterminated dst traps at its bound instead of scanning
+         whatever lies beyond it *)
+      let dlen = checked_strlen w ~ptr:dst ~meta:(meta_of 0) in
+      let slen = checked_strlen w ~ptr:src ~meta:(meta_of 1) in
       check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(dlen + slen + 1);
+      range_access st dst (dlen + 1) ~is_store:false;
       range_access st src (slen + 1) ~is_store:false;
       range_access st (dst + dlen) (slen + 1) ~is_store:true;
       Mem.blit st.mem ~src ~dst:(dst + dlen) ~len:(slen + 1);
-      charge st (Cost.bulk_cost (slen + 1));
+      charge st (Cost.bulk_cost (dlen + slen + 1));
       ret_ptr dst (meta_of 0)
   | "strncat" ->
-      let dst = argi 0 and src = argi 1 and n = argi 2 in
-      let dlen = raw_strlen st dst in
-      let slen = min (raw_strlen st src) n in
-      check_read w ~ptr:src ~meta:(meta_of 1) ~size:slen;
+      let dst = argi 0 and src = argi 1 and n = max (argi 2) 0 in
+      let dlen = checked_strlen w ~ptr:dst ~meta:(meta_of 0) in
+      let slen = checked_strnlen w ~ptr:src ~meta:(meta_of 1) n in
       check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(dlen + slen + 1);
-      range_access st src slen ~is_store:false;
+      range_access st dst (dlen + 1) ~is_store:false;
+      range_access st src (min (slen + 1) n) ~is_store:false;
       range_access st (dst + dlen) (slen + 1) ~is_store:true;
       Mem.blit st.mem ~src ~dst:(dst + dlen) ~len:slen;
       Mem.write_byte st.mem (dst + dlen + slen) 0;
-      charge st (Cost.bulk_cost (slen + 1));
+      charge st (Cost.bulk_cost (dlen + slen + 1));
       ret_ptr dst (meta_of 0)
   | "strcmp" | "strncmp" ->
       let a = argi 0 and b = argi 1 in

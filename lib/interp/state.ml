@@ -84,11 +84,17 @@ type checker = {
 
 type meta_facility = Hash_table | Shadow_space
 
-(** Number of hash-table entries (power of two).  24-byte entries:
-    tag, base, bound. *)
-let ht_entries = 1 lsl 21
+(** Default number of hash-table entries (power of two) at startup.
+    24-byte entries: tag, base, bound.  The table grows by doubling
+    (with a full rehash) when it fills — see {!meta_store}. *)
+let ht_default_entries = 1 lsl 21
 
 let ht_entry_size = 24
+
+(** Maximum linear-probe chain before an insertion triggers a resize.
+    Because every successful insertion lands within this displacement of
+    its home slot, lookups can soundly stop probing after the same
+    bound. *)
 let ht_max_probes = 64
 
 (* ------------------------------------------------------------------ *)
@@ -130,6 +136,11 @@ type config = {
   trace : bool;
   inputs : string list;  (** lines served by [sim_recv] *)
   argv : string list;
+  ht_entries_init : int;
+      (** initial hash-table capacity (rounded up to a power of two);
+          the table resizes itself past this, so small values only cost
+          early rehashes — the fuzzer and the resize regression tests
+          use them to exercise growth cheaply *)
 }
 
 let default_config =
@@ -142,6 +153,7 @@ let default_config =
     trace = false;
     inputs = [];
     argv = [];
+    ht_entries_init = ht_default_entries;
   }
 
 type stats = {
@@ -197,6 +209,11 @@ type t = {
   jmp_bufs : (int, frame * int * int * Ir.reg) Hashtbl.t;
       (** live setjmp sites: uid -> (frame, resume block, resume inst,
           result register) *)
+  mutable ht_entries : int;
+      (** current hash-table capacity (always a power of two) *)
+  mutable ht_live : int;
+      (** occupied hash-table slots; growth keeps this at most half of
+          [ht_entries] so probe chains stay short *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -249,11 +266,20 @@ let program_write st addr size : unit =
 
 (* Hash table: open addressing with linear probing over 24-byte
    (tag, base, bound) entries.  The tag is the pointer's address + 1 so
-   that 0 means "empty" (simulated memory is zero-initialized). *)
+   that 0 means "empty" (simulated memory is zero-initialized).
 
-let ht_slot_addr i = L.hashtable_base + (i land (ht_entries - 1)) * ht_entry_size
+   The table starts at [cfg.ht_entries_init] entries and doubles (with a
+   full rehash) whenever an insertion would either exceed the
+   [ht_max_probes] chain bound or push occupancy past 50% — it never
+   reports "full".  Growth is capped only by the 1 TiB address-space
+   region reserved for it in {!Machine.Layout}. *)
 
-let ht_index addr = (addr lsr 3) land (ht_entries - 1)
+let ht_slot_addr st i =
+  L.hashtable_base + (i land (st.ht_entries - 1)) * ht_entry_size
+
+let ht_index st addr = (addr lsr 3) land (st.ht_entries - 1)
+
+let ht_region_limit = L.shadow_base - L.hashtable_base
 
 let meta_load st addr : int * int =
   st.stats.meta_loads <- st.stats.meta_loads + 1;
@@ -269,9 +295,11 @@ let meta_load st addr : int * int =
       charge st Cost.hash_lookup;
       let tag = addr + 1 in
       let rec probe i n =
+        (* sound cutoff: insertion keeps every live entry within
+           [ht_max_probes] of its home slot *)
         if n > ht_max_probes then (0, 0)
         else begin
-          let ea = ht_slot_addr i in
+          let ea = ht_slot_addr st i in
           cache_access st ea;
           let t = Mem.read_int st.mem ea 8 in
           if t = tag then begin
@@ -287,7 +315,79 @@ let meta_load st addr : int * int =
           end
         end
       in
-      probe (ht_index addr) 0
+      probe (ht_index st addr) 0
+
+(** Insert (or update/clear) one entry; grows the table instead of
+    failing when the probe chain or the load factor is exhausted.
+    [account] is false during rehash, whose cost is charged in bulk. *)
+let rec ht_insert st ~addr ~base ~bound ~account : unit =
+  let tag = addr + 1 in
+  let rec probe i n =
+    if n > ht_max_probes then begin
+      ht_grow st;
+      ht_insert st ~addr ~base ~bound ~account
+    end
+    else begin
+      let ea = ht_slot_addr st i in
+      if account then cache_access st ea;
+      let t = Mem.read_int st.mem ea 8 in
+      if t = tag || t = 0 then begin
+        (* clearing an absent entry need not allocate one *)
+        if not (t = 0 && base = 0 && bound = 0) then begin
+          if account then begin
+            cache_access st (ea + 8);
+            cache_access st (ea + 16)
+          end;
+          Mem.write_int st.mem ea 8 tag;
+          Mem.write_int st.mem (ea + 8) 8 base;
+          Mem.write_int st.mem (ea + 16) 8 bound;
+          if t = 0 then begin
+            st.ht_live <- st.ht_live + 1;
+            if 2 * st.ht_live > st.ht_entries then ht_grow st
+          end
+        end
+      end
+      else begin
+        if account then begin
+          st.stats.ht_probes <- st.stats.ht_probes + 1;
+          charge st Cost.hash_probe
+        end;
+        probe (i + 1) (n + 1)
+      end
+    end
+  in
+  probe (ht_index st addr) 0
+
+(** Double the table and rehash every live entry.  Entries cleared to
+    (0, 0) are dropped — they are indistinguishable from absent ones —
+    so rehashing also collects tombstone-like garbage. *)
+and ht_grow st : unit =
+  let old_entries = st.ht_entries in
+  if old_entries * 2 * ht_entry_size > ht_region_limit then
+    raise
+      (Trap (Runtime_error "metadata hash table exceeds its address region"));
+  let live = ref [] in
+  for i = 0 to old_entries - 1 do
+    let ea = L.hashtable_base + (i * ht_entry_size) in
+    let t = Mem.read_int st.mem ea 8 in
+    if t <> 0 then begin
+      let b = Mem.read_int st.mem (ea + 8) 8 in
+      let e = Mem.read_int st.mem (ea + 16) 8 in
+      if b <> 0 || e <> 0 then live := (t - 1, b, e) :: !live;
+      Mem.write_int st.mem ea 8 0;
+      Mem.write_int st.mem (ea + 8) 8 0;
+      Mem.write_int st.mem (ea + 16) 8 0
+    end
+  done;
+  st.ht_entries <- old_entries * 2;
+  st.ht_live <- 0;
+  (* one sweep of reads plus re-writes; charged in bulk rather than per
+     probe (a real runtime would remap rather than thrash the cache) *)
+  charge st (Cost.bulk_cost (List.length !live * ht_entry_size * 2));
+  List.iter
+    (fun (addr, base, bound) ->
+      ht_insert st ~addr ~base ~bound ~account:false)
+    !live
 
 let meta_store st addr base bound : unit =
   st.stats.meta_stores <- st.stats.meta_stores + 1;
@@ -302,32 +402,7 @@ let meta_store st addr base bound : unit =
       Mem.write_int st.mem (sa + 8) 8 bound
   | Some Hash_table ->
       charge st Cost.hash_update;
-      let tag = addr + 1 in
-      let rec probe i n =
-        if n > ht_max_probes then
-          raise (Trap (Runtime_error "metadata hash table full"))
-        else begin
-          let ea = ht_slot_addr i in
-          cache_access st ea;
-          let t = Mem.read_int st.mem ea 8 in
-          if t = tag || t = 0 then begin
-            (* clearing an absent entry need not allocate one *)
-            if not (t = 0 && base = 0 && bound = 0) then begin
-              cache_access st (ea + 8);
-              cache_access st (ea + 16);
-              Mem.write_int st.mem ea 8 tag;
-              Mem.write_int st.mem (ea + 8) 8 base;
-              Mem.write_int st.mem (ea + 16) 8 bound
-            end
-          end
-          else begin
-            st.stats.ht_probes <- st.stats.ht_probes + 1;
-            charge st Cost.hash_probe;
-            probe (i + 1) (n + 1)
-          end
-        end
-      in
-      probe (ht_index addr) 0
+      ht_insert st ~addr ~base ~bound ~account:true
 
 (* ------------------------------------------------------------------ *)
 (* The SoftBound check (paper section 3.1)                              *)

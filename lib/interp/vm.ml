@@ -43,6 +43,12 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
   in
   let func_names = Array.append func_names (Array.of_list builtin_names) in
   Array.iteri (fun i n -> Hashtbl.replace func_index n i) func_names;
+  (* round the requested initial hash-table capacity up to a power of
+     two (the probe index masks with [ht_entries - 1]) *)
+  let ht_entries0 =
+    let rec up n = if n >= max 64 cfg.ht_entries_init then n else up (n * 2) in
+    up 64
+  in
   let st =
     {
       cfg;
@@ -64,6 +70,8 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       rand_state = 42;
       last_rets = [];
       jmp_bufs = Hashtbl.create 8;
+      ht_entries = ht_entries0;
+      ht_live = 0;
     }
   in
   (* lay out globals: two passes (addresses first, then initializers,
@@ -479,6 +487,21 @@ let exec_longjmp ld ~checked (args : value list) =
                          size = sl.Ir.sl_size;
                          kind = AStack;
                        }))
+                fr.fr_func.Ir.fslots;
+            (* the transform clears pointer-slot metadata before each
+               return (section 5.2), but longjmp skips those returns —
+               clear here, or frames reusing this stack space observe
+               stale bounds.  Probe first so untouched slots don't
+               materialize metadata pages. *)
+            if checked && st.cfg.meta <> None then
+              Array.iter
+                (fun sl ->
+                  List.iter
+                    (fun off ->
+                      let a = slot_addr fr sl + off in
+                      let b, e = meta_load st a in
+                      if b <> 0 || e <> 0 then meta_store st a 0 0)
+                    sl.Ir.sl_ptr_offsets)
                 fr.fr_func.Ir.fslots;
             st.frames <- rest;
             unwind ()
@@ -973,6 +996,10 @@ type result = {
   cache_misses : int;
   resident_bytes : int;
   heap_peak : int;
+  heap_live : int;
+      (** bytes still allocated at exit — instrumentation must not
+          change the program's allocation behavior, so differential
+          runs compare this across configurations *)
 }
 
 let finish ld outcome : result =
@@ -985,6 +1012,7 @@ let finish ld outcome : result =
     cache_misses = Machine.Cache.misses st.cache;
     resident_bytes = Mem.resident_bytes st.mem;
     heap_peak = Machine.Heap.peak_bytes st.heap;
+    heap_live = Machine.Heap.live_bytes st.heap;
   }
 
 (** Load and run a module to completion. *)

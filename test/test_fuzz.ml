@@ -1,0 +1,163 @@
+(* Differential-fuzzing harness tests: the generator emits valid
+   programs deterministically, the oracle classifies planted
+   divergences, the shrinker minimizes while preserving the finding,
+   and a bounded sweep over the real pipeline is clean. *)
+
+module Gen = Fuzz.Gen
+module Oracle = Fuzz.Oracle
+module Rng = Fuzz.Rng
+
+let gen_case seed =
+  let r = Rng.split (Rng.create seed) 0 in
+  let oob = Rng.chance r ~pct:30 in
+  Gen.generate r ~oob
+
+let program_text c = Cminus.Pretty.program_string c.Gen.prog
+
+(* a hand-written case for oracle/shrinker tests: labelled Safe but
+   actually reads out of bounds, so full checking diverges from the
+   uninstrumented run by trapping — the "false-positive" class *)
+let planted_divergence () =
+  let prog =
+    Cminus.Parser.parse_string
+      "long pad0; long pad1;\n\
+       long spin(long n) { long s = 0; long i; for (i = 0; i < n; i = i + \
+       1) s += i; return s; }\n\
+       int main(void) { long a[4]; long i; for (i = 0; i < 4; i = i + 1) \
+       a[i] = i; long acc = spin(10); acc += a[5]; printf(\"%ld\\n\", acc); \
+       return 0; }"
+  in
+  { Gen.prog; expect = Gen.Safe; note = "planted oob read labelled safe" }
+
+let stmt_count (p : Cminus.Ast.program) =
+  let rec sc (s : Cminus.Ast.stmt) =
+    1
+    +
+    match s.Cminus.Ast.sdesc with
+    | Cminus.Ast.Sif (_, a, b) ->
+        sc a + (match b with Some b -> sc b | None -> 0)
+    | Cminus.Ast.Swhile (_, b) | Cminus.Ast.Sdo (b, _) -> sc b
+    | Cminus.Ast.Sfor (_, _, _, b) -> sc b
+    | Cminus.Ast.Sblock ss -> List.fold_left (fun a s -> a + sc s) 0 ss
+    | Cminus.Ast.Sswitch (_, cs) ->
+        List.fold_left
+          (fun a c ->
+            List.fold_left (fun a s -> a + sc s) a c.Cminus.Ast.cbody)
+          0 cs
+    | _ -> 0
+  in
+  List.fold_left
+    (fun a d ->
+      match d with
+      | Cminus.Ast.Gfun f ->
+          a + List.fold_left (fun a s -> a + sc s) 0 f.Cminus.Ast.fbody
+      | _ -> a)
+    0 p.Cminus.Ast.defs
+
+let suite =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            Alcotest.(check string)
+              (Printf.sprintf "seed %d" seed)
+              (program_text (gen_case seed))
+              (program_text (gen_case seed)))
+          [ 1; 7; 1234 ]);
+    Alcotest.test_case "distinct seeds give distinct programs" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "differ" true
+          (program_text (gen_case 5) <> program_text (gen_case 6)));
+    Alcotest.test_case "generated programs survive the frontend" `Quick
+      (fun () ->
+        for seed = 50 to 69 do
+          let c = gen_case seed in
+          let src = program_text c in
+          match Softbound.compile src with
+          | _ -> ()
+          | exception e ->
+              Alcotest.fail
+                (Printf.sprintf "seed %d rejected (%s):\n%s" seed
+                   (Printexc.to_string e) src)
+        done);
+    Alcotest.test_case "differential sweep is clean" `Slow (fun () ->
+        let r =
+          Fuzz.run_campaign ~shrink:false ~seed:20260805 ~count:60 ()
+        in
+        (match r.Fuzz.findings with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.fail
+              (Printf.sprintf "divergence (%d total), first: %s"
+                 (List.length r.Fuzz.findings)
+                 (Fuzz.render_finding f)));
+        Alcotest.(check int) "all cases ran" 60 (r.Fuzz.tested + r.Fuzz.skipped);
+        Alcotest.(check bool) "some cases injected violations" true
+          (r.Fuzz.trap_cases > 0));
+    Alcotest.test_case "oracle classifies a planted divergence" `Quick
+      (fun () ->
+        let c = planted_divergence () in
+        match Oracle.check ~expect:c.Gen.expect c.Gen.prog with
+        | Oracle.Bug f ->
+            Alcotest.(check string) "class" "false-positive" f.Oracle.cls
+        | Oracle.Ok_ -> Alcotest.fail "oracle missed the planted oob read"
+        | Oracle.Skip why -> Alcotest.fail ("skipped: " ^ why));
+    Alcotest.test_case "oracle accepts the program once repaired" `Quick
+      (fun () ->
+        let prog =
+          Cminus.Parser.parse_string
+            "int main(void) { long a[4]; long i; for (i = 0; i < 4; i = i + \
+             1) a[i] = i; printf(\"%ld\\n\", a[3]); return 0; }"
+        in
+        match Oracle.check ~expect:Gen.Safe prog with
+        | Oracle.Ok_ -> ()
+        | Oracle.Bug f ->
+            Alcotest.fail (f.Oracle.cls ^ ": " ^ f.Oracle.detail)
+        | Oracle.Skip why -> Alcotest.fail ("skipped: " ^ why));
+    Alcotest.test_case "shrinker minimizes while preserving the class" `Slow
+      (fun () ->
+        let c = planted_divergence () in
+        let small =
+          Fuzz.Shrink.minimize ~expect:c.Gen.expect ~cls:"false-positive"
+            c.Gen.prog
+        in
+        (match Oracle.check ~expect:c.Gen.expect small with
+        | Oracle.Bug f ->
+            Alcotest.(check string) "still same class" "false-positive"
+              f.Oracle.cls
+        | _ -> Alcotest.fail "shrunk program lost the finding");
+        Alcotest.(check bool) "got smaller" true
+          (stmt_count small < stmt_count c.Gen.prog);
+        (* the irrelevant helper and globals must be gone *)
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        let txt = Cminus.Pretty.program_string small in
+        Alcotest.(check bool) "helper removed" false (contains txt "spin"));
+    Alcotest.test_case "oracle: store-only catches writes, skips reads"
+      `Quick (fun () ->
+        let wr =
+          Cminus.Parser.parse_string
+            "int main(void) { long a[4]; long i; for (i = 0; i < 4; i = i + \
+             1) a[i] = i; a[6] = 1; return 0; }"
+        in
+        (match Oracle.check ~expect:Gen.Trap_write wr with
+        | Oracle.Ok_ -> ()
+        | Oracle.Bug f ->
+            Alcotest.fail (f.Oracle.cls ^ ": " ^ f.Oracle.detail)
+        | Oracle.Skip why -> Alcotest.fail why);
+        let rd =
+          Cminus.Parser.parse_string
+            "int main(void) { long a[4]; long i; for (i = 0; i < 4; i = i + \
+             1) a[i] = i; long x = a[6]; return (int)(x & 0); }"
+        in
+        match Oracle.check ~expect:Gen.Trap_read rd with
+        | Oracle.Ok_ -> ()
+        | Oracle.Bug f -> Alcotest.fail (f.Oracle.cls ^ ": " ^ f.Oracle.detail)
+        | Oracle.Skip why -> Alcotest.fail why);
+  ]

@@ -16,4 +16,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("formal", Test_formal.suite);
       ("properties", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

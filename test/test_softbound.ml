@@ -312,4 +312,117 @@ let suite =
         let m' = Softbound.instrument m in
         let f = Option.get (Sbir.Ir.find_func m' "_sb_id") in
         Alcotest.(check int) "rets" 3 (List.length f.Sbir.Ir.frets));
+    (* ---------------- string-wrapper bound checks ----------------
+       The wrappers must bound their *scans*, not only the final copy:
+       a length computed by reading past the source's bounds has
+       already committed the violation.  A two-byte unterminated
+       struct field makes the distinction observable, because the
+       in-struct bytes after it are readable memory. *)
+    detects "strcat scan stops at the source field's bound"
+      "struct T { char b[2]; char tail[6]; }; \
+       int main(void) { struct T t; t.b[0] = 'A'; t.b[1] = 'B'; t.tail[0] = 0; \
+       char d[16]; d[0] = 0; strcat(d, t.b); return 0; }";
+    detects "sprintf %s scan stops at the source field's bound"
+      "struct T { char b[2]; char tail[6]; }; \
+       int main(void) { struct T t; t.b[0] = 'A'; t.b[1] = 'B'; t.tail[0] = 0; \
+       char d[16]; sprintf(d, \"%s\", t.b); return 0; }";
+    clean "strncpy never scans past its byte budget"
+      "struct T { char b[2]; char tail[6]; }; \
+       int main(void) { struct T t; t.b[0] = 'A'; t.b[1] = 'B'; t.tail[0] = 0; \
+       char d[8]; strncpy(d, t.b, 2); d[2] = 0; printf(\"%s\\n\", d); return 0; }";
+    detects "strncat source scan is bounded too"
+      "struct T { char b[2]; char tail[6]; }; \
+       int main(void) { struct T t; t.b[0] = 'A'; t.b[1] = 'B'; t.tail[0] = 0; \
+       char d[16]; d[0] = 0; strncat(d, t.b, 5); return 0; }";
+    (* ---------------- longjmp and stack metadata ----------------
+       The transform clears pointer-slot metadata before each return
+       (section 5.2); longjmp skips those returns, so the VM must clear
+       during the unwind or a later frame reusing the stack space
+       observes stale bounds that validate a dead pointer. *)
+    Alcotest.test_case "longjmp clears unwound frames' pointer metadata"
+      `Quick (fun () ->
+        let src =
+          "jmp_buf jb; \
+           void f(void) { long a[4]; long *ps[2]; ps[0] = a; ps[0][0] = 7; longjmp(jb, 1); } \
+           long g(void) { long a[4]; long *ps[2]; return *ps[0]; } \
+           int main(void) { if (setjmp(jb) == 0) { f(); } return (int)g(); }"
+        in
+        let m = Softbound.compile src in
+        List.iter
+          (fun o ->
+            let r = Softbound.run_protected ~opts:o m in
+            if not (Softbound.detected r) then
+              Alcotest.fail
+                (Softbound.Config.facility_name o.Softbound.Config.facility
+                ^ ": expected the dead-frame pointer to trap, got "
+                ^ Interp.State.string_of_outcome r.outcome))
+          [ opts; hash_opts ]);
+    Alcotest.test_case "longjmp leaves surviving metadata consistent" `Quick
+      (fun () ->
+        let src =
+          "jmp_buf jb; long *gp; \
+           void f(void) { long x[2]; x[0] = 1; longjmp(jb, 7); } \
+           int main(void) { long buf[4]; long i; \
+           for (i = 0; i < 4; i = i + 1) buf[i] = i; gp = buf; \
+           if (setjmp(jb) == 0) f(); \
+           long s = 0; for (i = 0; i < 4; i = i + 1) s += gp[i]; \
+           printf(\"%ld\\n\", s); return (int)s; }"
+        in
+        let m = Softbound.compile src in
+        let un = Softbound.run_unprotected m in
+        List.iter
+          (fun o ->
+            let r = Softbound.run_protected ~opts:o m in
+            (match (un.outcome, r.outcome) with
+            | Interp.State.Exit a, Interp.State.Exit b when a = b -> ()
+            | a, b ->
+                Alcotest.fail
+                  (Printf.sprintf "%s: outcomes differ: %s vs %s"
+                     (Softbound.Config.facility_name
+                        o.Softbound.Config.facility)
+                     (Interp.State.string_of_outcome a)
+                     (Interp.State.string_of_outcome b)));
+            Alcotest.(check string) "stdout agrees" un.stdout_text
+              r.stdout_text)
+          [ opts; hash_opts ]);
+    (* ---------------- metadata hash table growth ---------------- *)
+    Alcotest.test_case "hash table resizes past its initial capacity" `Quick
+      (fun () ->
+        (* 512 pointer stores into a 64-entry table force several
+           doublings; behavior and output must match the uninstrumented
+           run, and metadata must survive each rehash *)
+        let src =
+          "long *tab[512]; \
+           int main(void) { long i; \
+           for (i = 0; i < 512; i = i + 1) { tab[i] = (long *)malloc(2 * sizeof(long)); *tab[i] = i; } \
+           long acc = 0; \
+           for (i = 0; i < 512; i = i + 1) acc += *tab[i]; \
+           printf(\"%ld\\n\", acc); return 0; }"
+        in
+        let m = Softbound.compile src in
+        let cfg = { Interp.State.default_config with ht_entries_init = 64 } in
+        let un = Softbound.run_unprotected ~cfg m in
+        let pr = Softbound.run_protected ~opts:hash_opts ~cfg m in
+        (match (un.outcome, pr.outcome) with
+        | Interp.State.Exit a, Interp.State.Exit b when a = b -> ()
+        | a, b ->
+            Alcotest.fail
+              (Printf.sprintf "outcomes differ: %s vs %s"
+                 (Interp.State.string_of_outcome a)
+                 (Interp.State.string_of_outcome b)));
+        Alcotest.(check string) "stdout agrees" un.stdout_text pr.stdout_text);
+    Alcotest.test_case "bounds survive hash table growth" `Quick (fun () ->
+        let src =
+          "long *tab[512]; \
+           int main(void) { long i; \
+           for (i = 0; i < 512; i = i + 1) { tab[i] = (long *)malloc(2 * sizeof(long)); *tab[i] = i; } \
+           *(tab[7] + 2) = 1; return 0; }"
+        in
+        let m = Softbound.compile src in
+        let cfg = { Interp.State.default_config with ht_entries_init = 64 } in
+        let r = Softbound.run_protected ~opts:hash_opts ~cfg m in
+        if not (Softbound.detected r) then
+          Alcotest.fail
+            ("expected a bounds violation after rehash, got "
+            ^ Interp.State.string_of_outcome r.outcome));
   ]

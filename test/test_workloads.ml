@@ -80,4 +80,19 @@ let suite =
           let s = r.stats in
           Alcotest.(check bool) "meta ops happen" true
             (s.Interp.State.meta_loads + s.Interp.State.meta_stores > 100));
+      Alcotest.test_case "failing runs name the kernel and configuration"
+        `Quick (fun () ->
+          let m = Softbound.compile "int main(void) { return 3; }" in
+          let r = Harness.Runner.run Harness.Runner.Unprotected m in
+          match
+            Harness.Runner.check_clean ~quick:true ~workload:"demo-kernel"
+              ~scheme:"unprotected" r
+          with
+          | () -> Alcotest.fail "expected Workload_failed"
+          | exception
+              Harness.Runner.Workload_failed
+                { workload = "demo-kernel"; scheme = "unprotected"; quick = true; outcome }
+            -> Alcotest.(check string) "outcome recorded" "exit 3" outcome
+          | exception e ->
+              Alcotest.fail ("wrong exception: " ^ Printexc.to_string e));
     ]
