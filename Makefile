@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples fuzz-smoke verify clean
+.PHONY: all build test bench experiments examples fuzz-smoke profile-smoke \
+	coverage verify clean
 
 all: build
 
@@ -24,13 +25,35 @@ fuzz-smoke:
 	dune exec bin/softbound_cli.exe -- fuzz --seed 1 --count 200
 	dune exec bin/softbound_cli.exe -- fuzz --seed 20260805 --count 100
 
+# quick profiler pass over two kernels: exercises the observability
+# layer end to end (site attribution, JSON export, trace ring)
+profile-smoke:
+	dune exec bin/softbound_cli.exe -- profile --workload treeadd --quick
+	dune exec bin/softbound_cli.exe -- profile --workload go --quick --json \
+	  > /dev/null
+
+# line-coverage summary via bisect_ppx.  The instrumentation stanzas in
+# lib/*/dune are inert unless activated, so this target degrades to a
+# notice when bisect_ppx is not installed (it is not part of the
+# baseline toolchain).
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  rm -f _coverage/*.coverage; \
+	  BISECT_FILE=$$(pwd)/_coverage/bisect dune runtest --force \
+	    --instrument-with bisect_ppx && \
+	  bisect-ppx-report summary --per-file _coverage/*.coverage; \
+	else \
+	  echo "coverage: bisect_ppx not installed; skipping (opam install bisect_ppx)"; \
+	fi
+
 # what CI runs: build, the whole test suite, a smoke pass of the
-# check-elimination ablation (quick workload sizes), and the
-# differential-fuzzing smoke campaign
+# check-elimination ablation (quick workload sizes), the profiler
+# smoke run, and the differential-fuzzing smoke campaign
 verify:
 	dune build
 	dune runtest
 	dune exec bin/experiments.exe -- elim --quick
+	$(MAKE) profile-smoke
 	$(MAKE) fuzz-smoke
 
 examples:

@@ -83,6 +83,10 @@ let test_elim =
                  (Harness.Exp_elim.without_elim Harness.Runner.sb_full_shadow))));
     ]
 
+let test_breakdown =
+  Test.make ~name:"breakdown: obs attribution (quick)"
+    (Staged.stage (fun () -> ignore (Harness.Exp_breakdown.run ~quick:true ())))
+
 let test_ablations =
   Test.make ~name:"ablations: shrink/memcpy/clear/prune"
     (Staged.stage (fun () ->
@@ -110,7 +114,7 @@ let all_tests =
   Test.make_grouped ~name:"softbound"
     [
       test_table1; test_table3; test_table4; test_fig1; test_fig2_configs;
-      test_mscc; test_elim; test_ablations; test_pipeline;
+      test_mscc; test_elim; test_breakdown; test_ablations; test_pipeline;
     ]
 
 let run_bechamel () =
@@ -168,7 +172,15 @@ let print_artifacts () =
   let oc = open_out "BENCH_elim.json" in
   output_string oc (Harness.Exp_elim.to_json elim_rows);
   close_out oc;
-  print_endline "wrote BENCH_elim.json"
+  print_endline "wrote BENCH_elim.json";
+  (* per-site overhead attribution (check vs metadata vs wrapper vs
+     residual), the observability layer's headline artifact *)
+  let bd_rows = Harness.Exp_breakdown.run () in
+  print_endline (Harness.Exp_breakdown.render bd_rows);
+  let oc = open_out "BENCH_breakdown.json" in
+  output_string oc (Harness.Exp_breakdown.to_json bd_rows);
+  close_out oc;
+  print_endline "wrote BENCH_breakdown.json"
 
 let () =
   let args = Array.to_list Sys.argv in

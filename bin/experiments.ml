@@ -7,7 +7,8 @@
 let usage () =
   prerr_endline
     "usage: experiments \
-     <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|all> \
+     <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
+     breakdown|all> \
      [--quick]";
   exit 2
 
@@ -19,7 +20,7 @@ let () =
   let targets =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
-        "sweep"; "ablations"; "elim" ]
+        "sweep"; "ablations"; "elim"; "breakdown" ]
     else targets
   in
   List.iter
@@ -42,6 +43,12 @@ let () =
             output_string oc (Harness.Exp_elim.to_json rows);
             close_out oc;
             Harness.Exp_elim.render rows
+        | "breakdown" ->
+            let rows = Harness.Exp_breakdown.run ~quick () in
+            let oc = open_out "BENCH_breakdown.json" in
+            output_string oc (Harness.Exp_breakdown.to_json rows);
+            close_out oc;
+            Harness.Exp_breakdown.render rows
         | other ->
             Printf.eprintf "unknown experiment %s\n" other;
             exit 2

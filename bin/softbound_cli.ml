@@ -84,6 +84,24 @@ let fptr_sigs_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
 
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N"
+        ~doc:
+          "Record the last $(docv) safety-relevant events (checks, \
+           metadata operations, wrapper calls) in a bounded ring buffer \
+           and dump them when the program traps.")
+
+let no_obs_arg =
+  Arg.(
+    value & flag
+    & info [ "no-obs" ]
+        ~doc:
+          "Disable the observability collector (per-site counters and \
+           the event ring).  Simulated cycle counts are identical either \
+           way; this only skips the host-side bookkeeping.")
+
 let prog_args =
   Arg.(
     value & pos_right 0 string []
@@ -134,18 +152,29 @@ let report_err f =
 let run_cmd =
   let doc = "compile, (optionally) instrument, and execute a program" in
   let f src unprotected checker mode facility no_shrink fptr_sigs no_elim
-      stats args =
+      stats trace no_obs args =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let scheme =
           scheme_of unprotected checker mode facility no_shrink fptr_sigs
             no_elim
         in
-        let r = Harness.Runner.run ~argv:args scheme m in
+        let cfg =
+          {
+            Interp.State.default_config with
+            trace_depth = trace;
+            obs_enabled = not no_obs;
+          }
+        in
+        let r = Harness.Runner.run ~argv:args ~cfg scheme m in
         print_string r.stdout_text;
         Printf.eprintf "[%s] %s\n"
           (Harness.Runner.scheme_name scheme)
           (Interp.State.string_of_outcome r.outcome);
+        (match r.outcome with
+        | Interp.State.Trapped _ when trace > 0 ->
+            prerr_string (Obs.dump_trace r.obs)
+        | _ -> ());
         if stats then begin
           let s = r.stats in
           Printf.eprintf
@@ -167,7 +196,7 @@ let run_cmd =
     Term.(
       const f $ src_arg $ unprotected_arg $ checker_arg $ mode_arg
       $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ no_elim_arg $ stats_arg
-      $ prog_args)
+      $ trace_arg $ no_obs_arg $ prog_args)
 
 (* ---- check ---- *)
 
@@ -227,6 +256,104 @@ let dump_cmd =
       const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg
       $ no_elim_arg)
 
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let doc =
+    "run a program under SoftBound with the check-level observability \
+     collector and report per-site/per-wrapper attribution, site census, \
+     per-segment cache traffic, and the overhead breakdown"
+  in
+  let src_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"MiniC source file (omit when using $(b,--workload)).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Profile a built-in benchmark kernel instead of a source \
+             file (see $(b,--list-workloads)).")
+  in
+  let list_workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "list-workloads" ] ~doc:"List built-in workload names and exit.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as deterministic JSON instead of text.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"How many hottest sites to show in the text report.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"With $(b,--workload): use the reduced argument set.")
+  in
+  let f src workload list_workloads mode facility no_shrink no_elim trace json
+      top quick args =
+    if list_workloads then begin
+      List.iter print_endline Workloads.names;
+      exit 0
+    end;
+    report_err (fun () ->
+        let label, m, argv =
+          match (src, workload) with
+          | _, Some name -> (
+              match Workloads.find name with
+              | Some w ->
+                  let argv =
+                    if args <> [] then args
+                    else if quick then w.Workloads.quick_args
+                    else []
+                  in
+                  (name, Harness.Runner.compile_workload w, argv)
+              | None ->
+                  Printf.eprintf
+                    "unknown workload %s (try --list-workloads)\n" name;
+                  exit 2)
+          | Some src, None ->
+              (Filename.basename src, Softbound.compile (read_file src), args)
+          | None, None ->
+              prerr_endline "profile: need a FILE or --workload NAME";
+              exit 2
+        in
+        let opts = opts_of ~no_elim mode facility no_shrink in
+        let cfg =
+          { Interp.State.default_config with trace_depth = trace }
+        in
+        let p = Harness.Profile.profile ~label ~opts ~cfg ~argv m in
+        if json then print_string (Harness.Profile.to_json p)
+        else begin
+          print_string (Harness.Profile.render ~top p);
+          match p.Harness.Profile.result.Interp.Vm.outcome with
+          | Interp.State.Trapped _ when trace > 0 ->
+              print_newline ();
+              print_string
+                (Obs.dump_trace p.Harness.Profile.result.Interp.Vm.obs)
+          | _ -> ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const f $ src_opt_arg $ workload_arg $ list_workloads_arg $ mode_arg
+      $ facility_arg $ no_shrink_arg $ no_elim_arg $ trace_arg $ json_arg
+      $ top_arg $ quick_arg $ prog_args)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -277,6 +404,6 @@ let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in
   Cmd.group
     (Cmd.info "softbound" ~version:"1.0.0" ~doc)
-    [ run_cmd; check_cmd; dump_cmd; fuzz_cmd ]
+    [ run_cmd; check_cmd; dump_cmd; profile_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

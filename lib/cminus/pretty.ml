@@ -115,9 +115,11 @@ let char_lit (c : char) : string =
 
 let int_lit (v : int64) (k : Ctypes.ikind) : string =
   let body v = Int64.to_string v in
-  (* negative literals do not exist in the grammar; print them as a
-     parenthesized negation so they re-parse *)
-  let wrap s = if Int64.compare v 0L < 0 then "(-" ^ s ^ ")" else s in
+  (* negative literals do not exist in the grammar; print them exactly
+     as the unary negation they re-parse to ("-51", not "(-51)"), so
+     that printing is a fixpoint of parse ∘ print — the caller gives a
+     negative literal unary-operator precedence *)
+  let wrap s = if Int64.compare v 0L < 0 then "-" ^ s else s in
   let mag = if Int64.compare v 0L < 0 then Int64.neg v else v in
   match k with
   | Ctypes.IInt -> wrap (body mag)
@@ -133,7 +135,8 @@ let float_lit (v : float) (k : Ctypes.fkind) : string =
       Printf.sprintf "%.1f" v
     else Printf.sprintf "%.17g" v
   in
-  let s = if String.length s > 0 && s.[0] = '-' then "(" ^ s ^ ")" else s in
+  (* like int_lit: a leading '-' re-parses as unary negation; keep the
+     text identical to that re-parse's print *)
   match k with Ctypes.FFloat -> s ^ "f" | Ctypes.FDouble -> s
 
 (* ------------------------------------------------------------------ *)
@@ -169,9 +172,13 @@ let rec expr (min_prec : int) (e : expr) : string =
   let prec, s =
     match e.edesc with
     | Eintlit (v, k) ->
-        (* suffix/cast forms carry their own parens where needed *)
-        ((if Int64.compare v 0L < 0 then 16 else 16), int_lit v k)
-    | Efloatlit (v, k) -> (16, float_lit v k)
+        (* a negative literal prints as unary negation, so it gets
+           unary-operator precedence; suffix/cast forms carry their own
+           parens where needed *)
+        ((if Int64.compare v 0L < 0 then 14 else 16), int_lit v k)
+    | Efloatlit (v, k) ->
+        ((if v < 0.0 || 1.0 /. v = Float.neg_infinity then 14 else 16),
+         float_lit v k)
     | Echarlit c -> (16, char_lit c)
     | Estrlit s -> (16, string_lit s)
     | Eident x -> (16, x)

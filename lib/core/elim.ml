@@ -76,12 +76,13 @@ let defs_of (i : inst) : reg list =
   | Slotaddr (r, _) ->
       [ r ]
   | Call { rets; _ } -> rets
-  | MetaLoad (r1, r2, _) -> [ r1; r2 ]
+  | MetaLoad (r1, r2, _, _) -> [ r1; r2 ]
   | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ -> []
 
 let ops_of (i : inst) : operand list =
   match i with
-  | Mov (_, _, o) | Cast (_, _, _, o) | Load (_, _, o) | MetaLoad (_, _, o) ->
+  | Mov (_, _, o) | Cast (_, _, _, o) | Load (_, _, o)
+  | MetaLoad (_, _, o, _) ->
       [ o ]
   | Bin (_, _, _, a, b)
   | Cmp (_, _, _, a, b)
@@ -91,7 +92,8 @@ let ops_of (i : inst) : operand list =
       [ a; b ]
   | Slotaddr _ -> []
   | Call { callee; args; _ } -> callee :: args
-  | Check (p, b, e, _) | CheckFptr (p, b, e, _) | MetaStore (p, b, e) ->
+  | Check (p, b, e, _, _) | CheckFptr (p, b, e, _, _)
+  | MetaStore (p, b, e, _) ->
       [ p; b; e ]
 
 let term_ops (t : terminator) : operand list =
@@ -446,7 +448,7 @@ let local_metaload_cse (f : func) : func =
       List.fold_left
         (fun acc inst ->
           match inst with
-          | MetaLoad (rb, re, a) -> (
+          | MetaLoad (rb, re, a, _) -> (
               match
                 List.find_opt (fun (a0, _) -> equal_operand a0 a) !tbl
               with
@@ -503,11 +505,13 @@ let kill_defs defs m =
 
 let transfer_inst m inst =
   match inst with
-  | Check (p, b, e, w) ->
+  | Check (p, b, e, w, _) ->
+      (* facts key on operands only: the site id names the instruction,
+         it is not part of the checked predicate *)
       let key = FCheck (p, b, e) in
       let w' = match FM.find_opt key m with Some x -> max x w | None -> w in
       FM.add key w' m
-  | CheckFptr (p, b, e, h) -> FM.add (FFptr (p, b, e, h)) 0 m
+  | CheckFptr (p, b, e, h, _) -> FM.add (FFptr (p, b, e, h)) 0 m
   | _ -> kill_defs (defs_of inst) m
 
 (* Intersection meet: a fact is available with the weakest width any
@@ -564,11 +568,11 @@ let check_cse (f : func) : func =
           List.fold_left
             (fun (m, acc) inst ->
               match inst with
-              | Check (p, b_, e, w) -> (
+              | Check (p, b_, e, w, _) -> (
                   match FM.find_opt (FCheck (p, b_, e)) m with
                   | Some w' when w' >= w -> (m, acc)
                   | _ -> (transfer_inst m inst, inst :: acc))
-              | CheckFptr (p, b_, e, h) ->
+              | CheckFptr (p, b_, e, h, _) ->
                   if FM.mem (FFptr (p, b_, e, h)) m then (m, acc)
                   else (transfer_inst m inst, inst :: acc)
               | _ -> (transfer_inst m inst, inst :: acc))

@@ -36,6 +36,12 @@ let compile ?(inline = true) ?(optimize = true) (src : string) : Ir.modul =
 let instrument ?(opts = Config.default) (m : Ir.modul) : Ir.modul =
   Transform.transform ~opts m
 
+(** Like {!instrument}, also returning the number of instrumentation
+    sites assigned (see {!Transform.transform_with_sites}). *)
+let instrument_with_sites ?(opts = Config.default) (m : Ir.modul) :
+    Ir.modul * int =
+  Transform.transform_with_sites ~opts m
+
 let facility_of = function
   | Config.Hash_table -> Interp.State.Hash_table
   | Config.Shadow_space -> Interp.State.Shadow_space

@@ -48,12 +48,22 @@ type fctx = {
   slot_direct : bool array;
       (** regs that always hold a raw [Slotaddr] result (accesses through
           them are compile-time safe, like scalar locals) *)
+  sites : int ref;
+      (** module-wide instrumentation-site counter, shared across
+          functions; ids are assigned in emission order {e before} any
+          elimination runs, so the numbering is identical whether or not
+          [eliminate_checks] is on — which is what lets observers
+          compute "elided = assigned minus surviving" *)
 }
 
 let fresh ctx =
   let r = ctx.nregs in
   ctx.nregs <- r + 1;
   r
+
+let next_site ctx =
+  incr ctx.sites;
+  !(ctx.sites)
 
 let meta_regs ctx r =
   match Hashtbl.find_opt ctx.meta r with
@@ -93,7 +103,7 @@ let compute_slot_direct (f : func) : bool array =
           | Mov (r, _, _) | Bin (r, _, _, _, _) | Cmp (r, _, _, _, _)
           | Cast (r, _, _, _) | Load (r, _, _) | Gep (r, _, _, _) ->
               defined_other.(r) <- true
-          | MetaLoad (r1, r2, _) ->
+          | MetaLoad (r1, r2, _, _) ->
               defined_other.(r1) <- true;
               defined_other.(r2) <- true
           | Call { rets; _ } ->
@@ -240,33 +250,33 @@ let transform_inst ctx (f : func) (inst : inst) (acc : inst list) : inst list =
       let acc =
         if full && access_checked ctx.slot_direct addr then
           let b, e = meta_of_operand ctx addr in
-          Check (addr, b, e, ity_size t) :: acc
+          Check (addr, b, e, ity_size t, next_site ctx) :: acc
         else acc
       in
       let acc = Load (r, t, addr) :: acc in
       if t = P && ctx.needed.(r) then begin
         let rb, re = meta_regs ctx r in
-        MetaLoad (rb, re, addr) :: acc
+        MetaLoad (rb, re, addr, next_site ctx) :: acc
       end
       else acc
   | Store (t, addr, v) ->
       let acc =
         if access_checked ctx.slot_direct addr then
           let b, e = meta_of_operand ctx addr in
-          Check (addr, b, e, ity_size t) :: acc
+          Check (addr, b, e, ity_size t, next_site ctx) :: acc
         else acc
       in
       let acc = Store (t, addr, v) :: acc in
       if t = P then begin
         let b, e = meta_of_operand ctx v in
-        MetaStore (addr, b, e) :: acc
+        MetaStore (addr, b, e, next_site ctx) :: acc
       end
       else acc
   | SetBoundMark (addr, size) ->
       (* setbound(p, n): reload the pointer and install [p, p+n) *)
       let p = fresh ctx in
       let e = fresh ctx in
-      MetaStore (addr, Reg p, Reg e)
+      MetaStore (addr, Reg p, Reg e, next_site ctx)
       :: Bin (e, Add, P, Reg p, size)
       :: Load (p, P, addr)
       :: acc
@@ -321,7 +331,7 @@ let transform_inst ctx (f : func) (inst : inst) (acc : inst list) : inst list =
               if opts.Config.fptr_signatures then Some (sig_hash sg)
               else None
             in
-            (CheckFptr (op, b, e, h) :: acc, op)
+            (CheckFptr (op, b, e, h, next_site ctx) :: acc, op)
       in
       Call { rets; callee; sg; hints; args } :: acc
   | Check _ | CheckFptr _ | MetaLoad _ | MetaStore _ ->
@@ -341,13 +351,16 @@ let clear_stack_meta ctx (f : func) : inst list =
              (fun off ->
                let a = fresh ctx in
                if off = 0 then
-                 [ Slotaddr (a, si); MetaStore (Reg a, ImmI 0, ImmI 0) ]
+                 [
+                   Slotaddr (a, si);
+                   MetaStore (Reg a, ImmI 0, ImmI 0, next_site ctx);
+                 ]
                else begin
                  let a2 = fresh ctx in
                  [
                    Slotaddr (a, si);
                    Gep (a2, Reg a, ImmI off, None);
-                   MetaStore (Reg a2, ImmI 0, ImmI 0);
+                   MetaStore (Reg a2, ImmI 0, ImmI 0, next_site ctx);
                  ]
                end)
              sl.sl_ptr_offsets)
@@ -370,7 +383,7 @@ let transform_term ctx (f : func) (term : terminator) :
       (clear, TRet ops)
   | t -> ([], t)
 
-let transform_func (opts : Config.options) defined (f : func) : func =
+let transform_func (opts : Config.options) defined sites (f : func) : func =
   let slot_direct = compute_slot_direct f in
   let needed = compute_needed opts f slot_direct in
   let ctx =
@@ -381,6 +394,7 @@ let transform_func (opts : Config.options) defined (f : func) : func =
       meta = Hashtbl.create 32;
       needed;
       slot_direct;
+      sites;
     }
   in
   (* pointer parameters: their metadata arrives as appended parameters *)
@@ -419,12 +433,16 @@ let transform_func (opts : Config.options) defined (f : func) : func =
 (* Global metadata initializer (section 5.2, "Global variables")        *)
 (* ------------------------------------------------------------------ *)
 
-let build_global_init (m : modul) : func * global list =
+let build_global_init (m : modul) sites : func * global list =
   let nregs = ref 0 in
   let fresh () =
     let r = !nregs in
     incr nregs;
     r
+  in
+  let next_site () =
+    incr sites;
+    !sites
   in
   let insts = ref [] in
   let globals =
@@ -453,7 +471,7 @@ let build_global_init (m : modul) : func * global list =
             | Some (b, e) ->
                 let a = fresh () in
                 insts :=
-                  MetaStore (Reg a, b, e)
+                  MetaStore (Reg a, b, e, next_site ())
                   :: Gep (a, Glob g.gname, ImmI off, None)
                   :: !insts)
           ginit;
@@ -479,15 +497,21 @@ let build_global_init (m : modul) : func * global list =
 (* Module transformation                                                *)
 (* ------------------------------------------------------------------ *)
 
-let transform ?(opts = Config.default) (m : modul) : modul =
+(** Transform and also report how many instrumentation sites were
+    assigned.  Site ids are handed out during emission — before the
+    optional elimination pass prunes anything — so the count (and each
+    surviving instruction's id) is identical across [eliminate_checks]
+    settings; observers compute elided sites as assigned-minus-surviving. *)
+let transform_with_sites ?(opts = Config.default) (m : modul) : modul * int =
   let defined = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace defined n ()) m.mfunc_order;
+  let sites = ref 0 in
   let mfuncs = Hashtbl.create 64 in
   let mfunc_order =
     List.map
       (fun n ->
         let f0 = Hashtbl.find m.mfuncs n in
-        let f = transform_func opts defined f0 in
+        let f = transform_func opts defined sites f0 in
         (* The register count before instrumentation separates metadata
            registers from program registers for the elimination pass. *)
         let f =
@@ -499,7 +523,7 @@ let transform ?(opts = Config.default) (m : modul) : modul =
         f.fname)
       m.mfunc_order
   in
-  let init_f, mglobals = build_global_init m in
+  let init_f, mglobals = build_global_init m sites in
   Hashtbl.replace mfuncs init_f.fname init_f;
   let m' =
     {
@@ -510,4 +534,6 @@ let transform ?(opts = Config.default) (m : modul) : modul =
     }
   in
   validate m';
-  m'
+  (m', !sites)
+
+let transform ?opts (m : modul) : modul = fst (transform_with_sites ?opts m)

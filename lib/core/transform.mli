@@ -24,3 +24,12 @@ val global_init_name : string
 val transform : ?opts:Config.options -> Ir.modul -> Ir.modul
 (** Instrument a module.  Raises [Invalid_argument] if the module
     already contains instrumentation instructions. *)
+
+val transform_with_sites : ?opts:Config.options -> Ir.modul -> Ir.modul * int
+(** Like {!transform}, additionally returning the number of
+    instrumentation sites assigned.  Site ids ([1..n], stamped on
+    [Check]/[CheckFptr]/[MetaLoad]/[MetaStore]) are handed out in
+    emission order before any elimination runs, so the numbering — and
+    this count — is identical whether [eliminate_checks] is on or off;
+    elided sites are exactly the assigned ids missing from the returned
+    module. *)

@@ -26,9 +26,26 @@ val run :
   ?argv:string list ->
   ?inputs:string list ->
   ?max_steps:int ->
+  ?cfg:Interp.State.config ->
   scheme ->
   Ir.modul ->
   Interp.Vm.result
+(** Run a module under a scheme.  [cfg] supplies the non-scheme VM
+    settings (observability, tracing, cache use); [argv]/[inputs]/
+    [max_steps] override the corresponding [cfg] fields.  SoftBound
+    schemes instrument through {!instrument_cached}. *)
+
+val instrument_cached :
+  ?opts:Softbound.Config.options -> Ir.modul -> Ir.modul * int
+(** Transform-result cache, keyed by module identity and the
+    transform-relevant options (the metadata facility is normalized
+    away — shadow and hash runs share one transform).  Returns the
+    instrumented module and its assigned-site count. *)
+
+val transforms_performed : unit -> int
+(** Process-wide count of actual (non-cached) transform runs — the
+    regression hook for "the transform runs once per (program, elim)
+    pair". *)
 
 exception
   Workload_failed of {

@@ -133,7 +133,12 @@ type config = {
           (the transformation independently omits load checks) *)
   checker : checker option;
   use_cache : bool;
-  trace : bool;
+  obs_enabled : bool;
+      (** collect per-site observability counters (never affects
+          simulated cycle counts; disable with [--no-obs]) *)
+  trace_depth : int;
+      (** ring-buffer capacity for the last-N safety-relevant events
+          ([--trace=N]); 0 disables tracing *)
   inputs : string list;  (** lines served by [sim_recv] *)
   argv : string list;
   ht_entries_init : int;
@@ -150,7 +155,8 @@ let default_config =
     store_only = false;
     checker = None;
     use_cache = true;
-    trace = false;
+    obs_enabled = true;
+    trace_depth = 0;
     inputs = [];
     argv = [];
     ht_entries_init = ht_default_entries;
@@ -166,6 +172,7 @@ type stats = {
   mutable meta_loads : int;
   mutable meta_stores : int;
   mutable ht_probes : int;
+  mutable ht_resizes : int;
   mutable calls : int;
   mutable max_frames : int;
 }
@@ -181,6 +188,7 @@ let mk_stats () =
     meta_loads = 0;
     meta_stores = 0;
     ht_probes = 0;
+    ht_resizes = 0;
     calls = 0;
     max_frames = 0;
   }
@@ -192,6 +200,7 @@ type t = {
   heap : Machine.Heap.t;
   cache : Machine.Cache.t;
   stats : stats;
+  obs : Obs.t;
   globals : (string, int * int) Hashtbl.t;  (** name -> (addr, size) *)
   func_names : string array;  (** index -> name, for code addresses *)
   func_index : (string, int) Hashtbl.t;
@@ -223,7 +232,12 @@ type t = {
 let charge st c = st.stats.cycles <- st.stats.cycles + c
 
 let cache_access st addr =
-  if st.cfg.use_cache then charge st (Machine.Cache.access st.cache addr)
+  if st.cfg.use_cache then begin
+    let penalty = Machine.Cache.access st.cache addr in
+    charge st penalty;
+    if st.cfg.obs_enabled then
+      Obs.record_cache st.obs (L.segment_of addr) ~hit:(penalty = 0)
+  end
 
 (** A program-level read of [size] bytes at [addr]: validity check,
     checker event, accounting. *)
@@ -281,9 +295,11 @@ let ht_index st addr = (addr lsr 3) land (st.ht_entries - 1)
 
 let ht_region_limit = L.shadow_base - L.hashtable_base
 
-let meta_load st addr : int * int =
+let meta_load ?(site = 0) st addr : int * int =
   st.stats.meta_loads <- st.stats.meta_loads + 1;
-  match st.cfg.meta with
+  let cy0 = st.stats.cycles in
+  let (mb, me) as res =
+    match st.cfg.meta with
   | None -> (0, 0)
   | Some Shadow_space ->
       let sa = L.shadow_addr addr in
@@ -315,7 +331,15 @@ let meta_load st addr : int * int =
           end
         end
       in
-      probe (ht_index st addr) 0
+        probe (ht_index st addr) 0
+  in
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KMetaLoad ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs
+        (Obs.E_meta_load { site; addr; base = mb; bound = me })
+  end;
+  res
 
 (** Insert (or update/clear) one entry; grows the table instead of
     failing when the probe chain or the load factor is exhausted.
@@ -362,6 +386,7 @@ let rec ht_insert st ~addr ~base ~bound ~account : unit =
     (0, 0) are dropped — they are indistinguishable from absent ones —
     so rehashing also collects tombstone-like garbage. *)
 and ht_grow st : unit =
+  st.stats.ht_resizes <- st.stats.ht_resizes + 1;
   let old_entries = st.ht_entries in
   if old_entries * 2 * ht_entry_size > ht_region_limit then
     raise
@@ -389,9 +414,10 @@ and ht_grow st : unit =
       ht_insert st ~addr ~base ~bound ~account:false)
     !live
 
-let meta_store st addr base bound : unit =
+let meta_store ?(site = 0) st addr base bound : unit =
   st.stats.meta_stores <- st.stats.meta_stores + 1;
-  match st.cfg.meta with
+  let cy0 = st.stats.cycles in
+  (match st.cfg.meta with
   | None -> ()
   | Some Shadow_space ->
       let sa = L.shadow_addr addr in
@@ -402,16 +428,29 @@ let meta_store st addr base bound : unit =
       Mem.write_int st.mem (sa + 8) 8 bound
   | Some Hash_table ->
       charge st Cost.hash_update;
-      ht_insert st ~addr ~base ~bound ~account:true
+      ht_insert st ~addr ~base ~bound ~account:true);
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KMetaStore ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs (Obs.E_meta_store { site; addr; base; bound })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The SoftBound check (paper section 3.1)                              *)
 (* ------------------------------------------------------------------ *)
 
-let sb_check st ~where ~ptr ~base ~bound ~size =
+let sb_check ?(site = 0) st ~where ~ptr ~base ~bound ~size =
   st.stats.checks <- st.stats.checks + 1;
+  let cy0 = st.stats.cycles in
   charge st Cost.check;
-  if ptr < base || ptr + size > bound then
+  let ok = not (ptr < base || ptr + size > bound) in
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KCheck ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs
+        (Obs.E_check { site; addr = ptr; base; bound; size; ok })
+  end;
+  if not ok then
     raise (Trap (Bounds_violation { addr = ptr; base; bound; size; where }))
 
 (* ------------------------------------------------------------------ *)

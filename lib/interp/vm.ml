@@ -57,6 +57,9 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       heap;
       cache;
       stats = mk_stats ();
+      obs =
+        Obs.create ~enabled:cfg.obs_enabled
+          ~trace_depth:(if cfg.obs_enabled then cfg.trace_depth else 0) ();
       globals = Hashtbl.create 64;
       func_names;
       func_index;
@@ -717,31 +720,50 @@ and dispatch_call ld ~name ~argvals ~rets : unit =
   | Some f ->
       (* the caller's saved position already points past the call *)
       push_frame ld f argvals rets
-  | None -> (
+  | None ->
       let checked =
         String.length name > 4 && String.sub name 0 4 = "_sb_"
       in
       let base = if checked then String.sub name 4 (String.length name - 4)
                  else name in
-      match base with
-      | "setjmp" -> exec_setjmp ld ~checked argvals rets
-      | "longjmp" -> exec_longjmp ld ~checked argvals
-      | "qsort" -> exec_sortsearch ld ~checked ~is_bsearch:false argvals rets
-      | "bsearch" -> exec_sortsearch ld ~checked ~is_bsearch:true argvals rets
-      | _ ->
-          if Builtins.is_builtin_name name then begin
-            let out =
-              try Builtins.dispatch st ~name ~args:argvals
-              with Builtins.Exit_program n -> raise (Program_exit n)
-            in
-            let fr = List.hd st.frames in
-            List.iteri
-              (fun i r ->
-                if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
-              rets
-          end
-          else
-            raise (Trap (Runtime_error ("call to undefined function " ^ name))))
+      let go () =
+        match base with
+        | "setjmp" -> exec_setjmp ld ~checked argvals rets
+        | "longjmp" -> exec_longjmp ld ~checked argvals
+        | "qsort" -> exec_sortsearch ld ~checked ~is_bsearch:false argvals rets
+        | "bsearch" -> exec_sortsearch ld ~checked ~is_bsearch:true argvals rets
+        | _ ->
+            if Builtins.is_builtin_name name then begin
+              let out =
+                try Builtins.dispatch st ~name ~args:argvals
+                with Builtins.Exit_program n -> raise (Program_exit n)
+              in
+              let fr = List.hd st.frames in
+              List.iteri
+                (fun i r ->
+                  if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
+                rets
+            end
+            else
+              raise
+                (Trap (Runtime_error ("call to undefined function " ^ name)))
+      in
+      if checked && st.cfg.obs_enabled then begin
+        (* attribute the wrapper's whole cycle delta (including its
+           internal site-0 metadata traffic) to the wrapper by name; the
+           context makes site-0 operations "wrapper-attributed" rather
+           than unattributable *)
+        let prev = Obs.set_wrapper st.obs (Some name) in
+        let cy0 = st.stats.cycles in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.restore_wrapper st.obs prev;
+            Obs.record_wrapper st.obs name ~cycles:(st.stats.cycles - cy0);
+            if Obs.trace_on st.obs then
+              Obs.trace_event st.obs (Obs.E_wrapper { name }))
+          go
+      end
+      else go ()
 
 (* ------------------------------------------------------------------ *)
 (* The step loop                                                        *)
@@ -839,16 +861,41 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
          stored position already points past this call *)
       exec_call ld fr ~rets ~callee ~args
   | Ir.SetBoundMark _ -> ()
-  | Ir.Check (p, b, e, size) ->
-      sb_check st ~where:fr.fr_func.Ir.fname ~ptr:(eval_int st fr p)
+  | Ir.Check (p, b, e, size, site) ->
+      sb_check st ~site ~where:fr.fr_func.Ir.fname ~ptr:(eval_int st fr p)
         ~base:(eval_int st fr b) ~bound:(eval_int st fr e) ~size
-  | Ir.CheckFptr (p, b, e, expected_sig) ->
+  | Ir.CheckFptr (p, b, e, expected_sig, site) ->
       st.stats.checks <- st.stats.checks + 1;
+      let cy0 = st.stats.cycles in
       charge st Cost.check;
       let pv = eval_int st fr p in
       let bv = eval_int st fr b in
       let ev = eval_int st fr e in
-      if not (pv = bv && pv = ev && L.is_function_addr pv) then
+      let ok_addr = pv = bv && pv = ev && L.is_function_addr pv in
+      (* the signature check only runs once the address check passed *)
+      let sig_mismatch =
+        if not ok_addr then None
+        else
+          match expected_sig with
+          | None -> None
+          | Some h -> (
+              charge st Cost.check;
+              match describe_code_value st pv with
+              | Some name -> (
+                  match callee_sig_hash st name with
+                  | Some h' when h' <> h -> Some name
+                  | _ -> None)
+              | None -> None)
+      in
+      if st.cfg.obs_enabled then begin
+        Obs.record_op st.obs Obs.KCheckFptr ~site
+          ~cycles:(st.stats.cycles - cy0);
+        if Obs.trace_on st.obs then
+          Obs.trace_event st.obs
+            (Obs.E_fptr_check
+               { site; addr = pv; ok = ok_addr && sig_mismatch = None })
+      end;
+      if not ok_addr then
         raise
           (Trap
              (Bounds_violation
@@ -859,35 +906,28 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
                   size = 0;
                   where = fr.fr_func.Ir.fname ^ " (function pointer check)";
                 }));
-      (match expected_sig with
+      (match sig_mismatch with
       | None -> ()
-      | Some h -> (
-          charge st Cost.check;
-          match describe_code_value st pv with
-          | Some name -> (
-              match callee_sig_hash st name with
-              | Some h' when h' <> h ->
-                  raise
-                    (Trap
-                       (Bounds_violation
-                          {
-                            addr = pv;
-                            base = bv;
-                            bound = ev;
-                            size = 0;
-                            where =
-                              fr.fr_func.Ir.fname
-                              ^ " (function pointer signature mismatch: "
-                              ^ name ^ ")";
-                          }))
-              | _ -> ())
-          | None -> ()))
-  | Ir.MetaLoad (rb, re, a) ->
-      let b, e = meta_load st (eval_int st fr a) in
+      | Some name ->
+          raise
+            (Trap
+               (Bounds_violation
+                  {
+                    addr = pv;
+                    base = bv;
+                    bound = ev;
+                    size = 0;
+                    where =
+                      fr.fr_func.Ir.fname
+                      ^ " (function pointer signature mismatch: " ^ name ^ ")";
+                  })))
+  | Ir.MetaLoad (rb, re, a, site) ->
+      let b, e = meta_load st ~site (eval_int st fr a) in
       fr.fr_regs.(rb) <- VI b;
       fr.fr_regs.(re) <- VI e
-  | Ir.MetaStore (a, b, e) ->
-      meta_store st (eval_int st fr a) (eval_int st fr b) (eval_int st fr e)
+  | Ir.MetaStore (a, b, e, site) ->
+      meta_store st ~site (eval_int st fr a) (eval_int st fr b)
+        (eval_int st fr e)
 
 let exec_term ld (fr : frame) (term : Ir.terminator) : unit =
   let st = ld.st in
@@ -1000,10 +1040,18 @@ type result = {
       (** bytes still allocated at exit — instrumentation must not
           change the program's allocation behavior, so differential
           runs compare this across configurations *)
+  obs : Obs.t;
+      (** per-site observability counters and (optionally) the event
+          ring; a disabled collector when the run had [obs_enabled]
+          off *)
 }
 
 let finish ld outcome : result =
   let st = ld.st in
+  (match outcome with
+  | Trapped t when Obs.trace_on st.obs ->
+      Obs.trace_event st.obs (Obs.E_trap { detail = string_of_trap t })
+  | _ -> ());
   {
     outcome;
     stdout_text = Buffer.contents st.out;
@@ -1013,6 +1061,7 @@ let finish ld outcome : result =
     resident_bytes = Mem.resident_bytes st.mem;
     heap_peak = Machine.Heap.peak_bytes st.heap;
     heap_live = Machine.Heap.live_bytes st.heap;
+    obs = st.obs;
   }
 
 (** Load and run a module to completion. *)

@@ -106,7 +106,7 @@ let inline_one (m : modul) (taken : (string, unit) Hashtbl.t) (caller : func)
         | Load (r, t, a) -> Load (rn r, t, a)
         | Gep (r, a, o, s) -> Gep (rn r, a, o, s)
         | Slotaddr (r, s) -> Slotaddr (rn r, s)
-        | MetaLoad (r1, r2, a) -> MetaLoad (rn r1, rn r2, a)
+        | MetaLoad (r1, r2, a, site) -> MetaLoad (rn r1, rn r2, a, site)
         | Call c -> Call { c with rets = List.map rn c.rets }
         | (Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _) as i
           ->

@@ -119,22 +119,29 @@ type inst =
   | SetBoundMark of operand * operand
       (** [(addr_of_pointer, size)] — no-op until the SoftBound pass
           rewrites it into a metadata update *)
-  (* --- instructions inserted by the SoftBound transformation --- *)
-  | Check of operand * operand * operand * int
-      (** [Check (ptr, base, bound, access_size)]: abort unless
+  (* --- instructions inserted by the SoftBound transformation ---
+
+     Each carries a trailing *site id*: a stable, per-module identifier
+     assigned in emission order by the transformation, before any
+     elimination runs.  Site ids key the observability layer's per-site
+     counters and survive hoisting/CSE unchanged; id 0 is reserved for
+     runtime-originated operations (wrapper internals, allocator
+     bookkeeping). *)
+  | Check of operand * operand * operand * int * int
+      (** [Check (ptr, base, bound, access_size, site)]: abort unless
           [base <= ptr && ptr + size <= bound] *)
-  | CheckFptr of operand * operand * operand * int option
+  | CheckFptr of operand * operand * operand * int option * int
       (** function-pointer call check: require [base = bound = ptr]
           (paper section 5.2, "Function pointers").  The optional hash is
           the paper's *future-work* extension: "encode the
           pointer/non-pointer signature of the function's arguments,
           allowing a dynamic check" — when present, the callee's
           signature kinds must hash to the same value. *)
-  | MetaLoad of reg * reg * operand
-      (** [(base_dst, bound_dst, addr)]: disjoint-metadata-space lookup
-          for the pointer stored at [addr] *)
-  | MetaStore of operand * operand * operand
-      (** [(addr, base, bound)]: metadata-space update *)
+  | MetaLoad of reg * reg * operand * int
+      (** [(base_dst, bound_dst, addr, site)]: disjoint-metadata-space
+          lookup for the pointer stored at [addr] *)
+  | MetaStore of operand * operand * operand * int
+      (** [(addr, base, bound, site)]: metadata-space update *)
 [@@deriving show { with_path = false }, eq]
 
 type terminator =
@@ -241,10 +248,10 @@ let map_inst_operands (f : operand -> operand) (inst : inst) : inst =
   | Slotaddr _ -> inst
   | Call c -> Call { c with callee = f c.callee; args = List.map f c.args }
   | SetBoundMark (a, n) -> SetBoundMark (f a, f n)
-  | Check (p, b, e, s) -> Check (f p, f b, f e, s)
-  | CheckFptr (p, b, e, h) -> CheckFptr (f p, f b, f e, h)
-  | MetaLoad (r1, r2, a) -> MetaLoad (r1, r2, f a)
-  | MetaStore (a, b, e) -> MetaStore (f a, f b, f e)
+  | Check (p, b, e, s, site) -> Check (f p, f b, f e, s, site)
+  | CheckFptr (p, b, e, h, site) -> CheckFptr (f p, f b, f e, h, site)
+  | MetaLoad (r1, r2, a, site) -> MetaLoad (r1, r2, f a, site)
+  | MetaStore (a, b, e, site) -> MetaStore (f a, f b, f e, site)
 
 let map_term_operands (f : operand -> operand) (t : terminator) : terminator =
   match t with
@@ -305,19 +312,19 @@ let validate_func (f : func) =
           | SetBoundMark (a, b) ->
               check_op a;
               check_op b
-          | Check (p, b_, e, _) ->
+          | Check (p, b_, e, _, _) ->
               check_op p;
               check_op b_;
               check_op e
-          | CheckFptr (p, b_, e, _) ->
+          | CheckFptr (p, b_, e, _, _) ->
               check_op p;
               check_op b_;
               check_op e
-          | MetaLoad (r1, r2, a) ->
+          | MetaLoad (r1, r2, a, _) ->
               check_reg r1;
               check_reg r2;
               check_op a
-          | MetaStore (a, b_, e) ->
+          | MetaStore (a, b_, e, _) ->
               check_op a;
               check_op b_;
               check_op e)

@@ -109,7 +109,7 @@ let dst_of = function
   | Gep (r, _, _, _)
   | Slotaddr (r, _) ->
       [ r ]
-  | MetaLoad (r1, r2, _) -> [ r1; r2 ]
+  | MetaLoad (r1, r2, _, _) -> [ r1; r2 ]
   | Call { rets; _ } -> rets
   | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ -> []
 
@@ -213,10 +213,10 @@ let dce (f : func) : func =
                 use callee;
                 List.iter use args
             | SetBoundMark (a, n) -> (use a; use n)
-            | Check (p, b, e, _) -> (use p; use b; use e)
-            | CheckFptr (p, b, e, _) -> (use p; use b; use e)
-            | MetaLoad (_, _, a) -> use a
-            | MetaStore (a, b, e) -> (use a; use b; use e))
+            | Check (p, b, e, _, _) -> (use p; use b; use e)
+            | CheckFptr (p, b, e, _, _) -> (use p; use b; use e)
+            | MetaLoad (_, _, a, _) -> use a
+            | MetaStore (a, b, e, _) -> (use a; use b; use e))
           b.insts;
         ignore
           (map_term_operands (fun o -> use o; o) b.term))

@@ -56,18 +56,20 @@ let str_inst = function
         (String.concat ", " (List.map str_op args))
   | SetBoundMark (a, n) ->
       Printf.sprintf "setbound.mark [%s], %s" (str_op a) (str_op n)
-  | Check (p, b, e, sz) ->
-      Printf.sprintf "check %s in [%s, %s) size %d" (str_op p) (str_op b)
-        (str_op e) sz
-  | CheckFptr (p, b, e, h) ->
-      Printf.sprintf "check.fptr %s meta [%s, %s)%s" (str_op p) (str_op b)
-        (str_op e)
+  | Check (p, b, e, sz, site) ->
+      Printf.sprintf "check %s in [%s, %s) size %d !site(%d)" (str_op p)
+        (str_op b) (str_op e) sz site
+  | CheckFptr (p, b, e, h, site) ->
+      Printf.sprintf "check.fptr %s meta [%s, %s)%s !site(%d)" (str_op p)
+        (str_op b) (str_op e)
         (match h with None -> "" | Some h -> Printf.sprintf " !sig(%x)" h)
-  | MetaLoad (rb, re, a) ->
-      Printf.sprintf "%%r%d, %%r%d = meta.load [%s]" rb re (str_op a)
-  | MetaStore (a, b, e) ->
-      Printf.sprintf "meta.store [%s] <- (%s, %s)" (str_op a) (str_op b)
-        (str_op e)
+        site
+  | MetaLoad (rb, re, a, site) ->
+      Printf.sprintf "%%r%d, %%r%d = meta.load [%s] !site(%d)" rb re (str_op a)
+        site
+  | MetaStore (a, b, e, site) ->
+      Printf.sprintf "meta.store [%s] <- (%s, %s) !site(%d)" (str_op a)
+        (str_op b) (str_op e) site
 
 let str_term = function
   | TRet ops -> "ret " ^ String.concat ", " (List.map str_op ops)

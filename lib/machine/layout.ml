@@ -38,6 +38,56 @@ let shadow_addr a = shadow_base + ((a lsr 3) * 16)
 let func_addr idx = code_base + (idx * code_slot)
 let func_index addr = (addr - code_base) / code_slot
 
+(* Segment classification, for per-segment cache accounting.  The
+   enumeration is dense so observers can index arrays by
+   [segment_index]. *)
+type segment =
+  | Seg_code
+  | Seg_globals
+  | Seg_heap
+  | Seg_stack
+  | Seg_hashtable
+  | Seg_shadow
+  | Seg_other
+
+let segment_of a =
+  if a >= shadow_base then Seg_shadow
+  else if a >= hashtable_base then Seg_hashtable
+  else if a >= stack_limit && a <= stack_top then Seg_stack
+  else if a >= heap_base && a < heap_limit then Seg_heap
+  else if a >= globals_base && a < heap_base then Seg_globals
+  else if a >= code_base && a < globals_base then Seg_code
+  else Seg_other
+
+let segment_index = function
+  | Seg_code -> 0
+  | Seg_globals -> 1
+  | Seg_heap -> 2
+  | Seg_stack -> 3
+  | Seg_hashtable -> 4
+  | Seg_shadow -> 5
+  | Seg_other -> 6
+
+let n_segments = 7
+
+let segment_name = function
+  | Seg_code -> "code"
+  | Seg_globals -> "globals"
+  | Seg_heap -> "heap"
+  | Seg_stack -> "stack"
+  | Seg_hashtable -> "hashtable"
+  | Seg_shadow -> "shadow"
+  | Seg_other -> "other"
+
+let segment_of_index = function
+  | 0 -> Seg_code
+  | 1 -> Seg_globals
+  | 2 -> Seg_heap
+  | 3 -> Seg_stack
+  | 4 -> Seg_hashtable
+  | 5 -> Seg_shadow
+  | _ -> Seg_other
+
 let in_code_segment a = a >= code_base && a < code_base + 0x0100_0000
 
 let is_function_addr a =

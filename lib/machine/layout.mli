@@ -38,3 +38,23 @@ val func_addr : int -> int
 val func_index : int -> int
 val in_code_segment : int -> bool
 val is_function_addr : int -> bool
+
+(** Segment classification of an address, for per-segment cache
+    accounting in the observability layer. *)
+type segment =
+  | Seg_code
+  | Seg_globals
+  | Seg_heap
+  | Seg_stack
+  | Seg_hashtable
+  | Seg_shadow
+  | Seg_other
+
+val segment_of : int -> segment
+
+val segment_index : segment -> int
+(** Dense index in [0, n_segments). *)
+
+val n_segments : int
+val segment_name : segment -> string
+val segment_of_index : int -> segment

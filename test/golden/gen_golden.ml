@@ -1,0 +1,44 @@
+(* Regenerate the pinned expect files for the observability golden
+   tests (test_obs.ml), after reviewing that a metrics/trace change is
+   intentional:
+
+     dune exec test/golden/gen_golden.exe
+
+   Writes <name>.profile.json and <name>.trace.txt next to each fixed
+   attack program.  The computations here must mirror test_obs.ml
+   exactly — that is what makes the expected files reproducible. *)
+
+module S = Interp.State
+
+let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let compile name =
+  Softbound.compile (read_file (Filename.concat dir (name ^ ".c")))
+
+let () =
+  List.iter
+    (fun name ->
+      let m = compile name in
+      let label = name ^ ".c" in
+      let p = Harness.Profile.profile ~label m in
+      write_file
+        (Filename.concat dir (name ^ ".profile.json"))
+        (Harness.Profile.to_json p);
+      let cfg = { S.default_config with S.trace_depth = 16 } in
+      let pt = Harness.Profile.profile ~label ~cfg ~with_baseline:false m in
+      write_file
+        (Filename.concat dir (name ^ ".trace.txt"))
+        (Obs.dump_trace pt.Harness.Profile.result.Interp.Vm.obs))
+    [ "oob_write"; "oob_read" ]

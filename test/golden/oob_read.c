@@ -1,0 +1,10 @@
+/* Fixed attack: heap overread one element past a malloc'd buffer.
+   Golden inputs for the metrics-JSON and trap-trace expect tests —
+   keep byte-stable, the expected outputs are pinned. */
+int main(void) {
+  int *p = (int *)malloc(16);
+  int i;
+  for (i = 0; i < 4; i = i + 1) p[i] = i * 3;
+  printf("%d\n", p[4]);
+  return 0;
+}

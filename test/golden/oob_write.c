@@ -1,0 +1,10 @@
+/* Fixed attack: stack-array overflow by one element on the write path.
+   Golden inputs for the metrics-JSON and trap-trace expect tests —
+   keep byte-stable, the expected outputs are pinned. */
+int main(void) {
+  int a[8];
+  int i;
+  for (i = 0; i < 8; i = i + 1) a[i] = i;
+  a[8] = 123;
+  return a[0];
+}

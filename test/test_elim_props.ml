@@ -1,0 +1,194 @@
+(* Elimination soundness, stated over the site ids the transformation
+   stamps before Elim runs (so numbering is identical with the pass on
+   and off, and "elided" is literally the set difference).
+
+   Static property: every check the pass removes is covered by a
+   surviving check with the same pointer/base/bound operands and at
+   least its width, either at a dominating position in the
+   pre-elimination function or hoisted by the loop pass (detectable as
+   a surviving identical check whose original position shares a natural
+   loop with the elided one).
+
+   Dynamic property: with the trace ring capturing every executed
+   check, the elim-on run touches exactly the same set of
+   (address, size) pairs as the elim-off run, and never checks any of
+   them more often.  Together these are the "never weakens detection"
+   claim of lib/core/elim.ml as executable properties. *)
+
+module Ir = Sbir.Ir
+module Dom = Sbir.Dom
+module Gen = Fuzz.Gen
+
+let no_elim =
+  { Softbound.Config.default with Softbound.Config.eliminate_checks = false }
+
+(* ---- static coverage ---- *)
+
+type chk = {
+  c_func : string;
+  c_blk : int;
+  c_idx : int;  (** instruction index within the block *)
+  c_key : Ir.operand * Ir.operand * Ir.operand;  (** ptr, base, bound *)
+  c_size : int;
+}
+
+(** All [Check] sites of an instrumented module, keyed by site id. *)
+let check_sites (m : Ir.modul) : (int, chk) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Ir.iter_funcs m (fun f ->
+      Array.iteri
+        (fun bi b ->
+          List.iteri
+            (fun ii inst ->
+              match inst with
+              | Ir.Check (p, base, bound, size, site) when site > 0 ->
+                  Hashtbl.replace tbl site
+                    { c_func = f.Ir.fname; c_blk = bi; c_idx = ii;
+                      c_key = (p, base, bound); c_size = size }
+              | _ -> ())
+            b.Ir.insts)
+        f.Ir.fblocks);
+  tbl
+
+(** Does some surviving check cover the elided one?  [doms]/[loops] are
+    computed over the function in the {e pre-elimination} module, where
+    both instructions still exist at their original positions. *)
+let covered ~doms ~loops ~(pre : (int, chk) Hashtbl.t) ~surviving
+    (e : chk) : bool =
+  Hashtbl.fold
+    (fun site (c : chk) found ->
+      found
+      || (site > 0
+         && Hashtbl.mem surviving site
+         && c.c_func = e.c_func && c.c_key = e.c_key && c.c_size >= e.c_size
+         && ((if c.c_blk = e.c_blk then c.c_idx < e.c_idx
+              else Dom.dominates doms c.c_blk e.c_blk)
+            || List.exists
+                 (fun (l : Dom.loop) ->
+                   l.Dom.body.(c.c_blk) && l.Dom.body.(e.c_blk))
+                 loops)))
+    pre false
+
+let assert_static_sound src =
+  let m = Softbound.compile src in
+  let pre_m, _ = Softbound.instrument_with_sites ~opts:no_elim m in
+  let post_m, _ = Softbound.instrument_with_sites m in
+  let pre = check_sites pre_m and post = check_sites post_m in
+  (* site numbering is emission-order, before Elim: identical across
+     the two instruments of the same module *)
+  Ir.iter_funcs pre_m (fun f ->
+      let doms = Dom.compute f in
+      let loops = Dom.natural_loops doms in
+      Hashtbl.iter
+        (fun site (e : chk) ->
+          if e.c_func = f.Ir.fname && not (Hashtbl.mem post site) then
+            if not (covered ~doms ~loops ~pre ~surviving:post e) then
+              Alcotest.failf
+                "unsound elision: site %d (%s B%d#%d, width %d) has no \
+                 covering surviving check"
+                site e.c_func e.c_blk e.c_idx e.c_size)
+        pre)
+
+(* ---- dynamic coverage ---- *)
+
+let trace_cfg =
+  { Interp.State.default_config with Interp.State.trace_depth = 1 lsl 17 }
+
+(** Multiset of (address, size) pairs hit by executed bounds checks. *)
+let checked_addrs (r : Interp.Vm.result) : (int * int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.E_check { addr; size; _ } ->
+          let k = (addr, size) in
+          Hashtbl.replace tbl k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | _ -> ())
+    (Obs.events r.Interp.Vm.obs);
+  tbl
+
+let assert_dynamic_sound src =
+  let m = Softbound.compile src in
+  let on = Softbound.run_protected ~cfg:trace_cfg m in
+  let off = Softbound.run_protected ~opts:no_elim ~cfg:trace_cfg m in
+  match (on.Interp.Vm.outcome, off.Interp.Vm.outcome) with
+  | Interp.State.Exit a, Interp.State.Exit b ->
+      if a <> b then Alcotest.failf "exit codes differ: %d vs %d" a b;
+      let ha = checked_addrs on and hb = checked_addrs off in
+      Hashtbl.iter
+        (fun (addr, size) n ->
+          match Hashtbl.find_opt hb (addr, size) with
+          | None ->
+              Alcotest.failf
+                "elim-on checked (0x%x, %d) which elim-off never checked"
+                addr size
+          | Some n' when n > n' ->
+              Alcotest.failf
+                "elim-on checked (0x%x, %d) %d times, elim-off only %d"
+                addr size n n'
+          | Some _ -> ())
+        ha;
+      Hashtbl.iter
+        (fun (addr, size) _ ->
+          if not (Hashtbl.mem ha (addr, size)) then
+            Alcotest.failf
+              "elim-on never checked (0x%x, %d); coverage lost" addr size)
+        hb
+  | a, b ->
+      (* trapping programs: both must agree; the address property only
+         applies to the common prefix, which test_elim already pins via
+         outcome/stdout agreement *)
+      if
+        Interp.State.string_of_outcome a <> Interp.State.string_of_outcome b
+      then
+        Alcotest.failf "outcomes differ: %s vs %s"
+          (Interp.State.string_of_outcome a)
+          (Interp.State.string_of_outcome b)
+
+(* ---- sources: fixed regressions + the fuzz generator ---- *)
+
+let fixed =
+  [
+    (* back-to-back identical checks + loop-invariant metadata *)
+    "int main(void) { int a[64]; int *p = (int*)malloc(4); int i; \
+     for (i = 0; i < 100; i++) { a[i % 64] = i; a[i % 64] += 3; \
+     *p = *p + a[i % 64]; } printf(\"%d\\n\", *p); return 0; }";
+    (* straight-line duplicate accesses *)
+    "int main(void) { int a[8]; a[3] = 1; a[3] = a[3] + 1; a[3] += a[3]; \
+     printf(\"%d\\n\", a[3]); return 0; }";
+    (* checks under branches: only the dominating one may cover *)
+    "int main(void) { int a[8]; int i; for (i = 0; i < 8; i++) a[i] = i; \
+     if (a[0]) a[1] = 9; else a[1] = 7; a[1] += a[0]; \
+     printf(\"%d\\n\", a[1]); return 0; }";
+  ]
+
+let gen_src index =
+  let case = Fuzz.case_of ~seed:1009 ~index in
+  Cminus.Pretty.program_string case.Gen.prog
+
+let arb_index = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 199)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    tc "static: elided checks covered (fixed programs)" (fun () ->
+        List.iter assert_static_sound fixed);
+    tc "dynamic: checked-address sets agree (fixed programs)" (fun () ->
+        List.iter assert_dynamic_sound fixed);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60
+         ~name:"static: elided checks covered (generated programs)"
+         arb_index
+         (fun index ->
+           assert_static_sound (gen_src index);
+           true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:40
+         ~name:"dynamic: checked-address sets agree (generated programs)"
+         arb_index
+         (fun index ->
+           assert_dynamic_sound (gen_src index);
+           true));
+  ]

@@ -11,6 +11,9 @@ let () =
       ("interp", Test_interp.suite);
       ("softbound", Test_softbound.suite);
       ("elim", Test_elim.suite);
+      ("elim-props", Test_elim_props.suite);
+      ("obs", Test_obs.suite);
+      ("roundtrip", Test_roundtrip.suite);
       ("baselines", Test_baselines.suite);
       ("attacks", Test_attacks.suite);
       ("workloads", Test_workloads.suite);
