@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench experiments examples fuzz-smoke profile-smoke \
-	coverage verify clean
+	vmspeed-smoke coverage verify clean
 
 all: build
 
@@ -24,6 +24,31 @@ experiments:
 fuzz-smoke:
 	dune exec bin/softbound_cli.exe -- fuzz --seed 1 --count 200
 	dune exec bin/softbound_cli.exe -- fuzz --seed 20260805 --count 100
+
+# engine-throughput artifact at tiny sizes: checks the JSON schema and
+# that everything except the host-timing fields is deterministic
+# run-to-run.  The second run fans out over 2 domains, so it also
+# proves the parallel driver emits byte-identical simulated numbers.
+# The committed full-size BENCH_vmspeed.json is preserved.
+vmspeed-smoke:
+	@cp -f BENCH_vmspeed.json /tmp/vmspeed.keep 2>/dev/null || true
+	dune exec bin/experiments.exe -- vmspeed --quick > /dev/null
+	@cp BENCH_vmspeed.json /tmp/vmspeed1.json
+	dune exec bin/experiments.exe -- vmspeed --quick --jobs 2 > /dev/null
+	@cp BENCH_vmspeed.json /tmp/vmspeed2.json
+	@if [ -f /tmp/vmspeed.keep ]; then mv /tmp/vmspeed.keep BENCH_vmspeed.json; \
+	  else rm -f BENCH_vmspeed.json; fi
+	grep -q '"experiment": "vmspeed"' /tmp/vmspeed1.json
+	grep -q '"baseline"' /tmp/vmspeed1.json
+	grep -q '"sim_cycles"' /tmp/vmspeed1.json
+	grep -q '"cycles_per_host_sec"' /tmp/vmspeed1.json
+	grep -q '"speedup_vs_baseline"' /tmp/vmspeed1.json
+	@grep -vE 'host_seconds|cycles_per_host_sec|speedup' /tmp/vmspeed1.json \
+	  > /tmp/vmspeed1.stable
+	@grep -vE 'host_seconds|cycles_per_host_sec|speedup' /tmp/vmspeed2.json \
+	  > /tmp/vmspeed2.stable
+	diff /tmp/vmspeed1.stable /tmp/vmspeed2.stable
+	@echo "vmspeed-smoke: deterministic modulo host timing"
 
 # quick profiler pass over two kernels: exercises the observability
 # layer end to end (site attribution, JSON export, trace ring)
@@ -54,6 +79,7 @@ verify:
 	dune runtest
 	dune exec bin/experiments.exe -- elim --quick
 	$(MAKE) profile-smoke
+	$(MAKE) vmspeed-smoke
 	$(MAKE) fuzz-smoke
 
 examples:

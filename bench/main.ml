@@ -180,7 +180,15 @@ let print_artifacts () =
   let oc = open_out "BENCH_breakdown.json" in
   output_string oc (Harness.Exp_breakdown.to_json bd_rows);
   close_out oc;
-  print_endline "wrote BENCH_breakdown.json"
+  print_endline "wrote BENCH_breakdown.json";
+  (* engine throughput vs the recorded pre-fast-path baseline; iters=2
+     matches the committed artifact's convention *)
+  let vs_rows = Harness.Exp_vmspeed.run ~iters:2 () in
+  print_endline (Harness.Exp_vmspeed.render vs_rows);
+  let oc = open_out "BENCH_vmspeed.json" in
+  output_string oc (Harness.Exp_vmspeed.to_json ~quick:false ~iters:2 vs_rows);
+  close_out oc;
+  print_endline "wrote BENCH_vmspeed.json"
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -8,19 +8,40 @@ let usage () =
   prerr_endline
     "usage: experiments \
      <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
-     breakdown|all> \
-     [--quick]";
+     breakdown|vmspeed|all> \
+     [--quick] [--jobs N] [--iters N]";
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let targets = List.filter (fun a -> a <> "--quick") args in
+  (* --jobs N / --iters N: parallel width of the experiment driver and
+     timed iterations of the vmspeed rows *)
+  let int_opt name default =
+    let rec go = function
+      | flag :: v :: _ when flag = name -> (
+          match int_of_string_opt v with Some n -> n | None -> usage ())
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let jobs = int_opt "--jobs" 1 in
+  let iters = int_opt "--iters" 1 in
+  let targets =
+    let rec strip = function
+      | ("--jobs" | "--iters") :: _ :: rest -> strip rest
+      | "--quick" :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   let targets = if targets = [] then usage () else targets in
   let targets =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
-        "sweep"; "ablations"; "elim"; "breakdown" ]
+        "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed" ]
     else targets
   in
   List.iter
@@ -38,17 +59,23 @@ let () =
         | "ablations" -> Harness.Exp_ablation.render ()
         | "elim" ->
             (* also refresh the machine-readable per-kernel record *)
-            let rows = Harness.Exp_elim.run ~quick () in
+            let rows = Harness.Exp_elim.run ~quick ~jobs () in
             let oc = open_out "BENCH_elim.json" in
             output_string oc (Harness.Exp_elim.to_json rows);
             close_out oc;
             Harness.Exp_elim.render rows
         | "breakdown" ->
-            let rows = Harness.Exp_breakdown.run ~quick () in
+            let rows = Harness.Exp_breakdown.run ~quick ~jobs () in
             let oc = open_out "BENCH_breakdown.json" in
             output_string oc (Harness.Exp_breakdown.to_json rows);
             close_out oc;
             Harness.Exp_breakdown.render rows
+        | "vmspeed" ->
+            let rows = Harness.Exp_vmspeed.run ~quick ~iters ~jobs () in
+            let oc = open_out "BENCH_vmspeed.json" in
+            output_string oc (Harness.Exp_vmspeed.to_json ~quick ~iters rows);
+            close_out oc;
+            Harness.Exp_vmspeed.render rows
         | other ->
             Printf.eprintf "unknown experiment %s\n" other;
             exit 2

@@ -383,14 +383,24 @@ let fuzz_cmd =
       & info [ "max-steps" ] ~docv:"M"
           ~doc:"Per-run instruction budget before a case is skipped.")
   in
-  let f seed count no_minimize max_steps =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Evaluate cases on N domains in parallel (0 = all cores). The \
+             report is identical to a sequential run: cases are independent \
+             and results merge in case order.")
+  in
+  let f seed count no_minimize max_steps jobs =
+    let jobs = if jobs = 0 then Parutil.available_jobs () else jobs in
     let progress k =
       if k > 0 && k mod 20 = 0 then (
         Printf.eprintf "fuzz: %d cases...\n" k;
         flush stderr)
     in
     let r =
-      Fuzz.run_campaign ~shrink:(not no_minimize) ~max_steps ~progress
+      Fuzz.run_campaign ~shrink:(not no_minimize) ~max_steps ~progress ~jobs
         ~seed ~count ()
     in
     print_string (Fuzz.render r);
@@ -398,7 +408,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg)
+    Term.(
+      const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg
+      $ jobs_arg)
 
 let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in

@@ -42,29 +42,32 @@ let case_of ~seed ~index : Gen.case =
   let oob = Rng.chance r ~pct:30 in
   Gen.generate r ~oob
 
-let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
-    ?(progress = fun (_ : int) -> ()) ~seed ~count () : report =
-  let tested = ref 0 and skipped = ref 0 and traps = ref 0 in
-  let findings = ref [] in
-  for k = 0 to count - 1 do
-    progress k;
-    let case = case_of ~seed ~index:k in
-    if case.Gen.expect <> Gen.Safe then incr traps;
-    let verdict =
-      try Oracle.check ?max_steps ~expect:case.Gen.expect case.Gen.prog
-      with e ->
-        Oracle.Bug
-          {
-            Oracle.cls = "harness-exception";
-            detail = Printexc.to_string e;
-            runs = [];
-          }
-    in
+(** Per-case verdict, produced independently of every other case. *)
+type outcome = O_tested | O_skipped | O_finding of finding_report
+
+(** Evaluate case [k] to an outcome.  Self-contained: the case is
+    regenerated from [seed]/[k] and the oracle builds fresh pipelines
+    and VM states, so outcomes are independent of evaluation order —
+    which is what lets a campaign fan out across domains. *)
+let eval_case ?(shrink = true) ?max_steps ?(shrink_budget = 250) ~seed k :
+    bool * outcome =
+  let case = case_of ~seed ~index:k in
+  let is_trap = case.Gen.expect <> Gen.Safe in
+  let verdict =
+    try Oracle.check ?max_steps ~expect:case.Gen.expect case.Gen.prog
+    with e ->
+      Oracle.Bug
+        {
+          Oracle.cls = "harness-exception";
+          detail = Printexc.to_string e;
+          runs = [];
+        }
+  in
+  let outcome =
     match verdict with
-    | Oracle.Ok_ -> incr tested
-    | Oracle.Skip _ -> incr skipped
+    | Oracle.Ok_ -> O_tested
+    | Oracle.Skip _ -> O_skipped
     | Oracle.Bug f ->
-        incr tested;
         let source = Cminus.Pretty.program_string case.Gen.prog in
         let shrunk =
           if not shrink then None
@@ -77,7 +80,7 @@ let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
             in
             Some (Cminus.Pretty.program_string small)
         in
-        findings :=
+        O_finding
           {
             index = k;
             note = case.Gen.note;
@@ -87,8 +90,38 @@ let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
             source;
             shrunk;
           }
-          :: !findings
-  done;
+  in
+  (is_trap, outcome)
+
+let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
+    ?(progress = fun (_ : int) -> ()) ?(jobs = 1) ~seed ~count () : report =
+  (* [jobs <= 1] runs inline on this domain; otherwise cases fan out via
+     {!Parutil.parmap}, whose results come back in case order — so the
+     fold below (and hence the report) is identical either way.
+     [progress] only ticks on the sequential path: with workers racing
+     through the queue there is no meaningful "current case". *)
+  let outcomes =
+    if jobs <= 1 then
+      List.init count (fun k ->
+          progress k;
+          eval_case ~shrink ?max_steps ~shrink_budget ~seed k)
+    else
+      Parutil.parmap ~jobs
+        (eval_case ~shrink ?max_steps ~shrink_budget ~seed)
+        (List.init count Fun.id)
+  in
+  let tested = ref 0 and skipped = ref 0 and traps = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun (is_trap, outcome) ->
+      if is_trap then incr traps;
+      match outcome with
+      | O_tested -> incr tested
+      | O_skipped -> incr skipped
+      | O_finding f ->
+          incr tested;
+          findings := f :: !findings)
+    outcomes;
   {
     seed;
     count;

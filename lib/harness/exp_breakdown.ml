@@ -72,8 +72,9 @@ let run_one ?(quick = false) (w : Workloads.workload) : row =
   in
   { workload = w; base_cycles; splits }
 
-let run ?(quick = false) () : row list =
-  List.map (run_one ~quick) Workloads.all
+let run ?(quick = false) ?(jobs = 1) () : row list =
+  (* deterministic fan-out: see the note on {!Exp_elim.run} *)
+  Parutil.parmap ~jobs (run_one ~quick) Workloads.all
 
 let frac part whole =
   if whole <= 0 then 0.0 else float_of_int part /. float_of_int whole

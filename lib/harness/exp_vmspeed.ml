@@ -1,0 +1,298 @@
+(* VM throughput: simulated cycles executed per host wall-clock second.
+
+   Every artifact in this repo is bottlenecked on the host speed of the
+   IR interpreter, so the engine's throughput is tracked as a number
+   ([BENCH_vmspeed.json]), not a claim.  Each row times [iters] complete
+   runs of one kernel under one scheme — unprotected exercises the bare
+   dispatch/memory fast path, softbound-full-hash additionally hammers
+   the metadata hash table — and reports simulated-cycles-per-host-
+   second.  Simulated cycle counts are deterministic and golden-checked
+   elsewhere; only the host-seconds fields vary from run to run (the
+   vmspeed smoke target compares everything *except* those).
+
+   The recorded baseline below was measured with this same harness on
+   the pre-fast-path engine (the commit this PR builds on), so the JSON
+   carries both sides of the before/after comparison. *)
+
+type row = {
+  name : string;
+  scheme : string;
+  sim_cycles : int;  (** cycles of one run — deterministic *)
+  runs : int;  (** timed iterations behind [host_seconds] *)
+  host_seconds : float;
+}
+
+let cps (r : row) : float =
+  if r.host_seconds <= 0.0 then 0.0
+  else float_of_int r.sim_cycles *. float_of_int r.runs /. r.host_seconds
+
+let schemes : (string * Runner.scheme) list =
+  [
+    ("unprotected", Runner.Unprotected);
+    ("softbound-full-hash", Runner.Softbound Runner.sb_full_hash);
+  ]
+
+let scheme_names = List.map fst schemes
+
+(* ------------------------------------------------------------------ *)
+(* Recorded baseline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Throughput of the engine *before* the fast-path overhaul
+    (word-granular memory, pre-decoded dispatch, metadata inline
+    cache), measured by this harness at full workload sizes, iters=2.
+    Units: simulated cycles per host second. *)
+let baseline_label = "pre-fastpath engine (PR base), full args, iters=2"
+
+let baseline : (string * string * float) list =
+  [
+    ("go", "unprotected", 4.814211e+07);
+    ("go", "softbound-full-hash", 3.338369e+07);
+    ("lbm", "unprotected", 2.923794e+07);
+    ("lbm", "softbound-full-hash", 3.477493e+07);
+    ("hmmer", "unprotected", 4.152148e+07);
+    ("hmmer", "softbound-full-hash", 3.957738e+07);
+    ("compress", "unprotected", 3.646018e+07);
+    ("compress", "softbound-full-hash", 3.141164e+07);
+    ("ijpeg", "unprotected", 5.278668e+07);
+    ("ijpeg", "softbound-full-hash", 5.034386e+07);
+    ("bh", "unprotected", 1.535936e+07);
+    ("bh", "softbound-full-hash", 2.006577e+07);
+    ("tsp", "unprotected", 2.010571e+07);
+    ("tsp", "softbound-full-hash", 2.370609e+07);
+    ("libquantum", "unprotected", 1.918444e+07);
+    ("libquantum", "softbound-full-hash", 2.488246e+07);
+    ("perimeter", "unprotected", 2.894477e+07);
+    ("perimeter", "softbound-full-hash", 2.540638e+07);
+    ("health", "unprotected", 1.177489e+07);
+    ("health", "softbound-full-hash", 2.106450e+07);
+    ("bisort", "unprotected", 1.106336e+07);
+    ("bisort", "softbound-full-hash", 2.228283e+07);
+    ("mst", "unprotected", 3.085636e+07);
+    ("mst", "softbound-full-hash", 3.781222e+07);
+    ("li", "unprotected", 1.550901e+07);
+    ("li", "softbound-full-hash", 2.778647e+07);
+    ("em3d", "unprotected", 2.134476e+07);
+    ("em3d", "softbound-full-hash", 3.242380e+07);
+    ("treeadd", "unprotected", 1.853101e+07);
+    ("treeadd", "softbound-full-hash", 3.075227e+07);
+  ]
+
+let baseline_cps ~name ~scheme =
+  List.find_map
+    (fun (n, s, v) -> if n = name && s = scheme then Some v else None)
+    baseline
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+let measure_one ~quick ~iters (w : Workloads.workload)
+    ((sname, scheme) : string * Runner.scheme) : row =
+  let m = Runner.compile_workload w in
+  let argv = if quick then w.Workloads.quick_args else [] in
+  (* untimed warm run: fills the compile/transform caches so the timed
+     loop measures the interpreter, not the pipeline *)
+  let r0 = Runner.run ~argv scheme m in
+  Runner.check_clean ~quick ~workload:w.Workloads.name ~scheme:sname r0;
+  let t0 = now () in
+  for _ = 1 to iters do
+    ignore (Runner.run ~argv scheme m)
+  done;
+  let t1 = now () in
+  {
+    name = w.Workloads.name;
+    scheme = sname;
+    sim_cycles = r0.Interp.Vm.stats.Interp.State.cycles;
+    runs = iters;
+    host_seconds = t1 -. t0;
+  }
+
+let run ?(quick = false) ?(iters = 1) ?(jobs = 1) () : row list =
+  let tasks =
+    List.concat_map
+      (fun w -> List.map (fun s -> (w, s)) schemes)
+      Workloads.all
+  in
+  (* transform everything up front (serially) so parallel timing rows
+     never serialize on the transform-cache mutex mid-measurement *)
+  List.iter
+    (fun (w, (_, scheme)) ->
+      match scheme with
+      | Runner.Softbound opts ->
+          ignore (Runner.instrument_cached ~opts (Runner.compile_workload w))
+      | _ -> ignore (Runner.compile_workload w))
+    tasks;
+  Parutil.parmap ~jobs (fun (w, s) -> measure_one ~quick ~iters w s) tasks
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      exp
+        (List.fold_left (fun a x -> a +. log (max 1e-9 x)) 0.0 xs
+        /. float_of_int (List.length xs))
+
+let geomean_cps_of ~scheme (rows : row list) : float =
+  geomean
+    (List.filter_map
+       (fun r -> if r.scheme = scheme then Some (cps r) else None)
+       rows)
+
+let geomean_cps_baseline ~scheme : float option =
+  match List.filter (fun (_, s, _) -> s = scheme) baseline with
+  | [] -> None
+  | xs -> Some (geomean (List.map (fun (_, _, v) -> v) xs))
+
+(** Geomean speedup of [rows] over the recorded baseline for one
+    scheme; [None] when no baseline is recorded. *)
+let speedup_of ~scheme (rows : row list) : float option =
+  match geomean_cps_baseline ~scheme with
+  | None -> None
+  | Some b when b <= 0.0 -> None
+  | Some b -> Some (geomean_cps_of ~scheme rows /. b)
+
+let overall_speedup (rows : row list) : float option =
+  let per = List.filter_map (fun s -> speedup_of ~scheme:s rows) scheme_names in
+  if List.length per <> List.length scheme_names then None
+  else Some (geomean per)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mcps x = Printf.sprintf "%.1f" (x /. 1e6)
+
+let render (rows : row list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "VM throughput: simulated Mcycles per host second (higher is faster)\n";
+  let kernels =
+    List.sort_uniq compare (List.map (fun r -> r.name) rows)
+  in
+  (* keep registry order, not alphabetical *)
+  let kernels =
+    List.filter (fun w -> List.mem w kernels) Workloads.names
+  in
+  Buffer.add_string buf
+    (Texttable.render
+       ~headers:
+         ([ "benchmark" ]
+         @ List.concat_map
+             (fun s -> [ s; "vs base" ])
+             scheme_names)
+       (List.map
+          (fun k ->
+            let cells =
+              List.concat_map
+                (fun s ->
+                  match
+                    List.find_opt (fun r -> r.name = k && r.scheme = s) rows
+                  with
+                  | None -> [ "-"; "-" ]
+                  | Some r -> (
+                      let c = cps r in
+                      [ mcps c ]
+                      @
+                      match baseline_cps ~name:k ~scheme:s with
+                      | Some b when b > 0.0 ->
+                          [ Printf.sprintf "%.2fx" (c /. b) ]
+                      | _ -> [ "-" ]))
+                scheme_names
+            in
+            k :: cells)
+          kernels));
+  Buffer.add_string buf "\ngeomean Mcycles/host-second:\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s %s%s\n" s
+           (mcps (geomean_cps_of ~scheme:s rows))
+           (match speedup_of ~scheme:s rows with
+           | Some x -> Printf.sprintf "  (%.2fx vs recorded baseline)" x
+           | None -> "  (no recorded baseline)")))
+    scheme_names;
+  (match overall_speedup rows with
+  | Some x ->
+      Buffer.add_string buf
+        (Printf.sprintf "\noverall geomean speedup vs baseline: %.2fx\n" x)
+  | None -> ());
+  Buffer.contents buf
+
+(** Machine-readable artifact ([BENCH_vmspeed.json]).  Host-timing
+    dependent lines all carry one of the substrings [host_seconds],
+    [cycles_per_host_sec] or [speedup], so the smoke target can strip
+    them and byte-compare the rest across regenerations. *)
+let to_json ?(quick = false) ?(iters = 1) (rows : row list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiment\": \"vmspeed\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"simulated cycles per host second\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"iters\": %d,\n" quick iters);
+  (* recorded baseline (constants — deterministic) *)
+  (match baseline with
+  | [] -> Buffer.add_string buf "  \"baseline\": null,\n"
+  | b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"baseline\": {\n    \"label\": %S,\n    \"rows\": [\n"
+           baseline_label);
+      List.iteri
+        (fun i (n, s, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"name\": %S, \"scheme\": %S, \
+                \"cycles_per_host_sec\": %.6e }%s\n"
+               n s v
+               (if i = List.length b - 1 then "" else ",")))
+        b;
+      Buffer.add_string buf "    ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"geomean_cycles_per_host_sec\": { %s }\n  },\n"
+           (String.concat ", "
+              (List.map
+                 (fun s ->
+                   Printf.sprintf "%S: %.6e" s
+                     (Option.value ~default:0.0 (geomean_cps_baseline ~scheme:s)))
+                 scheme_names))));
+  Buffer.add_string buf "  \"current\": {\n    \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"name\": %S, \"scheme\": %S,\n\
+           \        \"sim_cycles\": %d, \"runs\": %d,\n\
+           \        \"host_seconds\": %.6f,\n\
+           \        \"cycles_per_host_sec\": %.6e }%s\n"
+           r.name r.scheme r.sim_cycles r.runs r.host_seconds (cps r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"geomean_cycles_per_host_sec\": { %s }\n  },\n"
+       (String.concat ", "
+          (List.map
+             (fun s ->
+               Printf.sprintf "%S: %.6e" s (geomean_cps_of ~scheme:s rows))
+             scheme_names)));
+  (match overall_speedup rows with
+  | None -> Buffer.add_string buf "  \"speedup_vs_baseline\": null\n"
+  | Some overall ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"speedup_vs_baseline\": { %s, \"overall\": %.3f }\n"
+           (String.concat ", "
+              (List.map
+                 (fun s ->
+                   Printf.sprintf "%S: %.3f" s
+                     (Option.value ~default:0.0 (speedup_of ~scheme:s rows)))
+                 scheme_names))
+           overall));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

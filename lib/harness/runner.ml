@@ -47,7 +47,20 @@ let sb_store_hash =
 
 let transform_count = ref 0
 
-let transforms_performed () = !transform_count
+(* The transform and compile caches below are the only mutable state
+   shared between domains when a harness driver fans out (parallel fuzz
+   evaluates self-contained cases and never lands here, but the
+   parallel experiment runners do).  One lock serializes both: the
+   transform itself runs under it, so a module/options pair is
+   transformed exactly once no matter how many domains race to it, and
+   [transforms_performed] counts the same work a sequential run does. *)
+let cache_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let transforms_performed () = with_lock (fun () -> !transform_count)
 
 let norm_opts (o : Softbound.Config.options) =
   { o with Softbound.Config.facility = Softbound.Config.Shadow_space }
@@ -60,6 +73,7 @@ let cache :
 
 let instrument_cached ?(opts = Softbound.Config.default) (m : Ir.modul) :
     Ir.modul * int =
+  with_lock @@ fun () ->
   let kopts = norm_opts opts in
   let rec find acc = function
     | [] -> None
@@ -179,6 +193,10 @@ let overhead (r : Interp.Vm.result) (b : Interp.Vm.result) : float =
 let compiled_workloads : (string, Ir.modul) Hashtbl.t = Hashtbl.create 16
 
 let compile_workload (w : Workloads.workload) : Ir.modul =
+  (* under [cache_lock]: parallel drivers must agree on ONE module value
+     per workload, or the physical-equality transform cache above sees
+     distinct modules and re-instruments per domain *)
+  with_lock @@ fun () ->
   match Hashtbl.find_opt compiled_workloads w.Workloads.name with
   | Some m -> m
   | None ->

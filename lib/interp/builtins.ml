@@ -328,9 +328,14 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
     | b -> (`Plain, b)
   in
   let sg =
-    match List.assoc_opt base_name Cminus.Builtins.functions with
+    match Hashtbl.find_opt st.builtins base_name with
     | Some sg -> sg
-    | None -> raise (Trap (Runtime_error ("unknown builtin " ^ name)))
+    | None -> (
+        (* [st.builtins] is filled at module load; fall back to the
+           prototype list for states created without the loader *)
+        match List.assoc_opt base_name Cminus.Builtins.functions with
+        | Some sg -> sg
+        | None -> raise (Trap (Runtime_error ("unknown builtin " ^ name))))
   in
   (* split plain args from metadata args *)
   let n_fixed =
@@ -344,7 +349,8 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
     | _ -> raise (Trap (Runtime_error (name ^ ": malformed metadata args")))
   in
   let w = { st; checked; fname = name; meta = pair meta_vals } in
-  let int_args = List.map as_int plain in
+  let plain_arr = Array.of_list plain in
+  let int_args = Array.map as_int plain_arr in
   (* bind pointer-arg metadata in order *)
   let metas =
     List.map
@@ -354,10 +360,11 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
         | _ -> (0, 0))
       (sg.C.params @ if sg.C.variadic then [ C.Tptr C.Tvoid; C.Tint C.ILong ]
                      else [])
+    |> Array.of_list
   in
-  let meta_of i = List.nth metas i in
-  let argi i = List.nth int_args i in
-  let argf i = as_float (List.nth plain i) in
+  let meta_of i = metas.(i) in
+  let argi i = int_args.(i) in
+  let argf i = as_float plain_arr.(i) in
   let ret_ptr v (b, e) = if checked then [ VI v; VI b; VI e ] else [ VI v ] in
   charge st Cost.libc_call;
   match base_name with

@@ -204,9 +204,15 @@ type t = {
   globals : (string, int * int) Hashtbl.t;  (** name -> (addr, size) *)
   func_names : string array;  (** index -> name, for code addresses *)
   func_index : (string, int) Hashtbl.t;
-  builtins : (string, unit) Hashtbl.t;  (** names dispatched as builtins *)
+  builtins : (string, Cminus.Ctypes.fsig) Hashtbl.t;
+      (** C prototypes of the builtins, keyed by base name — built once
+          at load so dispatch and signature hashing never walk the
+          prototype association list *)
   mutable sp : int;
   mutable frames : frame list;
+  mutable n_frames : int;
+      (** [List.length frames], maintained incrementally — the depth
+          checks on every call must not walk the frame list *)
   mutable next_uid : int;
   mutable steps : int;
   out : Buffer.t;
@@ -223,7 +229,23 @@ type t = {
   mutable ht_live : int;
       (** occupied hash-table slots; growth keeps this at most half of
           [ht_entries] so probe chains stay short *)
+  mc_site : int array;
+      (** per-site metadata-lookup inline cache, direct-mapped on the
+          site id: the instrumentation site last served by this slot
+          (-1 = empty) ... *)
+  mc_addr : int array;  (** ... the pointer address it looked up ... *)
+  mc_disp : int array;
+      (** ... the probe displacement at which the tag matched ... *)
+  mc_gen : int array;
+      (** ... and the [ht_resizes] generation it was valid in.  A resize
+          rehashes every entry, so a generation mismatch invalidates the
+          cached displacement; between resizes tags never move or clear,
+          so a verified hit can replay the probe walk without re-reading
+          the intermediate tags. *)
 }
+
+(** Inline-cache size (power of two); sites hash in by their low bits. *)
+let mc_size = 1024
 
 (* ------------------------------------------------------------------ *)
 (* Accounting helpers                                                   *)
@@ -259,16 +281,18 @@ let checker_event st ev =
   | None -> ()
 
 let program_read st addr size : unit =
-  if st.cfg.checker <> None then
-    checker_event st (Ev_access { addr; size; is_store = false });
+  (match st.cfg.checker with
+  | Some _ -> checker_event st (Ev_access { addr; size; is_store = false })
+  | None -> ());
   Mem.check_program_access st.mem addr size;
   st.stats.mem_reads <- st.stats.mem_reads + 1;
   charge st Cost.load;
   cache_access st addr
 
 let program_write st addr size : unit =
-  if st.cfg.checker <> None then
-    checker_event st (Ev_access { addr; size; is_store = true });
+  (match st.cfg.checker with
+  | Some _ -> checker_event st (Ev_access { addr; size; is_store = true })
+  | None -> ());
   Mem.check_program_access st.mem addr size;
   st.stats.mem_writes <- st.stats.mem_writes + 1;
   charge st Cost.store;
@@ -310,6 +334,8 @@ let meta_load ?(site = 0) st addr : int * int =
   | Some Hash_table ->
       charge st Cost.hash_lookup;
       let tag = addr + 1 in
+      let home = ht_index st addr in
+      let mc = site land (mc_size - 1) in
       let rec probe i n =
         (* sound cutoff: insertion keeps every live entry within
            [ht_max_probes] of its home slot *)
@@ -321,6 +347,12 @@ let meta_load ?(site = 0) st addr : int * int =
           if t = tag then begin
             cache_access st (ea + 8);
             cache_access st (ea + 16);
+            (* only successful tag matches enter the inline cache: their
+               displacement is stable until the next resize *)
+            st.mc_site.(mc) <- site;
+            st.mc_addr.(mc) <- addr;
+            st.mc_disp.(mc) <- n;
+            st.mc_gen.(mc) <- st.stats.ht_resizes;
             (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
           end
           else if t = 0 then (0, 0)
@@ -331,7 +363,31 @@ let meta_load ?(site = 0) st addr : int * int =
           end
         end
       in
-        probe (ht_index st addr) 0
+      if
+        st.mc_site.(mc) = site
+        && st.mc_addr.(mc) = addr
+        && st.mc_gen.(mc) = st.stats.ht_resizes
+        && Mem.read_int st.mem (ht_slot_addr st (home + st.mc_disp.(mc))) 8
+           = tag
+      then begin
+        (* verified hit: the entry is still where it was, and (between
+           resizes) the intermediate tags can't have changed — replay
+           the probe walk's accounting without re-reading them.  The
+           emitted cache/charge/probe sequence is identical to the full
+           probe's, so simulated outputs don't move. *)
+        let d = st.mc_disp.(mc) in
+        for k = 0 to d - 1 do
+          cache_access st (ht_slot_addr st (home + k));
+          st.stats.ht_probes <- st.stats.ht_probes + 1;
+          charge st Cost.hash_probe
+        done;
+        let ea = ht_slot_addr st (home + d) in
+        cache_access st ea;
+        cache_access st (ea + 8);
+        cache_access st (ea + 16);
+        (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
+      end
+      else probe home 0
   in
   if st.cfg.obs_enabled then begin
     Obs.record_op st.obs Obs.KMetaLoad ~site ~cycles:(st.stats.cycles - cy0);

@@ -18,13 +18,92 @@ module Cost = Machine.Cost
 (* Setup                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(** A module function, pre-decoded at load: per-block instruction
+    arrays (with [Glob]/[GlobEnd]/[Func] operands resolved to immediate
+    addresses) and the parameter registers as an array. *)
+type fentry = {
+  fe_func : Ir.func;  (** the operand-resolved copy *)
+  fe_code : Ir.inst array array;
+  fe_params : Ir.reg array;
+}
+
+(** What a call target resolves to — computed once per distinct name
+    instead of re-classifying (prefix tests, prototype-list walks) on
+    every call.  The [bool] is the [_sb_] checked-wrapper flag. *)
+type resolution =
+  | RFunc of fentry
+  | RSetjmp of bool
+  | RLongjmp of bool
+  | RQsort of bool
+  | RBsearch of bool
+  | RBuiltin of bool
+  | RUndefined of bool
+
 type loaded = {
   st : t;
   code : (string, Ir.inst array array) Hashtbl.t;
+  resolved : (string, resolution) Hashtbl.t;
+      (** module functions are installed at load; other names (builtins,
+          wrappers, undefined) are classified on first call *)
+  sig_hashes : (string, int option) Hashtbl.t;
+      (** memoized {!callee_sig_hash} results *)
 }
 
 let build_code (f : Ir.func) : Ir.inst array array =
   Array.map (fun (b : Ir.block) -> Array.of_list b.Ir.insts) f.Ir.fblocks
+
+(* --- pre-decode: resolve name-valued operands to addresses --- *)
+
+(* Globals are laid out (and function indices assigned) before any code
+   runs, so [Glob]/[GlobEnd]/[Func] operands can be folded to immediate
+   addresses at load.  Names that don't resolve are left in place: they
+   keep trapping lazily at evaluation time, exactly as before. *)
+let resolve_operand st (o : Ir.operand) : Ir.operand =
+  match o with
+  | Ir.Glob g -> (
+      match Hashtbl.find_opt st.globals g with
+      | Some (a, _) -> Ir.ImmI a
+      | None -> o)
+  | Ir.GlobEnd g -> (
+      match Hashtbl.find_opt st.globals g with
+      | Some (a, s) -> Ir.ImmI (a + s)
+      | None -> o)
+  | Ir.Func f -> (
+      match Hashtbl.find_opt st.func_index f with
+      | Some i -> Ir.ImmI (L.func_addr i)
+      | None -> o)
+  | o -> o
+
+let predecode_inst st (i : Ir.inst) : Ir.inst =
+  match i with
+  | Ir.Call ({ callee; args; _ } as c) ->
+      (* a direct callee keeps its name — calls dispatch by name, not by
+         code address *)
+      let callee =
+        match callee with Ir.Func _ as f -> f | op -> resolve_operand st op
+      in
+      Ir.Call { c with callee; args = List.map (resolve_operand st) args }
+  | i -> Ir.map_inst_operands (resolve_operand st) i
+
+let predecode_term st (t : Ir.terminator) : Ir.terminator =
+  match t with
+  | Ir.TRet ops -> Ir.TRet (List.map (resolve_operand st) ops)
+  | Ir.TBr (c, t1, t2) -> Ir.TBr (resolve_operand st c, t1, t2)
+  | Ir.TSwitch (v, cases, d) -> Ir.TSwitch (resolve_operand st v, cases, d)
+  | (Ir.TJmp _ | Ir.TUnreachable) as t -> t
+
+let predecode_func st (f : Ir.func) : Ir.func =
+  {
+    f with
+    Ir.fblocks =
+      Array.map
+        (fun (b : Ir.block) ->
+          {
+            Ir.insts = List.map (predecode_inst st) b.Ir.insts;
+            Ir.term = predecode_term st b.Ir.term;
+          })
+        f.Ir.fblocks;
+  }
 
 let create ?(cfg = default_config) (m : Ir.modul) : loaded =
   let mem = Mem.create () in
@@ -63,9 +142,10 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       globals = Hashtbl.create 64;
       func_names;
       func_index;
-      builtins = Hashtbl.create 16;
+      builtins = Hashtbl.create 64;
       sp = L.stack_top;
       frames = [];
+      n_frames = 0;
       next_uid = 1;
       steps = 0;
       out = Buffer.create 4096;
@@ -75,6 +155,10 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       jmp_bufs = Hashtbl.create 8;
       ht_entries = ht_entries0;
       ht_live = 0;
+      mc_site = Array.make mc_size (-1);
+      mc_addr = Array.make mc_size 0;
+      mc_disp = Array.make mc_size 0;
+      mc_gen = Array.make mc_size 0;
     }
   in
   (* lay out globals: two passes (addresses first, then initializers,
@@ -108,9 +192,25 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       let base, size = Hashtbl.find st.globals g.Ir.gname in
       checker_event st (Ev_alloc { base; size; kind = AGlobal }))
     m.Ir.mglobals;
+  List.iter
+    (fun (n, sg) -> Hashtbl.replace st.builtins n sg)
+    Cminus.Builtins.functions;
+  (* pre-decode every function now that globals and function indices are
+     fixed *)
   let code = Hashtbl.create 64 in
-  Ir.iter_funcs m (fun f -> Hashtbl.replace code f.Ir.fname (build_code f));
-  { st; code }
+  let resolved = Hashtbl.create 64 in
+  Ir.iter_funcs m (fun f ->
+      let pf = predecode_func st f in
+      let fe =
+        {
+          fe_func = pf;
+          fe_code = build_code pf;
+          fe_params = Array.of_list (List.map fst pf.Ir.fparams);
+        }
+      in
+      Hashtbl.replace code f.Ir.fname fe.fe_code;
+      Hashtbl.replace resolved f.Ir.fname (RFunc fe));
+  { st; code; resolved; sig_hashes = Hashtbl.create 64 }
 
 (* ------------------------------------------------------------------ *)
 (* Operand evaluation                                                   *)
@@ -210,11 +310,16 @@ let exec_bin st (op : Ir.binop) (t : Ir.ity) (a : value) (b : value) : value =
 
 let exec_cmp st (op : Ir.cmpop) (t : Ir.ity) (a : value) (b : value) : value =
   charge st Cost.basic;
+  (* monomorphic compares: the polymorphic primitive is a C call per
+     executed comparison (and agrees with these on ints and on floats,
+     NaN included) *)
   let c =
-    if Ir.ity_is_float t then compare (as_float a) (as_float b)
-    else if Ir.ity_signed t then compare (as_int a) (as_int b)
+    if Ir.ity_is_float t then Float.compare (as_float a) (as_float b)
+    else if Ir.ity_signed t then Int.compare (as_int a) (as_int b)
     else
-      compare (Ir.unsigned_view t (as_int a)) (Ir.unsigned_view t (as_int b))
+      Int.compare
+        (Ir.unsigned_view t (as_int a))
+        (Ir.unsigned_view t (as_int b))
   in
   let r =
     match op with
@@ -232,8 +337,9 @@ let exec_cast st (to_ : Ir.ity) (from_ : Ir.ity) (v : value) : value =
   match (Ir.ity_is_float to_, Ir.ity_is_float from_) with
   | true, true ->
       let f = as_float v in
-      if to_ = Ir.F32 then VF (Int32.float_of_bits (Int32.bits_of_float f))
-      else VF f
+      (match to_ with
+      | Ir.F32 -> VF (Int32.float_of_bits (Int32.bits_of_float f))
+      | _ -> VF f)
   | true, false -> VF (float_of_int (as_int v))
   | false, true ->
       let f = as_float v in
@@ -253,7 +359,9 @@ let exec_cast st (to_ : Ir.ity) (from_ : Ir.ity) (v : value) : value =
 let do_load st (t : Ir.ity) addr : value =
   let size = Ir.ity_size t in
   program_read st addr size;
-  if t = Ir.P then st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1;
+  (match t with
+  | Ir.P -> st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1
+  | _ -> ());
   match t with
   | Ir.F64 -> VF (Mem.read_f64 st.mem addr)
   | Ir.F32 -> VF (Mem.read_f32 st.mem addr)
@@ -266,7 +374,9 @@ let do_load st (t : Ir.ity) addr : value =
 let do_store st (t : Ir.ity) addr (v : value) : unit =
   let size = Ir.ity_size t in
   program_write st addr size;
-  if t = Ir.P then st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1;
+  (match t with
+  | Ir.P -> st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1
+  | _ -> ());
   match t with
   | Ir.F64 -> Mem.write_f64 st.mem addr (as_float v)
   | Ir.F32 -> Mem.write_f32 st.mem addr (as_float v)
@@ -278,11 +388,22 @@ let do_store st (t : Ir.ity) addr (v : value) : unit =
 
 exception Program_exit of int
 
-let push_frame ld (f : Ir.func) (args : value list) (ret_regs : Ir.reg list) =
+(** Assign returned values to the caller's receiving registers (extra
+    values on either side are ignored, as before). *)
+let assign_rets (fr : frame) (ret_regs : Ir.reg list) (out : value list) : unit =
+  match ret_regs with
+  | [] -> ()
+  | _ ->
+      let arr = Array.of_list out in
+      let n = Array.length arr in
+      List.iteri (fun i r -> if i < n then fr.fr_regs.(r) <- arr.(i)) ret_regs
+
+let push_frame ld (fe : fentry) (args : value list) (ret_regs : Ir.reg list) =
   let st = ld.st in
+  let f = fe.fe_func in
   st.stats.calls <- st.stats.calls + 1;
   charge st Cost.call;
-  if List.length st.frames > 100_000 then
+  if st.n_frames > 100_000 then
     raise (Trap (Runtime_error "call stack overflow"));
   let fp = st.sp in
   let total = 16 + f.Ir.fframe_size in
@@ -305,18 +426,19 @@ let push_frame ld (f : Ir.func) (args : value list) (ret_regs : Ir.reg list) =
   cache_access st (fp - 8);
   cache_access st (fp - 16);
   let regs = Array.make (max 1 f.Ir.fnregs) (VI 0) in
-  let nparams = List.length f.Ir.fparams in
-  if List.length args <> nparams then
+  let nparams = Array.length fe.fe_params in
+  let nargs = List.length args in
+  if nargs <> nparams then
     raise
       (Trap
          (Runtime_error
             (Printf.sprintf "%s: called with %d args, expects %d" f.Ir.fname
-               (List.length args) nparams)));
-  List.iteri (fun i (r, _) -> regs.(r) <- List.nth args i) f.Ir.fparams;
+               nargs nparams)));
+  List.iteri (fun i v -> regs.(fe.fe_params.(i)) <- v) args;
   let fr =
     {
       fr_func = f;
-      fr_code = Hashtbl.find ld.code f.Ir.fname;
+      fr_code = fe.fe_code;
       fr_regs = regs;
       fr_block = 0;
       fr_inst = 0;
@@ -329,7 +451,8 @@ let push_frame ld (f : Ir.func) (args : value list) (ret_regs : Ir.reg list) =
   in
   st.sp <- new_sp;
   st.frames <- fr :: st.frames;
-  st.stats.max_frames <- max st.stats.max_frames (List.length st.frames);
+  st.n_frames <- st.n_frames + 1;
+  st.stats.max_frames <- max st.stats.max_frames st.n_frames;
   (* baseline checkers track each slot as an object *)
   if st.cfg.checker <> None then
     Array.iter
@@ -393,16 +516,13 @@ let pop_frame ld (rets : value list) : unit =
         (Hashtbl.copy st.jmp_bufs);
       st.sp <- fr.fr_fp;
       st.frames <- rest;
+      st.n_frames <- st.n_frames - 1;
       st.last_rets <- rets;
       (match rest with
       | [] ->
           let code = match rets with VI v :: _ -> v | _ -> 0 in
           raise (Program_exit code)
-      | caller :: _ ->
-          List.iteri
-            (fun i r ->
-              if i < List.length rets then caller.fr_regs.(r) <- List.nth rets i)
-            fr.fr_ret_regs)
+      | caller :: _ -> assign_rets caller fr.fr_ret_regs rets)
 
 (* ------------------------------------------------------------------ *)
 (* setjmp / longjmp                                                     *)
@@ -507,6 +627,7 @@ let exec_longjmp ld ~checked (args : value list) =
                     sl.Ir.sl_ptr_offsets)
                 fr.fr_func.Ir.fslots;
             st.frames <- rest;
+            st.n_frames <- st.n_frames - 1;
             unwind ()
         | _ -> ()
       in
@@ -524,7 +645,7 @@ let exec_longjmp ld ~checked (args : value list) =
 (* forward reference, tied after the step loop is defined: builtins like
    qsort call back into interpreted code *)
 let call_function_fwd :
-    (loaded -> Ir.func -> value list -> value list) ref =
+    (loaded -> fentry -> value list -> value list) ref =
   ref (fun _ _ _ -> failwith "call_function not initialized")
 
 (** qsort/bsearch: the comparator is a function pointer into interpreted
@@ -535,7 +656,8 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
     (rets : Ir.reg list) : unit =
   let st = ld.st in
   charge st Cost.libc_call;
-  let ai i = as_int (List.nth argvals i) in
+  let argarr = Array.of_list argvals in
+  let ai i = as_int argarr.(i) in
   let key, base, n, size, cmp, key_meta, base_meta, cmp_meta =
     if is_bsearch then
       ( ai 0, ai 1, ai 2, ai 3, ai 4,
@@ -579,13 +701,17 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
   (* resolve the comparator once; _sb_-convention targets (transformed
      module functions and wrapper builtins alike) receive per-element
      bounds after the two element pointers *)
-  let cmp_func = Ir.find_func st.modul cmp_name in
+  let cmp_func =
+    match Hashtbl.find_opt ld.resolved cmp_name with
+    | Some (RFunc fe) -> Some fe
+    | _ -> None
+  in
   let wants_meta =
     match cmp_func with
-    | Some f -> List.length f.Ir.fparams = 6
+    | Some fe -> Array.length fe.fe_params = 6
     | None -> String.length cmp_name > 4 && String.sub cmp_name 0 4 = "_sb_"
   in
-  let qsort_depth = List.length st.frames in
+  let qsort_depth = st.n_frames in
   (* snapshot the caller's identity and program point: a longjmp out of
      the comparator either pops frames below us or redirects the caller *)
   let caller_snapshot () =
@@ -602,14 +728,13 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
     in
     let out =
       match cmp_func with
-      | Some f -> !call_function_fwd ld f args
+      | Some fe -> !call_function_fwd ld fe args
       | None -> Builtins.dispatch st ~name:cmp_name ~args
     in
     (* a longjmp out of the comparator would leave this sort running
        against an unwound (or redirected) stack; C calls that undefined,
        the VM makes it a clean trap *)
-    if List.length st.frames < qsort_depth || caller_snapshot () <> snap0
-    then
+    if st.n_frames < qsort_depth || caller_snapshot () <> snap0 then
       raise
         (Trap (Runtime_error "longjmp out of a qsort/bsearch comparator"));
     match out with VI r :: _ -> r | _ -> 0
@@ -619,11 +744,7 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
     (* degenerate calls are no-ops (bsearch finds nothing) *)
     if is_bsearch then begin
       let out = if checked then [ VI 0; VI 0; VI 0 ] else [ VI 0 ] in
-      let fr = List.hd st.frames in
-      List.iteri
-        (fun i r ->
-          if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
-        rets
+      assign_rets (List.hd st.frames) rets out
     end
   end
   else if is_bsearch then begin
@@ -645,10 +766,7 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
           VI (if !found = 0 then 0 else snd base_meta) ]
       else [ VI !found ]
     in
-    let fr = List.hd st.frames in
-    List.iteri
-      (fun i r -> if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
-      rets
+    assign_rets (List.hd st.frames) rets out
   end
   else begin
     (* in-place quicksort over simulated memory; element swaps are real
@@ -714,39 +832,58 @@ let rec exec_call ld (fr : frame) ~rets ~callee ~args : unit =
                   (Printf.sprintf "indirect call to non-function address 0x%x"
                      v))))
 
+and resolve ld name : resolution =
+  match Hashtbl.find_opt ld.resolved name with
+  | Some r -> r
+  | None ->
+      (* module functions were installed at load, so this name is a
+         builtin, a special, or undefined; classify once and memoize *)
+      let checked = String.length name > 4 && String.sub name 0 4 = "_sb_" in
+      let base =
+        if checked then String.sub name 4 (String.length name - 4) else name
+      in
+      let r =
+        match base with
+        | "setjmp" -> RSetjmp checked
+        | "longjmp" -> RLongjmp checked
+        | "qsort" -> RQsort checked
+        | "bsearch" -> RBsearch checked
+        | _ ->
+            if Builtins.is_builtin_name name then RBuiltin checked
+            else RUndefined checked
+      in
+      Hashtbl.replace ld.resolved name r;
+      r
+
 and dispatch_call ld ~name ~argvals ~rets : unit =
   let st = ld.st in
-  match Ir.find_func st.modul name with
-  | Some f ->
+  match resolve ld name with
+  | RFunc fe ->
       (* the caller's saved position already points past the call *)
-      push_frame ld f argvals rets
-  | None ->
+      push_frame ld fe argvals rets
+  | special ->
       let checked =
-        String.length name > 4 && String.sub name 0 4 = "_sb_"
+        match special with
+        | RSetjmp c | RLongjmp c | RQsort c | RBsearch c | RBuiltin c
+        | RUndefined c ->
+            c
+        | RFunc _ -> false
       in
-      let base = if checked then String.sub name 4 (String.length name - 4)
-                 else name in
       let go () =
-        match base with
-        | "setjmp" -> exec_setjmp ld ~checked argvals rets
-        | "longjmp" -> exec_longjmp ld ~checked argvals
-        | "qsort" -> exec_sortsearch ld ~checked ~is_bsearch:false argvals rets
-        | "bsearch" -> exec_sortsearch ld ~checked ~is_bsearch:true argvals rets
-        | _ ->
-            if Builtins.is_builtin_name name then begin
-              let out =
-                try Builtins.dispatch st ~name ~args:argvals
-                with Builtins.Exit_program n -> raise (Program_exit n)
-              in
-              let fr = List.hd st.frames in
-              List.iteri
-                (fun i r ->
-                  if i < List.length out then fr.fr_regs.(r) <- List.nth out i)
-                rets
-            end
-            else
-              raise
-                (Trap (Runtime_error ("call to undefined function " ^ name)))
+        match special with
+        | RSetjmp _ -> exec_setjmp ld ~checked argvals rets
+        | RLongjmp _ -> exec_longjmp ld ~checked argvals
+        | RQsort _ -> exec_sortsearch ld ~checked ~is_bsearch:false argvals rets
+        | RBsearch _ ->
+            exec_sortsearch ld ~checked ~is_bsearch:true argvals rets
+        | RBuiltin _ ->
+            let out =
+              try Builtins.dispatch st ~name ~args:argvals
+              with Builtins.Exit_program n -> raise (Program_exit n)
+            in
+            assign_rets (List.hd st.frames) rets out
+        | RFunc _ | RUndefined _ ->
+            raise (Trap (Runtime_error ("call to undefined function " ^ name)))
       in
       if checked && st.cfg.obs_enabled then begin
         (* attribute the wrapper's whole cycle delta (including its
@@ -773,9 +910,11 @@ and dispatch_call ld ~name ~argvals ~rets : unit =
     signature check.  Module functions hash their (transformed) parameter
     and return kinds; builtin wrappers hash the extended wrapper
     signature derived from the C prototype. *)
-let callee_sig_hash st (name : string) : int option =
-  match Ir.find_func st.modul name with
-  | Some f ->
+let callee_sig_hash_uncached ld (name : string) : int option =
+  let st = ld.st in
+  match Hashtbl.find_opt ld.resolved name with
+  | Some (RFunc fe) ->
+      let f = fe.fe_func in
       Some
         (Ir.sig_hash
            {
@@ -783,7 +922,7 @@ let callee_sig_hash st (name : string) : int option =
              crets = f.Ir.frets;
              cvariadic = f.Ir.fvariadic;
            })
-  | None ->
+  | _ ->
       let checked = String.length name > 4 && String.sub name 0 4 = "_sb_" in
       let base =
         if checked then String.sub name 4 (String.length name - 4) else name
@@ -795,7 +934,7 @@ let callee_sig_hash st (name : string) : int option =
         | "memmove_nometa" -> "memmove"
         | b -> b
       in
-      (match List.assoc_opt base Cminus.Builtins.functions with
+      (match Hashtbl.find_opt st.builtins base with
       | None -> None
       | Some sg ->
           let dummy = Cminus.Ctypes.create_env () in
@@ -833,6 +972,14 @@ let callee_sig_hash st (name : string) : int option =
             (Ir.sig_hash
                { Ir.cargs; crets; cvariadic = sg.Cminus.Ctypes.variadic }))
 
+let callee_sig_hash ld (name : string) : int option =
+  match Hashtbl.find_opt ld.sig_hashes name with
+  | Some h -> h
+  | None ->
+      let h = callee_sig_hash_uncached ld name in
+      Hashtbl.replace ld.sig_hashes name h;
+      h
+
 let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
   let st = ld.st in
   match inst with
@@ -851,7 +998,9 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
       charge st Cost.basic;
       let b = eval_int st fr base in
       let d = b + eval_int st fr off in
-      checker_event st (Ev_ptr_arith { src = b; dst = d });
+      (match st.cfg.checker with
+      | Some _ -> checker_event st (Ev_ptr_arith { src = b; dst = d })
+      | None -> ());
       fr.fr_regs.(r) <- VI d
   | Ir.Slotaddr (r, s) ->
       charge st Cost.alloca;
@@ -882,7 +1031,7 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
               charge st Cost.check;
               match describe_code_value st pv with
               | Some name -> (
-                  match callee_sig_hash st name with
+                  match callee_sig_hash ld name with
                   | Some h' when h' <> h -> Some name
                   | _ -> None)
               | None -> None)
@@ -946,10 +1095,13 @@ let exec_term ld (fr : frame) (term : Ir.terminator) : unit =
   | Ir.TSwitch (v, cases, default) ->
       charge st (Cost.basic * 2);
       let x = eval_int st fr v in
-      let target =
-        match List.assoc_opt x cases with Some t -> t | None -> default
+      (* monomorphic scan — [List.assoc_opt] is a polymorphic-compare C
+         call per executed case *)
+      let rec find = function
+        | [] -> default
+        | (k, t) :: tl -> if (k : int) = x then t else find tl
       in
-      fr.fr_block <- target;
+      fr.fr_block <- find cases;
       fr.fr_inst <- 0
   | Ir.TUnreachable ->
       raise (Trap (Runtime_error "unreachable executed (missing return?)"))
@@ -975,10 +1127,42 @@ let step_once ld : bool =
       else exec_term ld fr fr.fr_func.Ir.fblocks.(fr.fr_block).Ir.term;
       true
 
+(** Main execution loop.  Equivalent to [while step_once ld do () done]
+    but with the top frame's instruction array hoisted: the inner loop
+    runs the current basic block straight-line and drops back to the
+    dispatcher on any control transfer (a call pushes a frame, a
+    terminator rewrites [fr_block], a return pops), so the hoisted
+    [insts]/[n] can never go stale.  Step accounting is performed by the
+    same counters in the same order as {!step_once}. *)
 let run_until_done ld : int =
+  let st = ld.st in
+  let max_steps = st.cfg.max_steps in
   try
-    while step_once ld do
-      ()
+    let live = ref true in
+    while !live do
+      match st.frames with
+      | [] -> live := false
+      | fr :: _ ->
+          let insts = Array.unsafe_get fr.fr_code fr.fr_block in
+          let n = Array.length insts in
+          let straight = ref true in
+          while !straight do
+            st.steps <- st.steps + 1;
+            if st.steps > max_steps then raise (Trap Step_limit);
+            st.stats.insts <- st.stats.insts + 1;
+            let k = fr.fr_inst in
+            if k < n then begin
+              let i = Array.unsafe_get insts k in
+              fr.fr_inst <- k + 1;
+              (match i with Ir.Call _ -> straight := false | _ -> ());
+              exec_inst ld fr i
+            end
+            else begin
+              straight := false;
+              exec_term ld fr
+                (Array.unsafe_get fr.fr_func.Ir.fblocks fr.fr_block).Ir.term
+            end
+          done
     done;
     0
   with Program_exit n -> n
@@ -986,11 +1170,11 @@ let run_until_done ld : int =
 (** Re-entrant call from inside a builtin (e.g. a qsort comparator):
     push a frame for [f] and run until it returns, yielding its return
     values.  Traps and [Program_exit] propagate. *)
-let call_function ld (f : Ir.func) (args : value list) : value list =
+let call_function ld (fe : fentry) (args : value list) : value list =
   let st = ld.st in
-  let depth = List.length st.frames in
-  push_frame ld f args [];
-  while List.length st.frames > depth && step_once ld do
+  let depth = st.n_frames in
+  push_frame ld fe args [];
+  while st.n_frames > depth && step_once ld do
     ()
   done;
   st.last_rets
@@ -1069,18 +1253,25 @@ let run ?(cfg = default_config) (m : Ir.modul) : result =
   let ld = create ~cfg m in
   try
     (* transformed modules carry a synthetic global-metadata initializer *)
-    (match Ir.find_func m "__sb_global_init" with
-    | Some f ->
-        push_frame ld f [] [];
+    (match Hashtbl.find_opt ld.resolved "__sb_global_init" with
+    | Some (RFunc fe) ->
+        push_frame ld fe [] [];
         ignore (run_until_done ld)
-    | None -> ());
-    let main_name =
-      if Ir.find_func m "_sb_main" <> None then "_sb_main"
-      else if Ir.find_func m "main" <> None then "main"
-      else raise (Trap (Runtime_error "no main function"))
+    | _ -> ());
+    let module_func name =
+      match Hashtbl.find_opt ld.resolved name with
+      | Some (RFunc fe) -> Some fe
+      | _ -> None
     in
-    let main = Option.get (Ir.find_func m main_name) in
-    let nparams = List.length main.Ir.fparams in
+    let main =
+      match module_func "_sb_main" with
+      | Some fe -> fe
+      | None -> (
+          match module_func "main" with
+          | Some fe -> fe
+          | None -> raise (Trap (Runtime_error "no main function")))
+    in
+    let nparams = Array.length main.fe_params in
     let args =
       if nparams = 0 then []
       else begin

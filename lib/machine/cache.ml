@@ -79,32 +79,44 @@ let reset c =
   c.hits <- 0;
   c.misses <- 0
 
-(** Access one address; returns the cycle penalty (0 on hit). *)
+(** Access one address; returns the cycle penalty (0 on hit).
+    This is the hottest function in the whole simulator (it runs for
+    every simulated memory access, metadata probe and control-data
+    touch), so the way scan is allocation-free and unchecked — indices
+    are in bounds by construction of [tags]/[stamps]. *)
 let access c addr =
   c.clock <- c.clock + 1;
   let line = addr lsr c.line_bits in
   let set = line land (c.n_sets - 1) in
-  let base = set * c.cfg.assoc in
+  let assoc = c.cfg.assoc in
+  let base = set * assoc in
+  let tags = c.tags in
   let rec find w =
-    if w >= c.cfg.assoc then None
-    else if c.tags.(base + w) = line then Some w
+    if w >= assoc then -1
+    else if Array.unsafe_get tags (base + w) = line then w
     else find (w + 1)
   in
-  match find 0 with
-  | Some w ->
-      c.hits <- c.hits + 1;
-      c.stamps.(base + w) <- c.clock;
-      0
-  | None ->
-      c.misses <- c.misses + 1;
-      (* evict LRU way *)
-      let victim = ref 0 in
-      for w = 1 to c.cfg.assoc - 1 do
-        if c.stamps.(base + w) < c.stamps.(base + !victim) then victim := w
-      done;
-      c.tags.(base + !victim) <- line;
-      c.stamps.(base + !victim) <- c.clock;
-      c.cfg.miss_penalty
+  let w = find 0 in
+  if w >= 0 then begin
+    c.hits <- c.hits + 1;
+    Array.unsafe_set c.stamps (base + w) c.clock;
+    0
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    (* evict LRU way *)
+    let stamps = c.stamps in
+    let victim = ref 0 in
+    for w = 1 to assoc - 1 do
+      if
+        Array.unsafe_get stamps (base + w)
+        < Array.unsafe_get stamps (base + !victim)
+      then victim := w
+    done;
+    Array.unsafe_set tags (base + !victim) line;
+    Array.unsafe_set stamps (base + !victim) c.clock;
+    c.cfg.miss_penalty
+  end
 
 let hits c = c.hits
 let misses c = c.misses

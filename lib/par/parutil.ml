@@ -1,0 +1,59 @@
+(* Deterministic fork/join parallelism over OCaml 5 domains.
+
+   [parmap ~jobs f xs] evaluates [f] over [xs] on up to [jobs] domains
+   and returns the results in input order, so a parallel driver's merged
+   output is byte-identical to the sequential one whenever each [f x] is
+   itself deterministic and independent.  Work is handed out through a
+   single atomic cursor: the *assignment* of items to domains varies
+   from run to run, but the result array is indexed by item, so ordering
+   never does.
+
+   [jobs <= 1] short-circuits to [List.map f] on the calling domain —
+   the sequential path stays the plain one, with no spawn at all. *)
+
+(** What the runtime considers a sensible upper bound for [~jobs]. *)
+let available_jobs () = Domain.recommended_domain_count ()
+
+exception Worker_failed of exn
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failed e -> Some ("parallel worker failed: " ^ Printexc.to_string e)
+    | _ -> None)
+
+let parmap ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let out : 'b option array = Array.make n None in
+    let next = Atomic.make 0 in
+    (* first failure wins; later items are still drained so join never
+       blocks on a poisoned queue *)
+    let failure = Atomic.make None in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f items.(i) with
+        | v -> out.(i) <- Some v
+        | exception e ->
+            ignore (Atomic.compare_and_set failure None (Some (Worker_failed e))));
+        if Atomic.get failure = None then work ()
+      end
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         out)
+  end
+
+(** [pariteri ~jobs f xs]: like {!parmap} but for effects that the
+    caller sequences itself; [f] receives the item index. *)
+let pariteri ?(jobs = 1) (f : int -> 'a -> unit) (xs : 'a list) : unit =
+  ignore (parmap ~jobs (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs))

@@ -234,6 +234,95 @@ let suite =
         Alcotest.(check int) "16 bytes apart" 16 (b - a));
     (* --- qcheck model tests --- *)
     QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "word fast paths match the byte-wise reference (unaligned, \
+            page-straddling, untouched pages)"
+         ~count:300
+         (* each op: (write?, address selector, width selector, value).
+            The selector folds to an offset that lands near the 4 KiB
+            page boundary every fourth op, so 2/4/8-byte accesses
+            straddle pages regularly — the case where the word path must
+            fall back to the byte loop. *)
+         QCheck.(
+           list_of_size (Gen.int_range 1 60)
+             (quad bool (int_bound 10_000) (int_bound 3)
+                (int_bound max_int)))
+         (fun ops ->
+           let page = 4096 in
+           let base = 0x1000_0000 in
+           let off_of sel =
+             if sel mod 4 = 0 then page - 1 - (sel mod 8) (* straddler *)
+             else sel mod (2 * page)
+           in
+           (* m_fast sees read_int/write_int (word path when the access
+              fits in one page); m_ref sees only read_byte/write_byte,
+              the reference semantics the fast path must reproduce *)
+           let m_fast = Mem.create () in
+           let m_ref = Mem.create () in
+           let write_ref a len v =
+             let v = ref v in
+             for i = 0 to len - 1 do
+               Mem.write_byte m_ref (a + i) (!v land 0xff);
+               v := !v asr 8
+             done
+           in
+           let read_ref a len =
+             let v = ref 0 in
+             for i = len - 1 downto 0 do
+               v := (!v lsl 8) lor Mem.read_byte m_ref (a + i)
+             done;
+             !v
+           in
+           List.for_all
+             (fun (is_write, sel, wi, v) ->
+               let a = base + off_of sel in
+               let len = [| 1; 2; 4; 8 |].(wi) in
+               if is_write then begin
+                 Mem.write_int m_fast a len v;
+                 write_ref a len v;
+                 true
+               end
+               else Mem.read_int m_fast a len = read_ref a len)
+             ops
+           (* untouched pages: same answers AND same materialization —
+              reads must never allocate a page on either side *)
+           && Mem.read_int m_fast (base + (64 * page)) 8 = 0
+           && Mem.read_int m_ref (base + (64 * page)) 8 = 0
+           && Mem.resident_bytes m_fast = Mem.resident_bytes m_ref));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"i64 fast path matches the byte-wise reference" ~count:200
+         QCheck.(pair (int_bound 10_000) (pair int int))
+         (fun (sel, (lo, hi)) ->
+           let page = 4096 in
+           let a =
+             0x1000_0000
+             + if sel mod 3 = 0 then page - 1 - (sel mod 8) else sel
+           in
+           let v =
+             Int64.logxor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 17)
+           in
+           let m_fast = Mem.create () in
+           let m_ref = Mem.create () in
+           Mem.write_i64 m_fast a v;
+           (* byte-wise reference for the 64-bit path *)
+           let r = ref v in
+           for i = 0 to 7 do
+             Mem.write_byte m_ref (a + i) (Int64.to_int (Int64.logand !r 0xffL));
+             r := Int64.shift_right_logical !r 8
+           done;
+           let back = ref 0L in
+           for i = 7 downto 0 do
+             back :=
+               Int64.logor
+                 (Int64.shift_left !back 8)
+                 (Int64.of_int (Mem.read_byte m_ref (a + i)))
+           done;
+           Mem.read_i64 m_fast a = !back
+           && Mem.read_i64 m_fast a = v
+           && Mem.resident_bytes m_fast = Mem.resident_bytes m_ref));
+    QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"memory matches a Bytes model" ~count:100
          QCheck.(
            list (pair (int_bound 2000) (int_bound 255)))

@@ -20,4 +20,5 @@ let () =
       ("formal", Test_formal.suite);
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_par.suite);
     ]

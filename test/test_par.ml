@@ -1,0 +1,65 @@
+(* Parallel harness drivers: Parutil semantics, and the determinism
+   contract — a parallel run's merged output equals the sequential
+   run's, outcome for outcome, because results merge in input order and
+   every unit of work is self-contained. *)
+
+module P = Parutil
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    tc "parmap: results in input order, any jobs" (fun () ->
+        let xs = List.init 23 Fun.id in
+        let f x = (x * 7) + 1 in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "jobs=%d" jobs)
+              (List.map f xs)
+              (P.parmap ~jobs f xs))
+          [ 1; 2; 3; 8; 64 ]);
+    tc "parmap: jobs exceeding items is fine" (fun () ->
+        Alcotest.(check (list int))
+          "singleton" [ 42 ]
+          (P.parmap ~jobs:8 (fun x -> x) [ 42 ]));
+    tc "parmap: worker exception surfaces as Worker_failed" (fun () ->
+        let boom _ = failwith "boom" in
+        Alcotest.check_raises "sequential path re-raises directly"
+          (Failure "boom") (fun () -> ignore (P.parmap ~jobs:1 boom [ 1; 2 ]));
+        match P.parmap ~jobs:2 boom [ 1; 2; 3 ] with
+        | _ -> Alcotest.fail "expected Worker_failed"
+        | exception P.Worker_failed _ -> ());
+    tc "parmap: available_jobs is positive" (fun () ->
+        Alcotest.(check bool) "positive" true (P.available_jobs () > 0));
+    tc "fuzz campaign: jobs=3 report equals jobs=1, outcome for outcome"
+      (fun () ->
+        let run jobs =
+          Fuzz.run_campaign ~shrink:false ~max_steps:200_000 ~jobs ~seed:11
+            ~count:24 ()
+        in
+        let seq = run 1 and par = run 3 in
+        Alcotest.(check int) "tested" seq.Fuzz.tested par.Fuzz.tested;
+        Alcotest.(check int) "skipped" seq.Fuzz.skipped par.Fuzz.skipped;
+        Alcotest.(check int) "trap cases" seq.Fuzz.trap_cases
+          par.Fuzz.trap_cases;
+        Alcotest.(check bool) "findings (order included)" true
+          (seq.Fuzz.findings = par.Fuzz.findings);
+        Alcotest.(check string) "rendered report" (Fuzz.render seq)
+          (Fuzz.render par));
+    tc "experiment rows: parallel fan-out equals sequential run" (fun () ->
+        (* a slice of the elim matrix: enough to drive the shared
+           transform/compile caches from several domains at once *)
+        let ws =
+          List.filter
+            (fun w ->
+              List.mem w.Workloads.name
+                [ "compress"; "bisort"; "treeadd"; "mst" ])
+            Workloads.all
+        in
+        let seq = List.map (Harness.Exp_elim.run_one ~quick:true) ws in
+        let par =
+          P.parmap ~jobs:4 (Harness.Exp_elim.run_one ~quick:true) ws
+        in
+        Alcotest.(check bool) "identical rows" true (seq = par));
+  ]
