@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench experiments examples fuzz-smoke profile-smoke \
-	vmspeed-smoke coverage verify clean
+	vmspeed-smoke adversarial-smoke coverage verify clean
 
 all: build
 
@@ -50,6 +50,20 @@ vmspeed-smoke:
 	diff /tmp/vmspeed1.stable /tmp/vmspeed2.stable
 	@echo "vmspeed-smoke: deterministic modulo host timing"
 
+# adversarial robust-safety pass: fixed seed, a couple hundred
+# attacker/protected pairs plus the committed regression seeds (the
+# pre-fix wrapper bugs, which must report as caught).  Any escape fails
+# the target.  The second run fans out over 2 domains and its report
+# must be byte-identical — the campaign is jobs-independent.
+adversarial-smoke:
+	dune exec bin/softbound_cli.exe -- fuzz --adversarial --seed 1 \
+	  --count 200 > /tmp/adv1.txt
+	dune exec bin/softbound_cli.exe -- fuzz --adversarial --seed 1 \
+	  --count 200 --jobs 2 > /tmp/adv2.txt
+	diff /tmp/adv1.txt /tmp/adv2.txt
+	grep -q 'regression seeds: caught' /tmp/adv1.txt
+	@echo "adversarial-smoke: no escapes, jobs-independent"
+
 # quick profiler pass over two kernels: exercises the observability
 # layer end to end (site attribution, JSON export, trace ring)
 profile-smoke:
@@ -73,7 +87,8 @@ coverage:
 
 # what CI runs: build, the whole test suite, a smoke pass of the
 # check-elimination ablation (quick workload sizes), the profiler
-# smoke run, and the differential-fuzzing smoke campaign
+# smoke run, and both fuzzing smoke campaigns (differential and
+# adversarial robust-safety)
 verify:
 	dune build
 	dune runtest
@@ -81,6 +96,7 @@ verify:
 	$(MAKE) profile-smoke
 	$(MAKE) vmspeed-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) adversarial-smoke
 
 examples:
 	dune exec examples/quickstart.exe

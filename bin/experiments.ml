@@ -8,7 +8,7 @@ let usage () =
   prerr_endline
     "usage: experiments \
      <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
-     breakdown|vmspeed|all> \
+     breakdown|vmspeed|adversarial|all> \
      [--quick] [--jobs N] [--iters N]";
   exit 2
 
@@ -41,7 +41,7 @@ let () =
   let targets =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
-        "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed" ]
+        "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed"; "adversarial" ]
     else targets
   in
   List.iter
@@ -76,6 +76,14 @@ let () =
             output_string oc (Harness.Exp_vmspeed.to_json ~quick ~iters rows);
             close_out oc;
             Harness.Exp_vmspeed.render rows
+        | "adversarial" ->
+            let t = Harness.Exp_adversarial.run ~quick ~jobs () in
+            if not (Harness.Exp_adversarial.ok t) then begin
+              print_endline (Harness.Exp_adversarial.render t);
+              prerr_endline "adversarial: robust safety violated";
+              exit 1
+            end;
+            Harness.Exp_adversarial.render t
         | other ->
             Printf.eprintf "unknown experiment %s\n" other;
             exit 2

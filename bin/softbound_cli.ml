@@ -392,8 +392,26 @@ let fuzz_cmd =
              report is identical to a sequential run: cases are independent \
              and results merge in case order.")
   in
-  let f seed count no_minimize max_steps jobs =
+  let adversarial_arg =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ]
+          ~doc:
+            "Run the robust-safety adversarial campaign instead: generated \
+             attacker action sequences against protected components, every \
+             action classified caught/confined/escaped.  Exit status is \
+             nonzero on any escape.")
+  in
+  let f seed count no_minimize max_steps jobs adversarial =
     let jobs = if jobs = 0 then Parutil.available_jobs () else jobs in
+    if adversarial then begin
+      let r = Fuzz.Adversary.run_campaign ~jobs ~seed ~count () in
+      print_string (Fuzz.Adversary.render r);
+      exit
+        (if r.Fuzz.Adversary.escaped = 0 && r.Fuzz.Adversary.regression_ok
+         then 0
+         else 1)
+    end;
     let progress k =
       if k > 0 && k mod 20 = 0 then (
         Printf.eprintf "fuzz: %d cases...\n" k;
@@ -410,7 +428,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg
-      $ jobs_arg)
+      $ jobs_arg $ adversarial_arg)
 
 let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in

@@ -419,6 +419,69 @@ let agreement_holds (env : env) (c : cmd) : bool =
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
+(* Robust safety (secure-compilation view)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The closed-program theorems above assume the whole program is
+   instrumented.  The robust variants drop that assumption: an attacker
+   context interleaves arbitrary machine-level writes with the protected
+   command's execution.  The attacker model matches the adversarial
+   harness (lib/fuzz/adversary.ml): it can write any *value* to any
+   allocated cell outside the protected set, but it stores raw words —
+   it cannot forge the (base, bound) capability that would accompany a
+   legitimate pointer store, so attacker-written cells carry null
+   metadata.  That asymmetry is exactly why well-formedness is robust:
+   wf_mval accepts b = 0 unconditionally, so no attacker write can
+   manufacture a capability over memory it does not own. *)
+
+type attacker_step = { aloc : int; aval : int }
+
+let attacker_apply ?(protected_locs = []) (env : env) (s : attacker_step) :
+    env option =
+  if List.mem s.aloc protected_locs then None (* confined: write blocked *)
+  else
+    (* raw store: arbitrary value, null metadata (no capability forging) *)
+    write env s.aloc { v = s.aval; b = 0; e = 0 }
+
+(** Run an attacker context: blocked or unallocated writes are confined
+    (no effect), everything else lands.  Total by construction — the
+    attacker never gets stuck, it just fails to corrupt. *)
+let attacker_run ?(protected_locs = []) (env : env)
+    (steps : attacker_step list) : env =
+  List.fold_left
+    (fun env s ->
+      match attacker_apply ~protected_locs env s with
+      | Some env' -> env'
+      | None -> env)
+    env steps
+
+(** Robust preservation: from a well-formed env, arbitrary attacker
+    interference keeps the env well-formed, and the checked semantics of
+    a well-typed protected command still enjoys preservation *and*
+    progress afterwards — it completes, aborts, or runs out of memory,
+    never gets stuck, and any [Ok] result is again well-formed.  This is
+    the formal counterpart of the harness's "caught or confined"
+    verdict: the attacker can perturb data, not the safety invariant. *)
+let robust_preservation_holds ?(protected_locs = []) (env : env)
+    (steps : attacker_step list) (c : cmd) : bool =
+  (not (wf_env env && type_cmd env c))
+  ||
+  let env' = attacker_run ~protected_locs env steps in
+  wf_env env'
+  &&
+  match eval_cmd ~checked:true env' c with
+  | Ok env'' -> wf_env env''
+  | Abort | OutOfMem -> true
+  | Stuck _ -> false
+
+(** Robust integrity: cells named as protected are bit-for-bit untouched
+    by any attacker run — the confinement half of robust safety. *)
+let robust_integrity_holds ?(protected_locs = []) (env : env)
+    (steps : attacker_step list) : bool =
+  let env' = attacker_run ~protected_locs env steps in
+  List.for_all (fun l -> read env l = read env' l) protected_locs
+
+(* ------------------------------------------------------------------ *)
 (* Initial environments                                                 *)
 (* ------------------------------------------------------------------ *)
 

@@ -118,6 +118,33 @@ val agreement_holds : env -> cmd -> bool
 (** Corollary 4.1: if the instrumented program completes, the unchecked
     reference semantics completes too, with the same data. *)
 
+(** {1 Robust safety (secure-compilation view)} *)
+
+type attacker_step = { aloc : int; aval : int }
+(** One machine-level attacker write: value [aval] at address [aloc].
+    Attacker stores carry null metadata — the attacker can forge
+    pointers, not capabilities. *)
+
+val attacker_apply :
+  ?protected_locs:int list -> env -> attacker_step -> env option
+(** Apply one attacker write.  [None] when the write is confined
+    (protected cell or unallocated address). *)
+
+val attacker_run : ?protected_locs:int list -> env -> attacker_step list -> env
+(** Run an attacker context; confined writes have no effect.  Total —
+    the attacker never gets stuck, it just fails to corrupt. *)
+
+val robust_preservation_holds :
+  ?protected_locs:int list -> env -> attacker_step list -> cmd -> bool
+(** Robust counterpart of Theorems 4.1/4.2: arbitrary attacker
+    interference preserves well-formedness, and the checked semantics of
+    a well-typed command afterwards still completes, aborts or runs out
+    of memory — never [Stuck] — with any [Ok] result well-formed. *)
+
+val robust_integrity_holds :
+  ?protected_locs:int list -> env -> attacker_step list -> bool
+(** Cells named as protected are untouched by any attacker run. *)
+
 (** {1 Initial environments} *)
 
 val initial_env : ?limit:int -> tenv -> (string * atype) list -> env

@@ -9,6 +9,7 @@ module Rng = Rng
 module Gen = Gen
 module Oracle = Oracle
 module Shrink = Shrink
+module Adversary = Adversary
 
 let expect_name = function
   | Gen.Safe -> "safe"

@@ -1,0 +1,59 @@
+(* Robust-safety campaign as an experiment target.
+
+   Runs the adversarial harness ({!Fuzz.Adversary}) over generated
+   attacker/protected pairs plus the committed regression seeds, and
+   reports the caught/confined/escaped verdict counts per attack class.
+   The acceptance bar mirrors the robust-safety claim: zero escapes —
+   every attacker action is either trapped at a wrapper boundary
+   (caught) or provably without effect on the protected component's
+   heap, metadata, and observable behaviour (confined). *)
+
+type t = { quick : bool; report : Fuzz.Adversary.report }
+
+let seed = 2026
+
+let run ?(quick = false) ?(jobs = 1) () : t =
+  let count = if quick then 60 else 200 in
+  { quick; report = Fuzz.Adversary.run_campaign ~jobs ~seed ~count () }
+
+let render (t : t) : string =
+  let r = t.report in
+  let rows =
+    List.map
+      (fun (cls, (ca, co, es)) ->
+        [ cls; string_of_int ca; string_of_int co; string_of_int es ])
+      r.Fuzz.Adversary.per_class
+  in
+  let total =
+    [
+      "total";
+      string_of_int r.Fuzz.Adversary.caught;
+      string_of_int r.Fuzz.Adversary.confined;
+      string_of_int r.Fuzz.Adversary.escaped;
+    ]
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Texttable.render
+       ~title:
+         (Printf.sprintf
+            "Adversarial robust-safety campaign (seed=%d, %d scenarios%s)"
+            r.Fuzz.Adversary.seed r.Fuzz.Adversary.cases
+            (if t.quick then ", quick" else ""))
+       ~headers:[ "attack class"; "caught"; "confined"; "escaped" ]
+       (rows @ [ total ]));
+  Buffer.add_string b
+    (Printf.sprintf "regression seeds: %s\n"
+       (if r.Fuzz.Adversary.regression_ok then "caught (no escapes)"
+        else "ESCAPED"));
+  List.iter
+    (fun (case, label, why) ->
+      Buffer.add_string b (Printf.sprintf "ESCAPE %s %s: %s\n" case label why))
+    r.Fuzz.Adversary.escapes;
+  if r.Fuzz.Adversary.escaped = 0 && r.Fuzz.Adversary.regression_ok then
+    Buffer.add_string b
+      "robust safety holds: every attack was caught or confined\n";
+  Buffer.contents b
+
+let ok (t : t) : bool =
+  t.report.Fuzz.Adversary.escaped = 0 && t.report.Fuzz.Adversary.regression_ok

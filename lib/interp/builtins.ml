@@ -45,18 +45,6 @@ let range_access st addr len ~is_store =
     else st.stats.mem_reads <- st.stats.mem_reads + 1
   end
 
-(** Unchecked strlen over simulated memory (faults only if it runs off
-    every mapped segment). *)
-let raw_strlen st addr =
-  let rec go i =
-    if i > 1 lsl 20 then raise (Trap (Runtime_error "unterminated string"))
-    else begin
-      Mem.check_program_access st.mem (addr + i) 1;
-      if Mem.read_byte st.mem (addr + i) = 0 then i else go (i + 1)
-    end
-  in
-  go 0
-
 (* ------------------------------------------------------------------ *)
 (* Wrapper context                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -299,13 +287,15 @@ let do_free w ?(with_meta = false) ptr =
   end
 
 let copy_meta_range w ~dst ~src ~len =
-  (* copy metadata for every pointer-aligned slot covered by the copy *)
+  (* copy metadata for every pointer-aligned slot covered by the copy;
+     all source slots are snapshotted before the first store — memmove
+     ranges may overlap, and an in-place forward copy would reread source
+     slots the destination pass already overwrote (Mem.blit gets this
+     right for the data; the metadata copy must match) *)
   if w.checked then begin
     let slots = len / 8 in
-    for i = 0 to slots - 1 do
-      let b, e = meta_load w.st (src + (8 * i)) in
-      meta_store w.st (dst + (8 * i)) b e
-    done
+    let snap = Array.init slots (fun i -> meta_load w.st (src + (8 * i))) in
+    Array.iteri (fun i (b, e) -> meta_store w.st (dst + (8 * i)) b e) snap
   end
 
 (** Dispatch a builtin call.
@@ -383,6 +373,8 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
   | "realloc" ->
       charge st Cost.libc_call;
       let old = argi 0 and size = argi 1 in
+      (* same containment discipline as free for the retiring pointer *)
+      if old <> 0 then check_write w ~ptr:old ~meta:(meta_of 0) ~size:0;
       (try
          (* the old size must be read before [Heap.realloc] retires the
             block, or the checkers' free event is silently skipped *)
@@ -406,7 +398,12 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
              ret_ptr a (a, a + size)
        with Machine.Heap.Bad_free a -> raise (Trap (Bad_free a)))
   | "free" ->
-      do_free w ~with_meta:(variant = `Free_meta) (argi 0);
+      let p = argi 0 in
+      (* the pointer handed to free must sit within its own metadata
+         bounds (size-0 containment check): a forged pointer carrying
+         unrelated metadata cannot retire somebody else's live block *)
+      if p <> 0 then check_write w ~ptr:p ~meta:(meta_of 0) ~size:0;
+      do_free w ~with_meta:(variant = `Free_meta) p;
       ret0
   (* ---- memory ---- *)
   | "memcpy" | "memmove" ->
@@ -446,15 +443,15 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
   (* ---- strings ---- *)
   | "strlen" ->
       let p = argi 0 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      (* checked scan: an unterminated string traps at its bound instead
+         of measuring whatever lies beyond it *)
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       charge st (Cost.bulk_cost len);
       [ vi len ]
   | "strcpy" ->
       let dst = argi 0 and src = argi 1 in
-      let len = raw_strlen st src in
-      check_read w ~ptr:src ~meta:(meta_of 1) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:src ~meta:(meta_of 1) in
       check_write w ~ptr:dst ~meta:(meta_of 0) ~size:(len + 1);
       range_access st src (len + 1) ~is_store:false;
       range_access st dst (len + 1) ~is_store:true;
@@ -503,10 +500,16 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       ret_ptr dst (meta_of 0)
   | "strcmp" | "strncmp" ->
       let a = argi 0 and b = argi 1 in
-      let limit = if base_name = "strncmp" then argi 2 else max_int in
-      let la = raw_strlen st a and lb = raw_strlen st b in
-      check_read w ~ptr:a ~meta:(meta_of 0) ~size:(min (la + 1) limit);
-      check_read w ~ptr:b ~meta:(meta_of 1) ~size:(min (lb + 1) limit);
+      let limit = if base_name = "strncmp" then max (argi 2) 0 else max_int in
+      (* bounded checked scans: neither operand is read past its bounds,
+         and strncmp never looks past [limit] — a short compare over an
+         unterminated buffer is well-defined, not a scan of what follows *)
+      let scan ptr meta =
+        if base_name = "strncmp" then checked_strnlen w ~ptr ~meta limit
+        else checked_strlen w ~ptr ~meta
+      in
+      let la = scan a (meta_of 0) in
+      let lb = scan b (meta_of 1) in
       range_access st a (min (la + 1) limit) ~is_store:false;
       range_access st b (min (lb + 1) limit) ~is_store:false;
       charge st (Cost.bulk_cost (min (la + 1) limit));
@@ -520,8 +523,7 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       [ vi (go 0) ]
   | "strchr" ->
       let p = argi 0 and c = argi 1 land 0xff in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       charge st (Cost.bulk_cost len);
       let rec go i =
@@ -533,10 +535,11 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       ret_ptr r (if r = 0 then (0, 0) else meta_of 0)
   | "strstr" ->
       let hay = argi 0 and needle = argi 1 in
+      (* both operands get a checked scan before any byte is fetched *)
+      let _ = checked_strlen w ~ptr:hay ~meta:(meta_of 0) in
+      let _ = checked_strlen w ~ptr:needle ~meta:(meta_of 1) in
       let hs = Mem.read_cstring st.mem hay in
       let ns = Mem.read_cstring st.mem needle in
-      check_read w ~ptr:hay ~meta:(meta_of 0) ~size:(String.length hs + 1);
-      check_read w ~ptr:needle ~meta:(meta_of 1) ~size:(String.length ns + 1);
       range_access st hay (String.length hs + 1) ~is_store:false;
       charge st (Cost.bulk_cost (String.length hs));
       let r =
@@ -557,8 +560,7 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       ret_ptr r (if r = 0 then (0, 0) else meta_of 0)
   | "strdup" ->
       let p = argi 0 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       let a, m = do_malloc w (len + 1) in
       if a <> 0 then begin
@@ -584,8 +586,7 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
   | "islower" -> [ vi (if argi 0 >= 97 && argi 0 <= 122 then 1 else 0) ]
   | "strrchr" ->
       let p = argi 0 and c = argi 1 land 0xff in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       charge st (Cost.bulk_cost len);
       let r = ref 0 in
@@ -610,8 +611,7 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       ret_ptr !r (if !r = 0 then (0, 0) else meta_of 0)
   | "strtol" ->
       let p = argi 0 and endp = argi 1 and base = argi 2 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
       (* parse: optional spaces, sign, digits in the given base *)
@@ -648,15 +648,15 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
   (* ---- conversion ---- *)
   | "atoi" | "atol" ->
       let p = argi 0 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
+      range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
       let v = try Int64.to_int (Int64.of_string (String.trim s)) with _ -> 0 in
       [ vi v ]
   | "atof" ->
       let p = argi 0 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
+      range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
       let v = try float_of_string (String.trim s) with _ -> 0.0 in
       [ VF v ]
@@ -712,8 +712,7 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       [ vi n ]
   | "puts" ->
       let p = argi 0 in
-      let len = raw_strlen st p in
-      check_read w ~ptr:p ~meta:(meta_of 0) ~size:(len + 1);
+      let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       State.output_string st (Mem.read_cstring st.mem p);
       State.output_char st '\n';

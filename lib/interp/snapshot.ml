@@ -1,0 +1,80 @@
+(* Integrity snapshots of a protected component's memory, heap blocks
+   and pointer metadata.
+
+   The adversarial robust-safety harness ({!Fuzz.Adversary}) captures a
+   snapshot of everything the protected component owns — byte images of
+   its buffers, its live heap blocks, and the (value, base, bound)
+   triple of every pointer-holding slot — and re-captures after each
+   attacker action.  A non-empty {!diff} is a trap-free corruption of
+   protected state: exactly what robust safety forbids.
+
+   All reads are observer-only: {!Machine.Memory.read_byte} and
+   {!State.meta_peek} perform no accounting, no cache traffic and no
+   observability events, so capturing a snapshot never perturbs the
+   simulated run it is auditing. *)
+
+module Mem = Machine.Memory
+module Heap = Machine.Heap
+
+type region = { r_name : string; r_addr : int; r_len : int }
+
+type t = {
+  images : (region * string) list;  (** raw byte images, in capture order *)
+  slots : (int * int * (int * int)) list;
+      (** pointer slot: address, stored value, metadata from the facility *)
+  blocks : (int * int option) list;  (** heap block: address, live size *)
+}
+
+(** Raw byte image of [\[addr, addr+len)] — unmaterialized pages read
+    as zero, like the machine itself. *)
+let read_bytes (st : State.t) addr len =
+  String.init len (fun i -> Char.chr (Mem.read_byte st.mem (addr + i) land 0xff))
+
+let capture (st : State.t) ~(regions : region list) ~(slot_addrs : int list)
+    ~(block_addrs : int list) : t =
+  {
+    images = List.map (fun r -> (r, read_bytes st r.r_addr r.r_len)) regions;
+    slots =
+      List.map
+        (fun a -> (a, Mem.read_int st.mem a 8, State.meta_peek st a))
+        slot_addrs;
+    blocks = List.map (fun a -> (a, Heap.block_size st.heap a)) block_addrs;
+  }
+
+(** First byte at which two images differ, if any. *)
+let first_mismatch (a : string) (b : string) : int option =
+  let n = min (String.length a) (String.length b) in
+  let rec go i =
+    if i >= n then if String.length a = String.length b then None else Some n
+    else if a.[i] <> b.[i] then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** Discrepancies between two snapshots taken with the same
+    specification; empty means the protected state is intact. *)
+let diff (before : t) (after : t) : string list =
+  let out = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter2
+    (fun (r, img0) (_, img1) ->
+      match first_mismatch img0 img1 with
+      | None -> ()
+      | Some i ->
+          say "region %s: byte %d changed (0x%02x -> 0x%02x)" r.r_name i
+            (Char.code img0.[i]) (Char.code img1.[i]))
+    before.images after.images;
+  List.iter2
+    (fun (a, v0, m0) (_, v1, m1) ->
+      if v0 <> v1 then say "slot 0x%x: value 0x%x -> 0x%x" a v0 v1;
+      if m0 <> m1 then
+        say "slot 0x%x: metadata (0x%x,0x%x) -> (0x%x,0x%x)" a (fst m0)
+          (snd m0) (fst m1) (snd m1))
+    before.slots after.slots;
+  List.iter2
+    (fun (a, s0) (_, s1) ->
+      if s0 <> s1 then
+        let show = function None -> "dead" | Some s -> string_of_int s in
+        say "block 0x%x: %s -> %s" a (show s0) (show s1))
+    before.blocks after.blocks;
+  List.rev !out

@@ -491,6 +491,30 @@ let meta_store ?(site = 0) st addr base bound : unit =
       Obs.trace_event st.obs (Obs.E_meta_store { site; addr; base; bound })
   end
 
+(** Observer-only metadata read: no cycle accounting, no cache traffic,
+    no inline-cache updates and no observability events.  For harness-side
+    integrity oracles (e.g. the adversarial robust-safety snapshots) that
+    must inspect the facility without perturbing the simulated run. *)
+let meta_peek st addr : int * int =
+  match st.cfg.meta with
+  | None -> (0, 0)
+  | Some Shadow_space ->
+      let sa = L.shadow_addr addr in
+      (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
+  | Some Hash_table ->
+      let tag = addr + 1 in
+      let rec probe i n =
+        if n > ht_max_probes then (0, 0)
+        else
+          let ea = ht_slot_addr st i in
+          let t = Mem.read_int st.mem ea 8 in
+          if t = tag then
+            (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
+          else if t = 0 then (0, 0)
+          else probe (i + 1) (n + 1)
+      in
+      probe (ht_index st addr) 0
+
 (* ------------------------------------------------------------------ *)
 (* The SoftBound check (paper section 3.1)                              *)
 (* ------------------------------------------------------------------ *)

@@ -1181,6 +1181,13 @@ let call_function ld (fe : fentry) (args : value list) : value list =
 
 let () = call_function_fwd := call_function
 
+(** Boundary call into a loaded module whose [main] already finished
+    (the adversarial harness's calls into exported protected
+    functions): like {!call_function}, except a return that empties the
+    frame stack is an ordinary return, not program exit. *)
+let call_boundary ld (fe : fentry) (args : value list) : value list =
+  try call_function ld fe args with Program_exit _ -> ld.st.last_rets
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1248,9 +1255,11 @@ let finish ld outcome : result =
     obs = st.obs;
   }
 
-(** Load and run a module to completion. *)
-let run ?(cfg = default_config) (m : Ir.modul) : result =
-  let ld = create ~cfg m in
+(** Run the loaded module's global initializer and [main], returning the
+    outcome.  Unlike {!run} this leaves the state open afterwards: the
+    adversarial harness keeps driving boundary calls ({!call_function},
+    builtin dispatches) against the very same [loaded] value. *)
+let run_main ld : outcome =
   try
     (* transformed modules carry a synthetic global-metadata initializer *)
     (match Hashtbl.find_opt ld.resolved "__sb_global_init" with
@@ -1276,7 +1285,7 @@ let run ?(cfg = default_config) (m : Ir.modul) : result =
       if nparams = 0 then []
       else begin
         let argc, argv, (ab, ae) =
-          setup_argv ld ("prog" :: cfg.argv)
+          setup_argv ld ("prog" :: ld.st.cfg.argv)
         in
         if nparams >= 4 then
           (* transformed main: (argc, argv, argv_base, argv_bound) *)
@@ -1286,8 +1295,13 @@ let run ?(cfg = default_config) (m : Ir.modul) : result =
     in
     push_frame ld main args [];
     let code = run_until_done ld in
-    finish ld (Exit code)
+    Exit code
   with
-  | Trap t -> finish ld (Trapped t)
-  | Mem.Segfault a -> finish ld (Trapped (Segfault a))
-  | Program_exit n -> finish ld (Exit n)
+  | Trap t -> Trapped t
+  | Mem.Segfault a -> Trapped (Segfault a)
+  | Program_exit n -> Exit n
+
+(** Load and run a module to completion. *)
+let run ?(cfg = default_config) (m : Ir.modul) : result =
+  let ld = create ~cfg m in
+  finish ld (run_main ld)

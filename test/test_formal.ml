@@ -123,6 +123,26 @@ let prop name f =
          QCheck.assume (type_cmd env c);
          f env c))
 
+(* Attacker contexts for the robust properties: arbitrary writes across
+   the whole address space, including unallocated addresses and the
+   stack cells the protected command uses. *)
+let gen_attack : Formal.attacker_step list QCheck.Gen.t =
+  let open QCheck.Gen in
+  list_size (int_range 0 12)
+    (map2
+       (fun aloc aval -> { Formal.aloc; aval })
+       (int_range 0 300) (* beyond limit = 256: unallocated too *)
+       (int_range (-64) 512))
+
+let arb_cmd_attack = QCheck.make (QCheck.Gen.pair gen_cmd gen_attack)
+
+let robust_prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:1000 arb_cmd_attack (fun (c, atk) ->
+         let env = fresh_env () in
+         QCheck.assume (type_cmd env c);
+         f env atk c))
+
 let suite =
   [
     (* --- unit semantics --- *)
@@ -220,4 +240,46 @@ let suite =
         match eval_cmd ~checked:true env c with
         | Ok env' -> wf_env env'
         | _ -> true);
+    (* --- robust safety: theorems under attacker interference --- *)
+    tc "attacker write to protected cell is confined" (fun () ->
+        let env = fresh_env () in
+        let addr, _ = List.assoc "x" env.stack in
+        Alcotest.(check bool)
+          "blocked" true
+          (attacker_apply ~protected_locs:[ addr ] env
+             { aloc = addr; aval = 99 }
+          = None);
+        Alcotest.(check bool)
+          "integrity" true
+          (robust_integrity_holds ~protected_locs:[ addr ] env
+             [ { aloc = addr; aval = 99 }; { aloc = addr; aval = -1 } ]));
+    tc "attacker write to unallocated address is confined" (fun () ->
+        let env = fresh_env () in
+        Alcotest.(check bool)
+          "no effect" true
+          (attacker_run env [ { aloc = 4000; aval = 7 } ] = env));
+    tc "attacker stores carry null metadata" (fun () ->
+        let env = fresh_env () in
+        let addr, _ = List.assoc "p" env.stack in
+        let env' = attacker_run env [ { aloc = addr; aval = 123 } ] in
+        match read env' addr with
+        | Some d ->
+            Alcotest.(check int) "v" 123 d.v;
+            Alcotest.(check int) "b" 0 d.b;
+            Alcotest.(check int) "e" 0 d.e
+        | None -> Alcotest.fail "cell vanished");
+    tc "forged pointer from attacker aborts on deref" (fun () ->
+        (* attacker plants an address in p's cell; the null metadata means
+           the checked deref must abort, not reach x *)
+        let env = fresh_env () in
+        let px, _ = List.assoc "x" env.stack in
+        let pp, _ = List.assoc "p" env.stack in
+        let env' = attacker_run env [ { aloc = pp; aval = px } ] in
+        expect_abort env' (Assign (Deref (Var "p"), Int 1)));
+    robust_prop "robust preservation (wf + progress under interference)"
+      (fun env atk c -> robust_preservation_holds env atk c);
+    robust_prop "robust integrity of protected cells" (fun env atk _ ->
+        let locs = List.map (fun (_, (a, _)) -> a) env.stack in
+        (* protecting every stack cell: no attacker run touches them *)
+        robust_integrity_holds ~protected_locs:locs env atk);
   ]

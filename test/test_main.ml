@@ -20,5 +20,6 @@ let () =
       ("formal", Test_formal.suite);
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
+      ("adversary", Test_adversary.suite);
       ("parallel", Test_par.suite);
     ]
