@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples fuzz-smoke profile-smoke \
-	vmspeed-smoke adversarial-smoke coverage verify clean
+.PHONY: all build test bench bench-check experiments examples fuzz-smoke \
+	profile-smoke vmspeed-smoke adversarial-smoke coverage verify clean
 
 all: build
 
@@ -11,13 +11,26 @@ build:
 test:
 	dune runtest
 
+# Anything that reports host-time numbers runs under dune's release
+# profile: the dev profile passes -opaque, which disables cross-module
+# inlining and roughly halves VM throughput — dev-profile timings are
+# not comparable to the committed BENCH_*.json artifacts.
+RELEASE := --profile release
+
 # full bechamel timing runs plus all paper artifacts (~5 min)
 bench:
-	dune exec bench/main.exe
+	dune exec $(RELEASE) bench/main.exe
 
 # every table and figure at full workload sizes (~2 min)
 experiments:
-	dune exec bin/experiments.exe -- all
+	dune exec $(RELEASE) bin/experiments.exe -- all
+
+# schema validation of the committed machine-readable artifacts
+# (BENCH_elim.json, BENCH_breakdown.json, BENCH_vmspeed.json): parses
+# each file and checks the keys downstream tooling depends on,
+# including both engines' rows and speedup summaries in vmspeed
+bench-check:
+	dune exec bin/experiments.exe -- bench-check
 
 # bounded differential-fuzzing pass: fixed seeds, a few hundred
 # programs, well under 30s — any finding fails the target
@@ -43,6 +56,8 @@ vmspeed-smoke:
 	grep -q '"sim_cycles"' /tmp/vmspeed1.json
 	grep -q '"cycles_per_host_sec"' /tmp/vmspeed1.json
 	grep -q '"speedup_vs_baseline"' /tmp/vmspeed1.json
+	grep -q '"engine": "closure"' /tmp/vmspeed1.json
+	grep -q '"engine": "decode"' /tmp/vmspeed1.json
 	@grep -vE 'host_seconds|cycles_per_host_sec|speedup' /tmp/vmspeed1.json \
 	  > /tmp/vmspeed1.stable
 	@grep -vE 'host_seconds|cycles_per_host_sec|speedup' /tmp/vmspeed2.json \
@@ -85,14 +100,17 @@ coverage:
 	  echo "coverage: bisect_ppx not installed; skipping (opam install bisect_ppx)"; \
 	fi
 
-# what CI runs: build, the whole test suite, a smoke pass of the
-# check-elimination ablation (quick workload sizes), the profiler
-# smoke run, and both fuzzing smoke campaigns (differential and
-# adversarial robust-safety)
+# what CI runs: build, the whole test suite, schema validation of the
+# committed benchmark artifacts, a smoke pass of the check-elimination
+# ablation (quick workload sizes), the profiler smoke run, and both
+# fuzzing smoke campaigns (differential and adversarial robust-safety)
 verify:
 	dune build
 	dune runtest
+	$(MAKE) bench-check
+	@cp -f BENCH_elim.json /tmp/elim.keep 2>/dev/null || true
 	dune exec bin/experiments.exe -- elim --quick
+	@if [ -f /tmp/elim.keep ]; then mv /tmp/elim.keep BENCH_elim.json; fi
 	$(MAKE) profile-smoke
 	$(MAKE) vmspeed-smoke
 	$(MAKE) fuzz-smoke

@@ -8,7 +8,7 @@ let usage () =
   prerr_endline
     "usage: experiments \
      <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
-     breakdown|vmspeed|adversarial|all> \
+     breakdown|vmspeed|adversarial|bench-check|all> \
      [--quick] [--jobs N] [--iters N]";
   exit 2
 
@@ -76,6 +76,14 @@ let () =
             output_string oc (Harness.Exp_vmspeed.to_json ~quick ~iters rows);
             close_out oc;
             Harness.Exp_vmspeed.render rows
+        | "bench-check" ->
+            (* validate the committed BENCH_*.json artifacts *)
+            let report, ok = Harness.Bench_check.run () in
+            if not ok then begin
+              prerr_endline report;
+              exit 1
+            end;
+            report
         | "adversarial" ->
             let t = Harness.Exp_adversarial.run ~quick ~jobs () in
             if not (Harness.Exp_adversarial.ok t) then begin

@@ -81,6 +81,26 @@ let fptr_sigs_arg =
         ~doc:
           "Enable dynamic function-pointer signature checking (the            paper's future-work extension).")
 
+let engine_conv =
+  let parse s =
+    match Softbound.Config.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf e -> Format.pp_print_string ppf (Softbound.Config.engine_name e))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Interp.State.default_config.Interp.State.engine
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Execution engine: $(b,closure) (threaded code compiled at \
+           load time, the default) or $(b,decode) (pre-decoded dispatch \
+           loop).  Simulated outputs are bit-identical either way; only \
+           host speed differs.")
+
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
 
@@ -152,7 +172,7 @@ let report_err f =
 let run_cmd =
   let doc = "compile, (optionally) instrument, and execute a program" in
   let f src unprotected checker mode facility no_shrink fptr_sigs no_elim
-      stats trace no_obs args =
+      engine stats trace no_obs args =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let scheme =
@@ -164,6 +184,7 @@ let run_cmd =
             Interp.State.default_config with
             trace_depth = trace;
             obs_enabled = not no_obs;
+            engine;
           }
         in
         let r = Harness.Runner.run ~argv:args ~cfg scheme m in
@@ -195,8 +216,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const f $ src_arg $ unprotected_arg $ checker_arg $ mode_arg
-      $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ no_elim_arg $ stats_arg
-      $ trace_arg $ no_obs_arg $ prog_args)
+      $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ no_elim_arg
+      $ engine_arg $ stats_arg $ trace_arg $ no_obs_arg $ prog_args)
 
 (* ---- check ---- *)
 
@@ -205,12 +226,13 @@ let check_cmd =
     "run under SoftBound (full checking unless $(b,--mode) overrides); \
      exit 0 iff no spatial violation"
   in
-  let f src mode facility no_elim =
+  let f src mode facility no_elim engine =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let r =
           Softbound.run_protected
             ~opts:(opts_of ~no_elim mode facility false)
+            ~cfg:{ Interp.State.default_config with engine }
             m
         in
         match r.outcome with
@@ -226,7 +248,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const f $ src_arg $ mode_arg $ facility_arg $ no_elim_arg)
+    Term.(const f $ src_arg $ mode_arg $ facility_arg $ no_elim_arg $ engine_arg)
 
 (* ---- dump-ir ---- *)
 
@@ -303,8 +325,8 @@ let profile_cmd =
       & info [ "quick" ]
           ~doc:"With $(b,--workload): use the reduced argument set.")
   in
-  let f src workload list_workloads mode facility no_shrink no_elim trace json
-      top quick args =
+  let f src workload list_workloads mode facility no_shrink no_elim engine
+      trace json top quick args =
     if list_workloads then begin
       List.iter print_endline Workloads.names;
       exit 0
@@ -333,7 +355,7 @@ let profile_cmd =
         in
         let opts = opts_of ~no_elim mode facility no_shrink in
         let cfg =
-          { Interp.State.default_config with trace_depth = trace }
+          { Interp.State.default_config with trace_depth = trace; engine }
         in
         let p = Harness.Profile.profile ~label ~opts ~cfg ~argv m in
         if json then print_string (Harness.Profile.to_json p)
@@ -351,8 +373,8 @@ let profile_cmd =
     (Cmd.info "profile" ~doc)
     Term.(
       const f $ src_opt_arg $ workload_arg $ list_workloads_arg $ mode_arg
-      $ facility_arg $ no_shrink_arg $ no_elim_arg $ trace_arg $ json_arg
-      $ top_arg $ quick_arg $ prog_args)
+      $ facility_arg $ no_shrink_arg $ no_elim_arg $ engine_arg $ trace_arg
+      $ json_arg $ top_arg $ quick_arg $ prog_args)
 
 (* ---- fuzz ---- *)
 

@@ -50,7 +50,7 @@ let facility_of = function
     against). *)
 let run_unprotected ?(cfg = Interp.State.default_config) (m : Ir.modul) :
     Interp.Vm.result =
-  Interp.Vm.run ~cfg m
+  Interp.Engine.run ~cfg m
 
 (** Instrument and run under SoftBound. *)
 let run_protected ?(opts = Config.default)
@@ -63,7 +63,7 @@ let run_protected ?(opts = Config.default)
       store_only = opts.Config.mode = Config.Store_only;
     }
   in
-  Interp.Vm.run ~cfg m'
+  Interp.Engine.run ~cfg m'
 
 (** Convenience: compile a source and run it under SoftBound. *)
 let check_source ?(opts = Config.default)

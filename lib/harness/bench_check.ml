@@ -1,0 +1,347 @@
+(* Validator for the committed machine-readable benchmark artifacts.
+
+   The BENCH_*.json files are hand-emitted (no JSON library in the
+   tree), so nothing guarantees they stay well-formed as the emitters
+   evolve.  [run] parses each file with a small recursive-descent JSON
+   reader and checks the schema the downstream tooling relies on:
+   the experiment tag, the presence of the per-row record arrays, the
+   aggregate (geomean) fields, and — for the VM-throughput artifact —
+   that both execution engines are recorded along with the baseline
+   block and the speedup summary.  `make bench-check` (part of `make
+   verify`) fails on any violation. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' -> (
+          advance ();
+          let c = peek () in
+          advance ();
+          match c with
+          | 'n' -> Buffer.add_char b '\n'; go ()
+          | 't' -> Buffer.add_char b '\t'; go ()
+          | 'r' -> Buffer.add_char b '\r'; go ()
+          | 'b' -> Buffer.add_char b '\b'; go ()
+          | 'f' -> Buffer.add_char b '\012'; go ()
+          | 'u' ->
+              (* keep the escape verbatim; key comparisons are ASCII *)
+              Buffer.add_string b "\\u";
+              go ()
+          | c -> Buffer.add_char b c; go ())
+      | '\255' -> fail "unterminated string"
+      | c -> advance (); Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while is_num (peek ()) do advance () done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail ("bad number " ^ lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- schema checks --- *)
+
+let field obj k =
+  match obj with
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let errs : string list ref = ref []
+let bad file msg = errs := Printf.sprintf "%s: %s" file msg :: !errs
+
+let require file obj k =
+  match field obj k with
+  | Some v -> Some v
+  | None -> bad file (Printf.sprintf "missing key %S" k); None
+
+let require_rows file obj k =
+  match require file obj k with
+  | Some (List (_ :: _ as rows)) -> Some rows
+  | Some (List []) -> bad file (Printf.sprintf "%S is empty" k); None
+  | Some _ -> bad file (Printf.sprintf "%S is not an array" k); None
+  | None -> None
+
+let require_num file obj k =
+  match require file obj k with
+  | Some (Num _) -> ()
+  | Some _ -> bad file (Printf.sprintf "%S is not a number" k)
+  | None -> ()
+
+let experiment_tag file obj expected =
+  match require file obj "experiment" with
+  | Some (Str s) when s = expected -> ()
+  | Some (Str s) ->
+      bad file (Printf.sprintf "experiment is %S, wanted %S" s expected)
+  | Some _ -> bad file "experiment is not a string"
+  | None -> ()
+
+(* every row of a record array must carry the listed numeric fields *)
+let rows_have file rows keys =
+  List.iteri
+    (fun i row ->
+      List.iter
+        (fun k ->
+          match field row k with
+          | Some (Num _) -> ()
+          | Some _ ->
+              bad file (Printf.sprintf "row %d: %S is not a number" i k)
+          | None -> bad file (Printf.sprintf "row %d: missing %S" i k))
+        keys)
+    rows
+
+let on_off file ctx g =
+  List.iter
+    (fun k ->
+      match field g k with
+      | Some (Num _) -> ()
+      | _ -> bad file (Printf.sprintf "%s.%s missing" ctx k))
+    [ "on"; "off" ]
+
+let check_elim file obj =
+  experiment_tag file obj "elim-ablation";
+  (match require file obj "geomean_overhead" with
+  | Some geo ->
+      List.iter
+        (fun grp ->
+          match field geo grp with
+          | Some g -> on_off file ("geomean_overhead." ^ grp) g
+          | None -> bad file ("geomean_overhead missing " ^ grp))
+        [ "shadow_full"; "hash_full"; "shadow_store"; "hash_store" ]
+  | None -> ());
+  match require_rows file obj "kernels" with
+  | Some rows ->
+      rows_have file rows [ "base_cycles" ];
+      List.iteri
+        (fun i row ->
+          List.iter
+            (fun k ->
+              match field row k with
+              | Some g -> on_off file (Printf.sprintf "row %d: %s" i k) g
+              | None -> bad file (Printf.sprintf "row %d: missing %s" i k))
+            [ "checks"; "meta_loads" ])
+        rows;
+      List.iteri
+        (fun i row ->
+          List.iter
+            (fun grp ->
+              match field row grp with
+              | Some g ->
+                  List.iter
+                    (fun k ->
+                      match field g k with
+                      | Some (Num _) -> ()
+                      | _ ->
+                          bad file
+                            (Printf.sprintf "row %d: %s.%s missing" i grp k))
+                    [ "on"; "off"; "overhead_on"; "overhead_off" ]
+              | None -> bad file (Printf.sprintf "row %d: missing %s" i grp))
+            [ "shadow_full"; "hash_full"; "shadow_store"; "hash_store" ])
+        rows
+  | None -> ()
+
+let check_breakdown file obj =
+  experiment_tag file obj "overhead-breakdown";
+  match require_rows file obj "workloads" with
+  | Some rows ->
+      rows_have file rows [ "base_cycles" ];
+      List.iteri
+        (fun i row ->
+          match field row "configs" with
+          | Some (Obj (_ :: _ as cfgs)) ->
+              List.iter
+                (fun (cname, c) ->
+                  List.iter
+                    (fun k ->
+                      match field c k with
+                      | Some (Num _) -> ()
+                      | _ ->
+                          bad file
+                            (Printf.sprintf "row %d: configs.%s.%s missing" i
+                               cname k))
+                    [ "cycles"; "check"; "metadata"; "wrapper"; "residual" ])
+                cfgs
+          | _ -> bad file (Printf.sprintf "row %d: missing configs" i))
+        rows
+  | None -> ()
+
+let check_vmspeed file obj =
+  experiment_tag file obj "vmspeed";
+  let engines = [ "closure"; "decode" ] in
+  (* the engine axis itself *)
+  (match require file obj "engines" with
+  | Some (List names) ->
+      let names =
+        List.filter_map (function Str s -> Some s | _ -> None) names
+      in
+      List.iter
+        (fun want ->
+          if not (List.mem want names) then
+            bad file (Printf.sprintf "engine %S not recorded" want))
+        engines
+  | Some _ -> bad file "engines is not an array"
+  | None -> ());
+  (* the recorded reference the speedups are measured against *)
+  (match require file obj "baseline" with
+  | Some b -> (
+      match field b "rows" with
+      | Some (List (_ :: _ as rows)) ->
+          rows_have file rows [ "cycles_per_host_sec" ]
+      | _ -> bad file "baseline has no rows")
+  | None -> ());
+  (* the current measurement: rows tagged by engine, plus geomeans *)
+  (match require file obj "current" with
+  | Some c -> (
+      (match field c "geomean_cycles_per_host_sec" with
+      | Some _ -> ()
+      | None -> bad file "current has no geomean");
+      match field c "rows" with
+      | Some (List (_ :: _ as rows)) ->
+          rows_have file rows
+            [ "sim_cycles"; "cycles_per_host_sec"; "speedup_vs_baseline" ];
+          List.iter
+            (fun want ->
+              let covered =
+                List.exists
+                  (fun r ->
+                    match field r "engine" with
+                    | Some (Str s) -> s = want
+                    | _ -> false)
+                  rows
+              in
+              if not covered then
+                bad file (Printf.sprintf "no rows for engine %S" want))
+            engines
+      | _ -> bad file "current has no rows")
+  | None -> ());
+  (* per-engine overall speedup summary *)
+  match require file obj "speedup_vs_baseline" with
+  | Some sp ->
+      List.iter
+        (fun eng ->
+          match field sp eng with
+          | Some o -> (
+              match field o "overall" with
+              | Some (Num _) -> ()
+              | _ -> bad file (eng ^ " speedup has no overall geomean"))
+          | None -> bad file ("no speedup block for engine " ^ eng))
+        engines
+  | None -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let targets =
+  [
+    ("BENCH_elim.json", check_elim);
+    ("BENCH_breakdown.json", check_breakdown);
+    ("BENCH_vmspeed.json", check_vmspeed);
+  ]
+
+(** Validate every committed benchmark artifact; returns the report and
+    whether all checks passed. *)
+let run () : string * bool =
+  errs := [];
+  List.iter
+    (fun (file, check) ->
+      match read_file file with
+      | exception Sys_error m -> bad file ("unreadable: " ^ m)
+      | text -> (
+          match parse text with
+          | exception Bad m -> bad file ("malformed JSON: " ^ m)
+          | obj -> check file obj))
+    targets;
+  match List.rev !errs with
+  | [] ->
+      ( Printf.sprintf "bench-check: %d artifacts OK (%s)"
+          (List.length targets)
+          (String.concat ", " (List.map fst targets)),
+        true )
+  | es -> (String.concat "\n" es, false)

@@ -3,20 +3,26 @@
    Every artifact in this repo is bottlenecked on the host speed of the
    IR interpreter, so the engine's throughput is tracked as a number
    ([BENCH_vmspeed.json]), not a claim.  Each row times [iters] complete
-   runs of one kernel under one scheme — unprotected exercises the bare
-   dispatch/memory fast path, softbound-full-hash additionally hammers
-   the metadata hash table — and reports simulated-cycles-per-host-
-   second.  Simulated cycle counts are deterministic and golden-checked
-   elsewhere; only the host-seconds fields vary from run to run (the
-   vmspeed smoke target compares everything *except* those).
+   runs of one kernel under one scheme on one engine — unprotected
+   exercises the bare dispatch/memory fast path, softbound-full-hash
+   additionally hammers the metadata hash table; the closure engine runs
+   threaded code compiled at load time, the decode engine walks the
+   pre-decoded instruction arrays — and reports simulated-cycles-per-
+   host-second.  Simulated cycle counts are deterministic, engine-
+   independent, and golden-checked elsewhere; only the host-seconds
+   fields vary from run to run (the vmspeed smoke target compares
+   everything *except* those).
 
    The recorded baseline below was measured with this same harness on
-   the pre-fast-path engine (the commit this PR builds on), so the JSON
-   carries both sides of the before/after comparison. *)
+   the PR 4 engine (pre-decoded dispatch, word-granular memory — the
+   commit this PR builds on), so the JSON carries both sides of the
+   before/after comparison, and every current row additionally carries
+   its own [speedup_vs_baseline] against the matching baseline row. *)
 
 type row = {
   name : string;
   scheme : string;
+  engine : string;
   sim_cycles : int;  (** cycles of one run — deterministic *)
   runs : int;  (** timed iterations behind [host_seconds] *)
   host_seconds : float;
@@ -34,48 +40,57 @@ let schemes : (string * Runner.scheme) list =
 
 let scheme_names = List.map fst schemes
 
+let engines : (string * Softbound.Config.engine) list =
+  [
+    ("closure", Softbound.Config.Eng_closure);
+    ("decode", Softbound.Config.Eng_decode);
+  ]
+
+let engine_names = List.map fst engines
+
 (* ------------------------------------------------------------------ *)
 (* Recorded baseline                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** Throughput of the engine *before* the fast-path overhaul
-    (word-granular memory, pre-decoded dispatch, metadata inline
-    cache), measured by this harness at full workload sizes, iters=2.
-    Units: simulated cycles per host second. *)
-let baseline_label = "pre-fastpath engine (PR base), full args, iters=2"
+(** Throughput of the PR 4 engine (pre-decoded dispatch, word-granular
+    memory, direct-mapped metadata inline cache — before the
+    threaded-code compiler and the flat shadow space), measured by this
+    harness at full workload sizes, iters=2.  Units: simulated cycles
+    per host second. *)
+let baseline_label = "pre-decoded dispatch engine (PR 4), full args, iters=2"
 
 let baseline : (string * string * float) list =
   [
-    ("go", "unprotected", 4.814211e+07);
-    ("go", "softbound-full-hash", 3.338369e+07);
-    ("lbm", "unprotected", 2.923794e+07);
-    ("lbm", "softbound-full-hash", 3.477493e+07);
-    ("hmmer", "unprotected", 4.152148e+07);
-    ("hmmer", "softbound-full-hash", 3.957738e+07);
-    ("compress", "unprotected", 3.646018e+07);
-    ("compress", "softbound-full-hash", 3.141164e+07);
-    ("ijpeg", "unprotected", 5.278668e+07);
-    ("ijpeg", "softbound-full-hash", 5.034386e+07);
-    ("bh", "unprotected", 1.535936e+07);
-    ("bh", "softbound-full-hash", 2.006577e+07);
-    ("tsp", "unprotected", 2.010571e+07);
-    ("tsp", "softbound-full-hash", 2.370609e+07);
-    ("libquantum", "unprotected", 1.918444e+07);
-    ("libquantum", "softbound-full-hash", 2.488246e+07);
-    ("perimeter", "unprotected", 2.894477e+07);
-    ("perimeter", "softbound-full-hash", 2.540638e+07);
-    ("health", "unprotected", 1.177489e+07);
-    ("health", "softbound-full-hash", 2.106450e+07);
-    ("bisort", "unprotected", 1.106336e+07);
-    ("bisort", "softbound-full-hash", 2.228283e+07);
-    ("mst", "unprotected", 3.085636e+07);
-    ("mst", "softbound-full-hash", 3.781222e+07);
-    ("li", "unprotected", 1.550901e+07);
-    ("li", "softbound-full-hash", 2.778647e+07);
-    ("em3d", "unprotected", 2.134476e+07);
-    ("em3d", "softbound-full-hash", 3.242380e+07);
-    ("treeadd", "unprotected", 1.853101e+07);
-    ("treeadd", "softbound-full-hash", 3.075227e+07);
+    ("go", "unprotected", 8.376137e+07);
+    ("go", "softbound-full-hash", 8.087095e+07);
+    ("lbm", "unprotected", 8.926850e+07);
+    ("lbm", "softbound-full-hash", 9.265726e+07);
+    ("hmmer", "unprotected", 6.049091e+07);
+    ("hmmer", "softbound-full-hash", 5.908649e+07);
+    ("compress", "unprotected", 5.688519e+07);
+    ("compress", "softbound-full-hash", 5.682227e+07);
+    ("ijpeg", "unprotected", 9.910587e+07);
+    ("ijpeg", "softbound-full-hash", 9.472003e+07);
+    ("bh", "unprotected", 4.760601e+07);
+    ("bh", "softbound-full-hash", 5.312291e+07);
+    ("tsp", "unprotected", 6.064308e+07);
+    ("tsp", "softbound-full-hash", 6.400811e+07);
+    ("libquantum", "unprotected", 5.274694e+07);
+    ("libquantum", "softbound-full-hash", 5.424285e+07);
+    ("perimeter", "unprotected", 5.391860e+07);
+    ("perimeter", "softbound-full-hash", 6.990481e+07);
+    ("health", "unprotected", 4.026240e+07);
+    ("health", "softbound-full-hash", 6.029398e+07);
+    ("bisort", "unprotected", 3.519432e+07);
+    ("bisort", "softbound-full-hash", 5.380921e+07);
+    ("mst", "unprotected", 5.994314e+07);
+    ("mst", "softbound-full-hash", 6.050445e+07);
+    ("li", "unprotected", 3.298558e+07);
+    ("li", "softbound-full-hash", 5.453920e+07);
+    ("em3d", "unprotected", 5.035378e+07);
+    ("em3d", "softbound-full-hash", 7.972125e+07);
+    ("treeadd", "unprotected", 2.888976e+07);
+    ("treeadd", "softbound-full-hash", 4.928997e+07);
   ]
 
 let baseline_cps ~name ~scheme =
@@ -90,21 +105,25 @@ let baseline_cps ~name ~scheme =
 let now () = Unix.gettimeofday ()
 
 let measure_one ~quick ~iters (w : Workloads.workload)
-    ((sname, scheme) : string * Runner.scheme) : row =
+    ((sname, scheme) : string * Runner.scheme)
+    ((ename, eng) : string * Softbound.Config.engine) : row =
   let m = Runner.compile_workload w in
   let argv = if quick then w.Workloads.quick_args else [] in
-  (* untimed warm run: fills the compile/transform caches so the timed
-     loop measures the interpreter, not the pipeline *)
-  let r0 = Runner.run ~argv scheme m in
-  Runner.check_clean ~quick ~workload:w.Workloads.name ~scheme:sname r0;
+  let cfg = { Interp.State.default_config with engine = eng } in
+  (* untimed warm run: fills the transform and closure-compile caches so
+     the timed loop measures the interpreter, not the pipeline *)
+  let r0 = Runner.run ~argv ~cfg scheme m in
+  Runner.check_clean ~quick ~workload:w.Workloads.name
+    ~scheme:(sname ^ "/" ^ ename) r0;
   let t0 = now () in
   for _ = 1 to iters do
-    ignore (Runner.run ~argv scheme m)
+    ignore (Runner.run ~argv ~cfg scheme m)
   done;
   let t1 = now () in
   {
     name = w.Workloads.name;
     scheme = sname;
+    engine = ename;
     sim_cycles = r0.Interp.Vm.stats.Interp.State.cycles;
     runs = iters;
     host_seconds = t1 -. t0;
@@ -113,19 +132,22 @@ let measure_one ~quick ~iters (w : Workloads.workload)
 let run ?(quick = false) ?(iters = 1) ?(jobs = 1) () : row list =
   let tasks =
     List.concat_map
-      (fun w -> List.map (fun s -> (w, s)) schemes)
+      (fun w ->
+        List.concat_map
+          (fun s -> List.map (fun e -> (w, s, e)) engines)
+          schemes)
       Workloads.all
   in
   (* transform everything up front (serially) so parallel timing rows
      never serialize on the transform-cache mutex mid-measurement *)
   List.iter
-    (fun (w, (_, scheme)) ->
+    (fun (w, (_, scheme), _) ->
       match scheme with
       | Runner.Softbound opts ->
           ignore (Runner.instrument_cached ~opts (Runner.compile_workload w))
       | _ -> ignore (Runner.compile_workload w))
     tasks;
-  Parutil.parmap ~jobs (fun (w, s) -> measure_one ~quick ~iters w s) tasks
+  Parutil.parmap ~jobs (fun (w, s, e) -> measure_one ~quick ~iters w s e) tasks
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                          *)
@@ -138,10 +160,11 @@ let geomean = function
         (List.fold_left (fun a x -> a +. log (max 1e-9 x)) 0.0 xs
         /. float_of_int (List.length xs))
 
-let geomean_cps_of ~scheme (rows : row list) : float =
+let geomean_cps_of ~engine ~scheme (rows : row list) : float =
   geomean
     (List.filter_map
-       (fun r -> if r.scheme = scheme then Some (cps r) else None)
+       (fun r ->
+         if r.scheme = scheme && r.engine = engine then Some (cps r) else None)
        rows)
 
 let geomean_cps_baseline ~scheme : float option =
@@ -149,16 +172,24 @@ let geomean_cps_baseline ~scheme : float option =
   | [] -> None
   | xs -> Some (geomean (List.map (fun (_, _, v) -> v) xs))
 
-(** Geomean speedup of [rows] over the recorded baseline for one
-    scheme; [None] when no baseline is recorded. *)
-let speedup_of ~scheme (rows : row list) : float option =
+(** Per-row speedup over the matching recorded-baseline row. *)
+let row_speedup (r : row) : float option =
+  match baseline_cps ~name:r.name ~scheme:r.scheme with
+  | Some b when b > 0.0 -> Some (cps r /. b)
+  | _ -> None
+
+(** Geomean speedup of one engine's rows over the recorded baseline for
+    one scheme; [None] when no baseline is recorded. *)
+let speedup_of ~engine ~scheme (rows : row list) : float option =
   match geomean_cps_baseline ~scheme with
   | None -> None
   | Some b when b <= 0.0 -> None
-  | Some b -> Some (geomean_cps_of ~scheme rows /. b)
+  | Some b -> Some (geomean_cps_of ~engine ~scheme rows /. b)
 
-let overall_speedup (rows : row list) : float option =
-  let per = List.filter_map (fun s -> speedup_of ~scheme:s rows) scheme_names in
+let overall_speedup ~engine (rows : row list) : float option =
+  let per =
+    List.filter_map (fun s -> speedup_of ~engine ~scheme:s rows) scheme_names
+  in
   if List.length per <> List.length scheme_names then None
   else Some (geomean per)
 
@@ -169,7 +200,7 @@ let overall_speedup (rows : row list) : float option =
 let mcps x = Printf.sprintf "%.1f" (x /. 1e6)
 
 let render (rows : row list) : string =
-  let buf = Buffer.create 2048 in
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "VM throughput: simulated Mcycles per host second (higher is faster)\n";
   let kernels =
@@ -179,49 +210,55 @@ let render (rows : row list) : string =
   let kernels =
     List.filter (fun w -> List.mem w kernels) Workloads.names
   in
-  Buffer.add_string buf
-    (Texttable.render
-       ~headers:
-         ([ "benchmark" ]
-         @ List.concat_map
-             (fun s -> [ s; "vs base" ])
-             scheme_names)
-       (List.map
-          (fun k ->
-            let cells =
-              List.concat_map
-                (fun s ->
-                  match
-                    List.find_opt (fun r -> r.name = k && r.scheme = s) rows
-                  with
-                  | None -> [ "-"; "-" ]
-                  | Some r -> (
-                      let c = cps r in
-                      [ mcps c ]
-                      @
-                      match baseline_cps ~name:k ~scheme:s with
-                      | Some b when b > 0.0 ->
-                          [ Printf.sprintf "%.2fx" (c /. b) ]
-                      | _ -> [ "-" ]))
-                scheme_names
-            in
-            k :: cells)
-          kernels));
-  Buffer.add_string buf "\ngeomean Mcycles/host-second:\n";
   List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %-20s %s%s\n" s
-           (mcps (geomean_cps_of ~scheme:s rows))
-           (match speedup_of ~scheme:s rows with
-           | Some x -> Printf.sprintf "  (%.2fx vs recorded baseline)" x
-           | None -> "  (no recorded baseline)")))
-    scheme_names;
-  (match overall_speedup rows with
-  | Some x ->
-      Buffer.add_string buf
-        (Printf.sprintf "\noverall geomean speedup vs baseline: %.2fx\n" x)
-  | None -> ());
+    (fun e ->
+      if List.exists (fun r -> r.engine = e) rows then begin
+        Buffer.add_string buf (Printf.sprintf "\nengine: %s\n" e);
+        Buffer.add_string buf
+          (Texttable.render
+             ~headers:
+               ([ "benchmark" ]
+               @ List.concat_map (fun s -> [ s; "vs base" ]) scheme_names)
+             (List.map
+                (fun k ->
+                  let cells =
+                    List.concat_map
+                      (fun s ->
+                        match
+                          List.find_opt
+                            (fun r ->
+                              r.name = k && r.scheme = s && r.engine = e)
+                            rows
+                        with
+                        | None -> [ "-"; "-" ]
+                        | Some r -> (
+                            [ mcps (cps r) ]
+                            @
+                            match row_speedup r with
+                            | Some x -> [ Printf.sprintf "%.2fx" x ]
+                            | None -> [ "-" ]))
+                      scheme_names
+                  in
+                  k :: cells)
+                kernels));
+        Buffer.add_string buf "geomean Mcycles/host-second:\n";
+        List.iter
+          (fun s ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-20s %s%s\n" s
+                 (mcps (geomean_cps_of ~engine:e ~scheme:s rows))
+                 (match speedup_of ~engine:e ~scheme:s rows with
+                 | Some x -> Printf.sprintf "  (%.2fx vs recorded baseline)" x
+                 | None -> "  (no recorded baseline)")))
+          scheme_names;
+        match overall_speedup ~engine:e rows with
+        | Some x ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "overall geomean speedup vs baseline (%s): %.2fx\n" e x)
+        | None -> ()
+      end)
+    engine_names;
   Buffer.contents buf
 
 (** Machine-readable artifact ([BENCH_vmspeed.json]).  Host-timing
@@ -235,6 +272,9 @@ let to_json ?(quick = false) ?(iters = 1) (rows : row list) : string =
     "  \"unit\": \"simulated cycles per host second\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"quick\": %b,\n  \"iters\": %d,\n" quick iters);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"engines\": [%s],\n"
+       (String.concat ", " (List.map (Printf.sprintf "%S") engine_names)));
   (* recorded baseline (constants — deterministic) *)
   (match baseline with
   | [] -> Buffer.add_string buf "  \"baseline\": null,\n"
@@ -266,33 +306,52 @@ let to_json ?(quick = false) ?(iters = 1) (rows : row list) : string =
     (fun i r ->
       Buffer.add_string buf
         (Printf.sprintf
-           "      { \"name\": %S, \"scheme\": %S,\n\
+           "      { \"name\": %S, \"scheme\": %S, \"engine\": %S,\n\
            \        \"sim_cycles\": %d, \"runs\": %d,\n\
            \        \"host_seconds\": %.6f,\n\
-           \        \"cycles_per_host_sec\": %.6e }%s\n"
-           r.name r.scheme r.sim_cycles r.runs r.host_seconds (cps r)
+           \        \"cycles_per_host_sec\": %.6e,\n\
+           \        \"speedup_vs_baseline\": %s }%s\n"
+           r.name r.scheme r.engine r.sim_cycles r.runs r.host_seconds (cps r)
+           (match row_speedup r with
+           | Some x -> Printf.sprintf "%.3f" x
+           | None -> "null")
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "    ],\n";
   Buffer.add_string buf
-    (Printf.sprintf
-       "    \"geomean_cycles_per_host_sec\": { %s }\n  },\n"
+    (* single line: the vmspeed-smoke determinism filter drops
+       host-timing-dependent lines by substring, so every value derived
+       from host time must sit on a line carrying its key *)
+    (Printf.sprintf "    \"geomean_cycles_per_host_sec\": { %s }\n  },\n"
        (String.concat ", "
           (List.map
-             (fun s ->
-               Printf.sprintf "%S: %.6e" s (geomean_cps_of ~scheme:s rows))
-             scheme_names)));
-  (match overall_speedup rows with
-  | None -> Buffer.add_string buf "  \"speedup_vs_baseline\": null\n"
-  | Some overall ->
-      Buffer.add_string buf
-        (Printf.sprintf "  \"speedup_vs_baseline\": { %s, \"overall\": %.3f }\n"
-           (String.concat ", "
-              (List.map
-                 (fun s ->
-                   Printf.sprintf "%S: %.3f" s
-                     (Option.value ~default:0.0 (speedup_of ~scheme:s rows)))
-                 scheme_names))
-           overall));
+             (fun e ->
+               Printf.sprintf "%S: { %s }" e
+                 (String.concat ", "
+                    (List.map
+                       (fun s ->
+                         Printf.sprintf "%S: %.6e" s
+                           (geomean_cps_of ~engine:e ~scheme:s rows))
+                       scheme_names)))
+             engine_names)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_vs_baseline\": { %s }\n"
+       (String.concat ", "
+          (List.map
+             (fun e ->
+               Printf.sprintf "%S: { %s }" e
+                 (String.concat ", "
+                    (List.map
+                       (fun s ->
+                         Printf.sprintf "%S: %.3f" s
+                           (Option.value ~default:0.0
+                              (speedup_of ~engine:e ~scheme:s rows)))
+                       scheme_names
+                    @ [
+                        Printf.sprintf "\"overall\": %.3f"
+                          (Option.value ~default:0.0
+                             (overall_speedup ~engine:e rows));
+                      ])))
+             engine_names)));
   Buffer.add_string buf "}\n";
   Buffer.contents buf

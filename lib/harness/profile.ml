@@ -24,7 +24,7 @@ let profile ?(label = "program") ?(opts = Softbound.Config.default)
     ?(with_baseline = true) (m : Ir.modul) : t =
   let m', sites_assigned = Runner.instrument_cached ~opts m in
   let cfg = { cfg with S.argv; inputs; obs_enabled = true } in
-  let base = if with_baseline then Some (Interp.Vm.run ~cfg m) else None in
+  let base = if with_baseline then Some (Interp.Engine.run ~cfg m) else None in
   let run_cfg =
     {
       cfg with
@@ -32,7 +32,7 @@ let profile ?(label = "program") ?(opts = Softbound.Config.default)
       store_only = opts.Softbound.Config.mode = Softbound.Config.Store_only;
     }
   in
-  let result = Interp.Vm.run ~cfg:run_cfg m' in
+  let result = Interp.Engine.run ~cfg:run_cfg m' in
   { label; opts; sites_assigned; sites = Obs.sites_of_modul m'; base; result }
 
 (* ------------------------------------------------------------------ *)

@@ -112,7 +112,7 @@ let run ?(argv = []) ?(inputs = []) ?(max_steps = 2_000_000_000)
           store_only = opts.Softbound.Config.mode = Softbound.Config.Store_only;
         }
       in
-      Interp.Vm.run ~cfg m'
+      Interp.Engine.run ~cfg m'
   | Mscc -> Baselines.Mscc.run ~cfg:base m
   | Jones_kelly ->
       Softbound.run_unprotected

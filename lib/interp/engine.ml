@@ -1,0 +1,19 @@
+(* Engine dispatch: both engines execute the same pre-decoded IR with
+   bit-identical simulated outputs; [cfg.engine] selects which one runs
+   it.  Harness code routes all executions through here so the
+   [--engine] axis reaches every experiment, fuzzer, and profiler. *)
+
+open State
+
+(** {!Vm.run_main} on the configured engine, for callers that keep the
+    loaded state open afterwards. *)
+let run_main (ld : Vm.loaded) : outcome =
+  match ld.Vm.st.cfg.engine with
+  | Eng_decode -> Vm.run_main ld
+  | Eng_closure -> Compile.run_main ld
+
+(** Load and run a module to completion on the configured engine. *)
+let run ?(cfg = default_config) (m : Sbir.Ir.modul) : Vm.result =
+  match cfg.engine with
+  | Eng_decode -> Vm.run ~cfg m
+  | Eng_closure -> Compile.run ~cfg m

@@ -101,10 +101,27 @@ let ht_max_probes = 64
 (* Frames                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(** Engine-private per-frame scratch.  The threaded-code engine caches
+    the frame's compiled block chains here so re-entering a suspended
+    frame (returns, longjmp) needs no hash lookup; the decoding engine
+    leaves it at [No_resume].  An extensible variant keeps [state]
+    independent of the compiler's types. *)
+type resume = ..
+
+type resume += No_resume
+
 type frame = {
   fr_func : Ir.func;
   fr_code : Ir.inst array array;  (** per-block instruction arrays *)
-  fr_regs : value array;
+  (* The register file is stored unboxed: parallel int/float payload
+     arrays plus a one-byte-per-register tag ('\001' = the register
+     currently holds a float).  Writing an integer result is then two
+     plain stores — no [VI] allocation and no [caml_modify] write
+     barrier, which together dominated the interpreters' host time when
+     registers were a [value array]. *)
+  fr_iregs : int array;
+  fr_fregs : float array;
+  fr_isf : Bytes.t;
   mutable fr_block : int;
   mutable fr_inst : int;
   fr_fp : int;  (** frame base (old sp); slots below fp-16 *)
@@ -112,7 +129,66 @@ type frame = {
   fr_ret_regs : Ir.reg list;  (** caller registers receiving our returns *)
   fr_expected_token : int;
   fr_expected_savedfp : int;
+  mutable fr_resume : resume;
 }
+
+(* Register accessors.  The boxed [value] view is reconstructed on
+   demand; the int/float views mirror [as_int]/[as_float] exactly
+   (including the [int_of_float]/[float_of_int] coercions), so both
+   engines observe the same register semantics as the old boxed file.
+   The [u]-prefixed variants skip bounds checks — the threaded-code
+   compiler validates every register index against the function's
+   [fnregs] at compile time before emitting them; the decoding engine
+   keeps the checked forms. *)
+
+let[@inline] reg_value fr r =
+  if Bytes.get fr.fr_isf r = '\000' then VI fr.fr_iregs.(r)
+  else VF fr.fr_fregs.(r)
+
+let[@inline] reg_int fr r =
+  if Bytes.get fr.fr_isf r = '\000' then fr.fr_iregs.(r)
+  else int_of_float fr.fr_fregs.(r)
+
+let[@inline] reg_set fr r = function
+  | VI n ->
+      Bytes.set fr.fr_isf r '\000';
+      fr.fr_iregs.(r) <- n
+  | VF f ->
+      Bytes.set fr.fr_isf r '\001';
+      fr.fr_fregs.(r) <- f
+
+let[@inline] reg_set_int fr r n =
+  Bytes.set fr.fr_isf r '\000';
+  fr.fr_iregs.(r) <- n
+
+let[@inline] ureg_value fr r =
+  if Bytes.unsafe_get fr.fr_isf r = '\000' then
+    VI (Array.unsafe_get fr.fr_iregs r)
+  else VF (Array.unsafe_get fr.fr_fregs r)
+
+let[@inline] ureg_int fr r =
+  if Bytes.unsafe_get fr.fr_isf r = '\000' then Array.unsafe_get fr.fr_iregs r
+  else int_of_float (Array.unsafe_get fr.fr_fregs r)
+
+let[@inline] ureg_float fr r =
+  if Bytes.unsafe_get fr.fr_isf r = '\001' then Array.unsafe_get fr.fr_fregs r
+  else float_of_int (Array.unsafe_get fr.fr_iregs r)
+
+let[@inline] ureg_set fr r = function
+  | VI n ->
+      Bytes.unsafe_set fr.fr_isf r '\000';
+      Array.unsafe_set fr.fr_iregs r n
+  | VF f ->
+      Bytes.unsafe_set fr.fr_isf r '\001';
+      Array.unsafe_set fr.fr_fregs r f
+
+let[@inline] ureg_set_int fr r n =
+  Bytes.unsafe_set fr.fr_isf r '\000';
+  Array.unsafe_set fr.fr_iregs r n
+
+let[@inline] ureg_set_float fr r f =
+  Bytes.unsafe_set fr.fr_isf r '\001';
+  Array.unsafe_set fr.fr_fregs r f
 
 let ret_token_magic = 0x5e7_0000_0000
 let jmp_token_magic = 0x6a7_0000_0000
@@ -124,8 +200,24 @@ let slot_addr fr (sl : Ir.slot) =
 (* VM configuration and state                                           *)
 (* ------------------------------------------------------------------ *)
 
+(** Which execution engine runs the pre-decoded IR.  Both produce
+    bit-identical simulated outputs (cycles, cache traffic, traps, obs
+    attribution); they differ only in host throughput.  [Eng_closure]
+    compiles each basic block to a chain of OCaml closures at load time
+    (threaded code, no constructor dispatch); [Eng_decode] walks the
+    instruction arrays and is kept as the differential reference. *)
+type engine = Eng_decode | Eng_closure
+
+let engine_name = function Eng_decode -> "decode" | Eng_closure -> "closure"
+
+let engine_of_string = function
+  | "decode" -> Some Eng_decode
+  | "closure" -> Some Eng_closure
+  | _ -> None
+
 type config = {
   max_steps : int;
+  engine : engine;
   meta : meta_facility option;
       (** [Some _] when running SoftBound-transformed code *)
   store_only : bool;
@@ -151,6 +243,7 @@ type config = {
 let default_config =
   {
     max_steps = 200_000_000;
+    engine = Eng_closure;
     meta = None;
     store_only = false;
     checker = None;
@@ -224,6 +317,13 @@ type t = {
   jmp_bufs : (int, frame * int * int * Ir.reg) Hashtbl.t;
       (** live setjmp sites: uid -> (frame, resume block, resume inst,
           result register) *)
+  reg_pool : (int array * float array * Bytes.t) list array;
+      (** per-size free lists of popped frames' register files, reused
+          by [push_frame] to keep [Array.make] (a C call plus minor-GC
+          traffic) off the call path.  Sound because a popped frame is
+          unreachable once its setjmp contexts are dropped; reused
+          arrays are re-zeroed (the float lane lazily: the tag bytes
+          are all '\000', so stale floats are unobservable). *)
   mutable ht_entries : int;
       (** current hash-table capacity (always a power of two) *)
   mutable ht_live : int;
@@ -246,6 +346,9 @@ type t = {
 
 (** Inline-cache size (power of two); sites hash in by their low bits. *)
 let mc_size = 1024
+
+(** Register files of up to this many registers are pooled. *)
+let reg_pool_buckets = 64
 
 (* ------------------------------------------------------------------ *)
 (* Accounting helpers                                                   *)
@@ -388,6 +491,88 @@ let meta_load ?(site = 0) st addr : int * int =
         (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
       end
       else probe home 0
+  in
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KMetaLoad ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs
+        (Obs.E_meta_load { site; addr; base = mb; bound = me })
+  end;
+  res
+
+(** Per-site inline-cache cell owned by the caller: the threaded-code
+    engine preallocates one per instrumented site and threads it through
+    the closure environment, replacing the direct-mapped [mc_*] arrays
+    (no site hashing, no collisions).  [mcc_addr = min_int] is empty. *)
+type meta_cell = { mutable mcc_addr : int; mutable mcc_disp : int }
+
+let fresh_meta_cell () = { mcc_addr = min_int; mcc_disp = 0 }
+
+(** [meta_load] against a caller-owned cell.  A hit is verified purely by
+    re-reading the tag at the cached displacement: the insertion
+    invariant (a live entry at displacement [d] implies slots
+    [home..home+d-1] are occupied) plus the fact that tags never clear
+    between resizes make the replayed accounting identical to the full
+    probe's whenever the tag matches — no generation check needed, which
+    also makes stale cells (cached compiled code reused across runs, or
+    shared between domains) safe: a wrong cell can only miss, never
+    mis-account.  Simulated outputs are bit-identical to [meta_load];
+    only host-side hit rates differ. *)
+let meta_load_cell ?(site = 0) st (cell : meta_cell) addr : int * int =
+  st.stats.meta_loads <- st.stats.meta_loads + 1;
+  let cy0 = st.stats.cycles in
+  let (mb, me) as res =
+    match st.cfg.meta with
+    | None -> (0, 0)
+    | Some Shadow_space ->
+        let sa = L.shadow_addr addr in
+        charge st Cost.shadow_lookup;
+        cache_access st sa;
+        cache_access st (sa + 8);
+        (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
+    | Some Hash_table ->
+        charge st Cost.hash_lookup;
+        let tag = addr + 1 in
+        let home = ht_index st addr in
+        let rec probe i n =
+          if n > ht_max_probes then (0, 0)
+          else begin
+            let ea = ht_slot_addr st i in
+            cache_access st ea;
+            let t = Mem.read_int st.mem ea 8 in
+            if t = tag then begin
+              cache_access st (ea + 8);
+              cache_access st (ea + 16);
+              cell.mcc_addr <- addr;
+              cell.mcc_disp <- n;
+              (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
+            end
+            else if t = 0 then (0, 0)
+            else begin
+              st.stats.ht_probes <- st.stats.ht_probes + 1;
+              charge st Cost.hash_probe;
+              probe (i + 1) (n + 1)
+            end
+          end
+        in
+        if
+          cell.mcc_addr = addr
+          && Mem.read_int st.mem (ht_slot_addr st (home + cell.mcc_disp)) 8
+             = tag
+        then begin
+          let d = cell.mcc_disp in
+          for k = 0 to d - 1 do
+            cache_access st (ht_slot_addr st (home + k));
+            st.stats.ht_probes <- st.stats.ht_probes + 1;
+            charge st Cost.hash_probe
+          done;
+          let ea = ht_slot_addr st (home + d) in
+          cache_access st ea;
+          cache_access st (ea + 8);
+          cache_access st (ea + 16);
+          (Mem.read_int st.mem (ea + 8) 8, Mem.read_int st.mem (ea + 16) 8)
+        end
+        else probe home 0
   in
   if st.cfg.obs_enabled then begin
     Obs.record_op st.obs Obs.KMetaLoad ~site ~cycles:(st.stats.cycles - cy0);

@@ -47,6 +47,12 @@ type loaded = {
           wrappers, undefined) are classified on first call *)
   sig_hashes : (string, int option) Hashtbl.t;
       (** memoized {!callee_sig_hash} results *)
+  mutable reenter : (loaded -> fentry -> value list -> value list) option;
+      (** engine hook for re-entrant builtin-to-interpreted calls (qsort
+          comparators): the active engine installs its own
+          push-and-run-to-return here so comparators execute on the same
+          engine as the rest of the program.  [None] falls back to the
+          decoding engine's {!call_function}. *)
 }
 
 let build_code (f : Ir.func) : Ir.inst array array =
@@ -153,6 +159,7 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       rand_state = 42;
       last_rets = [];
       jmp_bufs = Hashtbl.create 8;
+      reg_pool = Array.make reg_pool_buckets [];
       ht_entries = ht_entries0;
       ht_live = 0;
       mc_site = Array.make mc_size (-1);
@@ -210,7 +217,7 @@ let create ?(cfg = default_config) (m : Ir.modul) : loaded =
       in
       Hashtbl.replace code f.Ir.fname fe.fe_code;
       Hashtbl.replace resolved f.Ir.fname (RFunc fe));
-  { st; code; resolved; sig_hashes = Hashtbl.create 64 }
+  { st; code; resolved; sig_hashes = Hashtbl.create 64; reenter = None }
 
 (* ------------------------------------------------------------------ *)
 (* Operand evaluation                                                   *)
@@ -233,93 +240,98 @@ let func_addr_of st name =
 
 let eval st fr (o : Ir.operand) : value =
   match o with
-  | Ir.Reg r -> fr.fr_regs.(r)
+  | Ir.Reg r -> reg_value fr r
   | Ir.ImmI n -> VI n
   | Ir.ImmF f -> VF f
   | Ir.Glob g -> VI (global_addr st g)
   | Ir.GlobEnd g -> VI (global_end st g)
   | Ir.Func f -> VI (func_addr_of st f)
 
-let eval_int st fr o = as_int (eval st fr o)
+let eval_int st fr o =
+  match o with
+  | Ir.Reg r -> reg_int fr r
+  | Ir.ImmI n -> n
+  | o -> as_int (eval st fr o)
 
 (* ------------------------------------------------------------------ *)
 (* ALU                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let exec_bin st (op : Ir.binop) (t : Ir.ity) (a : value) (b : value) : value =
-  if Ir.ity_is_float t then begin
-    let x = as_float a and y = as_float b in
+(** Integer half of {!exec_bin}, unboxed: [t] must not be a float type.
+    The threaded-code engine calls this directly for int-typed ALU ops
+    with effect-free operands, avoiding the [value] boxing. *)
+let exec_bin_int st (op : Ir.binop) (t : Ir.ity) (x : int) (y : int) : int =
+  let signed = Ir.ity_signed t in
+  let r =
     match op with
     | Ir.Add ->
-        charge st Cost.fbasic;
-        VF (x +. y)
+        charge st Cost.basic;
+        x + y
     | Ir.Sub ->
-        charge st Cost.fbasic;
-        VF (x -. y)
+        charge st Cost.basic;
+        x - y
     | Ir.Mul ->
-        charge st Cost.fbasic;
-        VF (x *. y)
+        charge st Cost.mul;
+        x * y
     | Ir.Div ->
-        charge st Cost.fdiv;
-        VF (x /. y)
-    | _ -> raise (Trap (Runtime_error "float bitwise operation"))
-  end
-  else begin
-    let x = as_int a and y = as_int b in
-    let signed = Ir.ity_signed t in
-    let r =
-      match op with
-      | Ir.Add ->
-          charge st Cost.basic;
-          x + y
-      | Ir.Sub ->
-          charge st Cost.basic;
-          x - y
-      | Ir.Mul ->
-          charge st Cost.mul;
-          x * y
-      | Ir.Div ->
-          charge st Cost.div;
-          if y = 0 then raise (Trap (Runtime_error "division by zero"));
-          if signed then x / y
-          else Ir.unsigned_view t x / Ir.unsigned_view t y
-      | Ir.Rem ->
-          charge st Cost.div;
-          if y = 0 then raise (Trap (Runtime_error "modulo by zero"));
-          if signed then x mod y
-          else Ir.unsigned_view t x mod Ir.unsigned_view t y
-      | Ir.And ->
-          charge st Cost.basic;
-          x land y
-      | Ir.Or ->
-          charge st Cost.basic;
-          x lor y
-      | Ir.Xor ->
-          charge st Cost.basic;
-          x lxor y
-      | Ir.Shl ->
-          charge st Cost.basic;
-          x lsl (y land 63)
-      | Ir.Shr ->
-          charge st Cost.basic;
-          if signed then x asr (y land 63)
-          else Ir.unsigned_view t x lsr (y land 63)
-    in
-    VI (Ir.norm_int t r)
-  end
+        charge st Cost.div;
+        if y = 0 then raise (Trap (Runtime_error "division by zero"));
+        if signed then x / y
+        else Ir.unsigned_view t x / Ir.unsigned_view t y
+    | Ir.Rem ->
+        charge st Cost.div;
+        if y = 0 then raise (Trap (Runtime_error "modulo by zero"));
+        if signed then x mod y
+        else Ir.unsigned_view t x mod Ir.unsigned_view t y
+    | Ir.And ->
+        charge st Cost.basic;
+        x land y
+    | Ir.Or ->
+        charge st Cost.basic;
+        x lor y
+    | Ir.Xor ->
+        charge st Cost.basic;
+        x lxor y
+    | Ir.Shl ->
+        charge st Cost.basic;
+        x lsl (y land 63)
+    | Ir.Shr ->
+        charge st Cost.basic;
+        if signed then x asr (y land 63)
+        else Ir.unsigned_view t x lsr (y land 63)
+  in
+  Ir.norm_int t r
 
-let exec_cmp st (op : Ir.cmpop) (t : Ir.ity) (a : value) (b : value) : value =
+(** Float half of {!exec_bin}, unboxed. *)
+let exec_bin_float st (op : Ir.binop) (x : float) (y : float) : float =
+  match op with
+  | Ir.Add ->
+      charge st Cost.fbasic;
+      x +. y
+  | Ir.Sub ->
+      charge st Cost.fbasic;
+      x -. y
+  | Ir.Mul ->
+      charge st Cost.fbasic;
+      x *. y
+  | Ir.Div ->
+      charge st Cost.fdiv;
+      x /. y
+  | _ -> raise (Trap (Runtime_error "float bitwise operation"))
+
+let exec_bin st (op : Ir.binop) (t : Ir.ity) (a : value) (b : value) : value =
+  if Ir.ity_is_float t then VF (exec_bin_float st op (as_float a) (as_float b))
+  else VI (exec_bin_int st op t (as_int a) (as_int b))
+
+(** Integer half of {!exec_cmp}, unboxed (returns 0 or 1): [t] must not
+    be a float type. *)
+let exec_cmp_int st (op : Ir.cmpop) (t : Ir.ity) (x : int) (y : int) : int =
   charge st Cost.basic;
   (* monomorphic compares: the polymorphic primitive is a C call per
-     executed comparison (and agrees with these on ints and on floats,
-     NaN included) *)
+     executed comparison *)
   let c =
-    if Ir.ity_is_float t then Float.compare (as_float a) (as_float b)
-    else if Ir.ity_signed t then Int.compare (as_int a) (as_int b)
-    else
-      Int.compare
-        (Ir.unsigned_view t (as_int a))
-        (Ir.unsigned_view t (as_int b))
+    if Ir.ity_signed t then Int.compare x y
+    else Int.compare (Ir.unsigned_view t x) (Ir.unsigned_view t y)
   in
   let r =
     match op with
@@ -330,7 +342,29 @@ let exec_cmp st (op : Ir.cmpop) (t : Ir.ity) (a : value) (b : value) : value =
     | Ir.Cgt -> c > 0
     | Ir.Cge -> c >= 0
   in
-  VI (if r then 1 else 0)
+  if r then 1 else 0
+
+(** Float half of {!exec_cmp}, unboxed (returns 0 or 1). *)
+let exec_cmp_float st (op : Ir.cmpop) (x : float) (y : float) : int =
+  charge st Cost.basic;
+  (* agrees with the int path's [Int.compare] shape on floats, NaN
+     included *)
+  let c = Float.compare x y in
+  let r =
+    match op with
+    | Ir.Ceq -> c = 0
+    | Ir.Cne -> c <> 0
+    | Ir.Clt -> c < 0
+    | Ir.Cle -> c <= 0
+    | Ir.Cgt -> c > 0
+    | Ir.Cge -> c >= 0
+  in
+  if r then 1 else 0
+
+let exec_cmp st (op : Ir.cmpop) (t : Ir.ity) (a : value) (b : value) : value =
+  if Ir.ity_is_float t then
+    VI (exec_cmp_float st op (as_float a) (as_float b))
+  else VI (exec_cmp_int st op t (as_int a) (as_int b))
 
 let exec_cast st (to_ : Ir.ity) (from_ : Ir.ity) (v : value) : value =
   charge st Cost.basic;
@@ -371,16 +405,59 @@ let do_load st (t : Ir.ity) addr : value =
       VI
         (if Ir.ity_signed t then Mem.sign_extend raw (Ir.ity_size t) else raw)
 
-let do_store st (t : Ir.ity) addr (v : value) : unit =
+(** [do_load] for a statically-known non-float [t]: same accounting and
+    result bits, but returns the raw int so the threaded-code engine can
+    store it without boxing. *)
+let do_load_int st (t : Ir.ity) addr : int =
+  let size = Ir.ity_size t in
+  program_read st addr size;
+  match t with
+  | Ir.P ->
+      st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1;
+      Mem.read_int st.mem addr 8
+  | t ->
+      let raw = Mem.read_int st.mem addr (Ir.ity_size t) in
+      if Ir.ity_signed t then Mem.sign_extend raw (Ir.ity_size t) else raw
+
+(** [do_store] for a statically-known non-float [t], taking the raw
+    int. *)
+let do_store_int st (t : Ir.ity) addr (v : int) : unit =
   let size = Ir.ity_size t in
   program_write st addr size;
   (match t with
   | Ir.P -> st.stats.ptr_mem_ops <- st.stats.ptr_mem_ops + 1
   | _ -> ());
+  Mem.write_int st.mem addr size v
+
+(** [do_load] for a statically-known float [t], unboxed. *)
+let do_load_float st (t : Ir.ity) addr : float =
   match t with
-  | Ir.F64 -> Mem.write_f64 st.mem addr (as_float v)
-  | Ir.F32 -> Mem.write_f32 st.mem addr (as_float v)
-  | t -> Mem.write_int st.mem addr (Ir.ity_size t) (as_int v)
+  | Ir.F64 ->
+      program_read st addr 8;
+      Mem.read_f64 st.mem addr
+  | _ ->
+      program_read st addr 4;
+      Mem.read_f32 st.mem addr
+
+(** [do_store] for a statically-known float [t], unboxed. *)
+let do_store_float st (t : Ir.ity) addr (x : float) : unit =
+  match t with
+  | Ir.F64 ->
+      program_write st addr 8;
+      Mem.write_f64 st.mem addr x
+  | _ ->
+      program_write st addr 4;
+      Mem.write_f32 st.mem addr x
+
+let do_store st (t : Ir.ity) addr (v : value) : unit =
+  match t with
+  | Ir.F64 ->
+      program_write st addr 8;
+      Mem.write_f64 st.mem addr (as_float v)
+  | Ir.F32 ->
+      program_write st addr 4;
+      Mem.write_f32 st.mem addr (as_float v)
+  | t -> do_store_int st t addr (as_int v)
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                               *)
@@ -391,12 +468,18 @@ exception Program_exit of int
 (** Assign returned values to the caller's receiving registers (extra
     values on either side are ignored, as before). *)
 let assign_rets (fr : frame) (ret_regs : Ir.reg list) (out : value list) : unit =
-  match ret_regs with
-  | [] -> ()
-  | _ ->
-      let arr = Array.of_list out in
-      let n = Array.length arr in
-      List.iteri (fun i r -> if i < n then fr.fr_regs.(r) <- arr.(i)) ret_regs
+  match (ret_regs, out) with
+  | [], _ | _, [] -> ()
+  | [ r ], v :: _ -> reg_set fr r v
+  | rs, _ ->
+      let rec go rs out =
+        match (rs, out) with
+        | r :: rs, v :: out ->
+            reg_set fr r v;
+            go rs out
+        | _, _ -> ()
+      in
+      go rs out
 
 let push_frame ld (fe : fentry) (args : value list) (ret_regs : Ir.reg list) =
   let st = ld.st in
@@ -425,7 +508,20 @@ let push_frame ld (fe : fentry) (args : value list) (ret_regs : Ir.reg list) =
      program's own memory operations *)
   cache_access st (fp - 8);
   cache_access st (fp - 16);
-  let regs = Array.make (max 1 f.Ir.fnregs) (VI 0) in
+  let nregs = max 1 f.Ir.fnregs in
+  let iregs, fregs, isf =
+    if nregs < reg_pool_buckets then
+      match st.reg_pool.(nregs) with
+      | (ir, fg, sf) :: tl ->
+          st.reg_pool.(nregs) <- tl;
+          for i = 0 to nregs - 1 do
+            Array.unsafe_set ir i 0
+          done;
+          Bytes.fill sf 0 nregs '\000';
+          (ir, fg, sf)
+      | [] -> (Array.make nregs 0, Array.make nregs 0.0, Bytes.make nregs '\000')
+    else (Array.make nregs 0, Array.make nregs 0.0, Bytes.make nregs '\000')
+  in
   let nparams = Array.length fe.fe_params in
   let nargs = List.length args in
   if nargs <> nparams then
@@ -434,12 +530,25 @@ let push_frame ld (fe : fentry) (args : value list) (ret_regs : Ir.reg list) =
          (Runtime_error
             (Printf.sprintf "%s: called with %d args, expects %d" f.Ir.fname
                nargs nparams)));
-  List.iteri (fun i v -> regs.(fe.fe_params.(i)) <- v) args;
+  let rec set_args i = function
+    | [] -> ()
+    | v :: tl ->
+        let r = fe.fe_params.(i) in
+        (match v with
+        | VI n -> iregs.(r) <- n
+        | VF x ->
+            Bytes.set isf r '\001';
+            fregs.(r) <- x);
+        set_args (i + 1) tl
+  in
+  set_args 0 args;
   let fr =
     {
       fr_func = f;
       fr_code = fe.fe_code;
-      fr_regs = regs;
+      fr_iregs = iregs;
+      fr_fregs = fregs;
+      fr_isf = isf;
       fr_block = 0;
       fr_inst = 0;
       fr_fp = fp;
@@ -447,14 +556,16 @@ let push_frame ld (fe : fentry) (args : value list) (ret_regs : Ir.reg list) =
       fr_ret_regs = ret_regs;
       fr_expected_token = token;
       fr_expected_savedfp = saved_fp;
+      fr_resume = No_resume;
     }
   in
   st.sp <- new_sp;
   st.frames <- fr :: st.frames;
   st.n_frames <- st.n_frames + 1;
-  st.stats.max_frames <- max st.stats.max_frames st.n_frames;
+  if st.n_frames > st.stats.max_frames then
+    st.stats.max_frames <- st.n_frames;
   (* baseline checkers track each slot as an object *)
-  if st.cfg.checker <> None then
+  if Option.is_some st.cfg.checker then
     Array.iter
       (fun sl ->
         checker_event st
@@ -502,22 +613,34 @@ let pop_frame ld (rets : value list) : unit =
           (Trap
              (Hijack
                 (Printf.sprintf "saved frame pointer corrupted (0x%x)" savedfp)));
-      if st.cfg.checker <> None then
+      if Option.is_some st.cfg.checker then
         Array.iter
           (fun sl ->
             checker_event st
               (Ev_free
                  { base = slot_addr fr sl; size = sl.Ir.sl_size; kind = AStack }))
           fr.fr_func.Ir.fslots;
-      (* drop this frame's setjmp contexts *)
-      Hashtbl.iter
-        (fun uid (f, _, _, _) ->
-          if f.fr_uid = fr.fr_uid then Hashtbl.remove st.jmp_bufs uid)
-        (Hashtbl.copy st.jmp_bufs);
+      (* drop this frame's setjmp contexts (collect first, then remove:
+         no mutation under iteration, and no per-return table copy) *)
+      if Hashtbl.length st.jmp_bufs > 0 then begin
+        let dead =
+          Hashtbl.fold
+            (fun uid ((f : frame), _, _, _) acc ->
+              if f.fr_uid = fr.fr_uid then uid :: acc else acc)
+            st.jmp_bufs []
+        in
+        List.iter (fun uid -> Hashtbl.remove st.jmp_bufs uid) dead
+      end;
       st.sp <- fr.fr_fp;
       st.frames <- rest;
       st.n_frames <- st.n_frames - 1;
       st.last_rets <- rets;
+      (* the frame is now unreachable (its setjmp contexts are gone):
+         recycle its register file *)
+      (let nregs = Array.length fr.fr_iregs in
+       if nregs < reg_pool_buckets then
+         st.reg_pool.(nregs) <-
+           (fr.fr_iregs, fr.fr_fregs, fr.fr_isf) :: st.reg_pool.(nregs));
       (match rest with
       | [] ->
           let code = match rets with VI v :: _ -> v | _ -> 0 in
@@ -557,7 +680,7 @@ let exec_setjmp ld ~checked (args : value list) (ret_regs : Ir.reg list) =
   Mem.write_int st.mem (buf + 8) 8 pc;
   program_write st (buf + 16) 8;
   Mem.write_int st.mem (buf + 16) 8 fr.fr_fp;
-  if ret_reg >= 0 then fr.fr_regs.(ret_reg) <- VI 0
+  if ret_reg >= 0 then reg_set_int fr ret_reg 0
 
 let exec_longjmp ld ~checked (args : value list) =
   let st = ld.st in
@@ -600,7 +723,7 @@ let exec_longjmp ld ~checked (args : value list) =
       let rec unwind () =
         match st.frames with
         | fr :: rest when fr.fr_uid <> target.fr_uid ->
-            if st.cfg.checker <> None then
+            if Option.is_some st.cfg.checker then
               Array.iter
                 (fun sl ->
                   checker_event st
@@ -636,7 +759,7 @@ let exec_longjmp ld ~checked (args : value list) =
       target.fr_block <- blk;
       target.fr_inst <- inst;
       if ret_reg >= 0 then
-        target.fr_regs.(ret_reg) <- VI (if v = 0 then 1 else v)
+        reg_set_int target ret_reg (if v = 0 then 1 else v)
 
 (* ------------------------------------------------------------------ *)
 (* Calls                                                                *)
@@ -728,7 +851,10 @@ let exec_sortsearch ld ~checked ~is_bsearch (argvals : value list)
     in
     let out =
       match cmp_func with
-      | Some fe -> !call_function_fwd ld fe args
+      | Some fe -> (
+          match ld.reenter with
+          | Some f -> f ld fe args
+          | None -> !call_function_fwd ld fe args)
       | None -> Builtins.dispatch st ~name:cmp_name ~args
     in
     (* a longjmp out of the comparator would leave this sort running
@@ -856,8 +982,14 @@ and resolve ld name : resolution =
       r
 
 and dispatch_call ld ~name ~argvals ~rets : unit =
+  dispatch_resolved ld ~name ~argvals ~rets (resolve ld name)
+
+(** Dispatch a call whose target classification is already in hand — the
+    threaded-code compiler resolves direct callees once at compile time
+    and jumps straight here from the call closure. *)
+and dispatch_resolved ld ~name ~argvals ~rets (r : resolution) : unit =
   let st = ld.st in
-  match resolve ld name with
+  match r with
   | RFunc fe ->
       (* the caller's saved position already points past the call *)
       push_frame ld fe argvals rets
@@ -980,19 +1112,74 @@ let callee_sig_hash ld (name : string) : int option =
       Hashtbl.replace ld.sig_hashes name h;
       h
 
+(** The [CheckFptr] dynamic check after operand evaluation, shared by
+    both engines: function-pointer encoding check plus the optional
+    signature-hash comparison.  [cy0] is the cycle count before the
+    already-charged [Cost.check], for obs attribution. *)
+let check_fptr ld ~fname ~site ~expected_sig ~cy0 pv bv ev : unit =
+  let st = ld.st in
+  let ok_addr = pv = bv && pv = ev && L.is_function_addr pv in
+  (* the signature check only runs once the address check passed *)
+  let sig_mismatch =
+    if not ok_addr then None
+    else
+      match expected_sig with
+      | None -> None
+      | Some h -> (
+          charge st Cost.check;
+          match describe_code_value st pv with
+          | Some name -> (
+              match callee_sig_hash ld name with
+              | Some h' when h' <> h -> Some name
+              | _ -> None)
+          | None -> None)
+  in
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KCheckFptr ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs
+        (Obs.E_fptr_check { site; addr = pv; ok = ok_addr && sig_mismatch = None })
+  end;
+  if not ok_addr then
+    raise
+      (Trap
+         (Bounds_violation
+            {
+              addr = pv;
+              base = bv;
+              bound = ev;
+              size = 0;
+              where = fname ^ " (function pointer check)";
+            }));
+  match sig_mismatch with
+  | None -> ()
+  | Some name ->
+      raise
+        (Trap
+           (Bounds_violation
+              {
+                addr = pv;
+                base = bv;
+                bound = ev;
+                size = 0;
+                where =
+                  fname ^ " (function pointer signature mismatch: " ^ name
+                  ^ ")";
+              }))
+
 let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
   let st = ld.st in
   match inst with
   | Ir.Mov (r, _, o) ->
       charge st Cost.basic;
-      fr.fr_regs.(r) <- eval st fr o
+      reg_set fr r (eval st fr o)
   | Ir.Bin (r, op, t, a, b) ->
-      fr.fr_regs.(r) <- exec_bin st op t (eval st fr a) (eval st fr b)
+      reg_set fr r (exec_bin st op t (eval st fr a) (eval st fr b))
   | Ir.Cmp (r, op, t, a, b) ->
-      fr.fr_regs.(r) <- exec_cmp st op t (eval st fr a) (eval st fr b)
+      reg_set fr r (exec_cmp st op t (eval st fr a) (eval st fr b))
   | Ir.Cast (r, to_, from_, o) ->
-      fr.fr_regs.(r) <- exec_cast st to_ from_ (eval st fr o)
-  | Ir.Load (r, t, a) -> fr.fr_regs.(r) <- do_load st t (eval_int st fr a)
+      reg_set fr r (exec_cast st to_ from_ (eval st fr o))
+  | Ir.Load (r, t, a) -> reg_set fr r (do_load st t (eval_int st fr a))
   | Ir.Store (t, a, v) -> do_store st t (eval_int st fr a) (eval st fr v)
   | Ir.Gep (r, base, off, _) ->
       charge st Cost.basic;
@@ -1001,10 +1188,10 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
       (match st.cfg.checker with
       | Some _ -> checker_event st (Ev_ptr_arith { src = b; dst = d })
       | None -> ());
-      fr.fr_regs.(r) <- VI d
+      reg_set_int fr r d
   | Ir.Slotaddr (r, s) ->
       charge st Cost.alloca;
-      fr.fr_regs.(r) <- VI (slot_addr fr fr.fr_func.Ir.fslots.(s))
+      reg_set_int fr r (slot_addr fr fr.fr_func.Ir.fslots.(s))
   | Ir.Call { rets; callee; args; _ } ->
       (* the step loop advances the PC before executing, so the caller's
          stored position already points past this call *)
@@ -1020,60 +1207,12 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
       let pv = eval_int st fr p in
       let bv = eval_int st fr b in
       let ev = eval_int st fr e in
-      let ok_addr = pv = bv && pv = ev && L.is_function_addr pv in
-      (* the signature check only runs once the address check passed *)
-      let sig_mismatch =
-        if not ok_addr then None
-        else
-          match expected_sig with
-          | None -> None
-          | Some h -> (
-              charge st Cost.check;
-              match describe_code_value st pv with
-              | Some name -> (
-                  match callee_sig_hash ld name with
-                  | Some h' when h' <> h -> Some name
-                  | _ -> None)
-              | None -> None)
-      in
-      if st.cfg.obs_enabled then begin
-        Obs.record_op st.obs Obs.KCheckFptr ~site
-          ~cycles:(st.stats.cycles - cy0);
-        if Obs.trace_on st.obs then
-          Obs.trace_event st.obs
-            (Obs.E_fptr_check
-               { site; addr = pv; ok = ok_addr && sig_mismatch = None })
-      end;
-      if not ok_addr then
-        raise
-          (Trap
-             (Bounds_violation
-                {
-                  addr = pv;
-                  base = bv;
-                  bound = ev;
-                  size = 0;
-                  where = fr.fr_func.Ir.fname ^ " (function pointer check)";
-                }));
-      (match sig_mismatch with
-      | None -> ()
-      | Some name ->
-          raise
-            (Trap
-               (Bounds_violation
-                  {
-                    addr = pv;
-                    base = bv;
-                    bound = ev;
-                    size = 0;
-                    where =
-                      fr.fr_func.Ir.fname
-                      ^ " (function pointer signature mismatch: " ^ name ^ ")";
-                  })))
+      check_fptr ld ~fname:fr.fr_func.Ir.fname ~site ~expected_sig ~cy0 pv bv
+        ev
   | Ir.MetaLoad (rb, re, a, site) ->
       let b, e = meta_load st ~site (eval_int st fr a) in
-      fr.fr_regs.(rb) <- VI b;
-      fr.fr_regs.(re) <- VI e
+      reg_set_int fr rb b;
+      reg_set_int fr re e
   | Ir.MetaStore (a, b, e, site) ->
       meta_store st ~site (eval_int st fr a) (eval_int st fr b)
         (eval_int st fr e)
@@ -1259,13 +1398,13 @@ let finish ld outcome : result =
     outcome.  Unlike {!run} this leaves the state open afterwards: the
     adversarial harness keeps driving boundary calls ({!call_function},
     builtin dispatches) against the very same [loaded] value. *)
-let run_main ld : outcome =
+let run_main ?(exec = run_until_done) ld : outcome =
   try
     (* transformed modules carry a synthetic global-metadata initializer *)
     (match Hashtbl.find_opt ld.resolved "__sb_global_init" with
     | Some (RFunc fe) ->
         push_frame ld fe [] [];
-        ignore (run_until_done ld)
+        ignore (exec ld)
     | _ -> ());
     let module_func name =
       match Hashtbl.find_opt ld.resolved name with
@@ -1294,7 +1433,7 @@ let run_main ld : outcome =
       end
     in
     push_frame ld main args [];
-    let code = run_until_done ld in
+    let code = exec ld in
     Exit code
   with
   | Trap t -> Trapped t

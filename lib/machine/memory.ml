@@ -34,10 +34,65 @@ let tlb_mask = tlb_size - 1
 (** Sentinel for "page not materialized"; compared with [==]. *)
 let no_page = Bytes.create 0
 
+(* --- flat shadow storage ---
+
+   The tag-less shadow space maps program address [a] to
+   [shadow_base + 2 * (a land lnot 7)] (16 metadata bytes per aligned
+   double-word), so the shadow image of each program segment is a single
+   contiguous address range twice the segment's size.  Backing those
+   three ranges with growable flat [Bytes] regions bypasses page
+   translation (and the TLB, whose slots shadow traffic would otherwise
+   share with program pages) for every metadata load/store.
+
+   The flat path is host-only: values read and written are bit-identical
+   to the paged path, untouched bytes read as zero exactly like
+   unmaterialized pages, and [resident_pages] stays exact because each
+   region tracks which would-be pages a write has materialized (the
+   region anchors are page-aligned, so region-relative pages partition
+   the address space exactly like absolute pages).  Shadow addresses
+   outside the three program segments' images — reachable only through
+   observer-side probes — fall back to paged memory. *)
+
+type sregion = {
+  sr_base : int;  (** absolute shadow address of the region's start *)
+  sr_limit : int;  (** one past the region's last byte *)
+  sr_down : bool;
+      (** stack image: the backing store is anchored at [sr_limit] and
+          grows toward [sr_base], mirroring the stack itself *)
+  mutable sr_data : Bytes.t;
+  mutable sr_pages : Bytes.t;  (** materialization bitmap, 1 bit/page *)
+  mutable sr_resident : int;  (** set bits in [sr_pages] *)
+}
+
+(* shadow images of the three program segments (globals and heap are
+   contiguous in program space, but kept separate so the heap region's
+   offsets — and hence its backing allocation — start at zero) *)
+let sh_glob_base = Layout.shadow_base + (2 * Layout.globals_base)
+let sh_glob_limit = Layout.shadow_base + (2 * Layout.heap_base)
+let sh_heap_limit = Layout.shadow_base + (2 * Layout.heap_limit)
+let sh_stack_base = Layout.shadow_base + (2 * Layout.stack_limit)
+let sh_stack_limit = Layout.shadow_base + (2 * Layout.stack_top)
+
+let sr_make ~base ~limit ~down =
+  {
+    sr_base = base;
+    sr_limit = limit;
+    sr_down = down;
+    sr_data = Bytes.create 0;
+    sr_pages = Bytes.create 0;
+    sr_resident = 0;
+  }
+
+let sr_reset r =
+  r.sr_data <- Bytes.create 0;
+  r.sr_pages <- Bytes.create 0;
+  r.sr_resident <- 0
+
 type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   tlb_tag : int array;  (** page index + 1; 0 = empty slot *)
   tlb_page : Bytes.t array;
+  sregions : sregion array;  (** globals, heap, stack shadow images *)
   mutable globals_brk : int;
   mutable heap_brk : int;
   mutable stack_low : int;  (** lowest stack address currently in use *)
@@ -48,6 +103,12 @@ let create () =
     pages = Hashtbl.create 1024;
     tlb_tag = Array.make tlb_size 0;
     tlb_page = Array.make tlb_size no_page;
+    sregions =
+      [|
+        sr_make ~base:sh_glob_base ~limit:sh_glob_limit ~down:false;
+        sr_make ~base:sh_glob_limit ~limit:sh_heap_limit ~down:false;
+        sr_make ~base:sh_stack_base ~limit:sh_stack_limit ~down:true;
+      |];
     globals_brk = Layout.globals_base;
     heap_brk = Layout.heap_base;
     stack_low = Layout.stack_top;
@@ -57,14 +118,96 @@ let reset m =
   Hashtbl.reset m.pages;
   Array.fill m.tlb_tag 0 tlb_size 0;
   Array.fill m.tlb_page 0 tlb_size no_page;
+  Array.iter sr_reset m.sregions;
   m.globals_brk <- Layout.globals_base;
   m.heap_brk <- Layout.heap_base;
   m.stack_low <- Layout.stack_top
 
-(** Number of materialized pages — the simulated resident set. *)
-let resident_pages m = Hashtbl.length m.pages
+(** Number of materialized pages — the simulated resident set.  Flat
+    shadow regions count the pages the paged path would have
+    materialized. *)
+let resident_pages m =
+  Hashtbl.length m.pages
+  + m.sregions.(0).sr_resident
+  + m.sregions.(1).sr_resident
+  + m.sregions.(2).sr_resident
 
 let resident_bytes m = resident_pages m * page_size
+
+(* --- flat shadow access --- *)
+
+(** Region index for a shadow address; -1 = outside every flat region
+    (falls back to paged memory). *)
+let sr_index a =
+  if a >= sh_glob_base && a < sh_heap_limit then
+    if a >= sh_glob_limit then 1 else 0
+  else if a >= sh_stack_base && a < sh_stack_limit then 2
+  else -1
+
+(* The backing store of an up-region covers addresses
+   [sr_base, sr_base + cap); the down-region's covers
+   [sr_limit - cap, sr_limit).  [sr_pos] maps an address to its index in
+   the current store (an index outside [0, cap) means "not covered yet":
+   reads see zero, writes grow).  All region bounds are page-aligned, so
+   the anchor-relative page ids used by the bitmap partition addresses
+   exactly like the absolute page ids of the paged path. *)
+
+let sr_pos r a =
+  if r.sr_down then a - r.sr_limit + Bytes.length r.sr_data
+  else a - r.sr_base
+
+(** Grow [r]'s backing store (and page bitmap) until [sr_pos r a] is a
+    valid index.  Doubling from 64 KiB keeps reallocation amortized;
+    fresh bytes are zero, matching unmaterialized pages. *)
+let sr_grow r a =
+  let cap = Bytes.length r.sr_data in
+  let need = if r.sr_down then r.sr_limit - a else a - r.sr_base + 1 in
+  let cap' = ref (max 65536 (cap * 2)) in
+  while !cap' < need do
+    cap' := !cap' * 2
+  done;
+  let data = Bytes.make !cap' '\000' in
+  if r.sr_down then Bytes.blit r.sr_data 0 data (!cap' - cap) cap
+  else Bytes.blit r.sr_data 0 data 0 cap;
+  r.sr_data <- data;
+  let pcap = Bytes.length r.sr_pages in
+  let pcap' = max 32 (!cap' lsr (page_bits + 3)) in
+  if pcap' > pcap then begin
+    let pages = Bytes.make pcap' '\000' in
+    Bytes.blit r.sr_pages 0 pages 0 pcap;
+    r.sr_pages <- pages
+  end
+
+(** Record that a write touched the page holding address [a] — exactly
+    the page [page_for_write] would have materialized. *)
+let sr_mark_page r a =
+  let pidx =
+    if r.sr_down then (r.sr_limit - 1 - a) lsr page_bits
+    else (a - r.sr_base) lsr page_bits
+  in
+  let byte = pidx lsr 3 and bit = pidx land 7 in
+  let b = Char.code (Bytes.get r.sr_pages byte) in
+  if b land (1 lsl bit) = 0 then begin
+    Bytes.set r.sr_pages byte (Char.chr (b lor (1 lsl bit)));
+    r.sr_resident <- r.sr_resident + 1
+  end
+
+let sr_read_byte r a =
+  let pos = sr_pos r a in
+  if pos < 0 || pos >= Bytes.length r.sr_data then 0
+  else Char.code (Bytes.unsafe_get r.sr_data pos)
+
+let sr_write_byte r a v =
+  let pos = sr_pos r a in
+  let pos =
+    if pos >= 0 && pos < Bytes.length r.sr_data then pos
+    else begin
+      sr_grow r a;
+      sr_pos r a
+    end
+  in
+  Bytes.unsafe_set r.sr_data pos (Char.unsafe_chr (v land 0xff));
+  sr_mark_page r a
 
 (** Segment-level validity for program accesses.  The metadata regions
     (hash table, shadow space) are only touched by the checker runtimes,
@@ -77,6 +220,62 @@ let valid m a =
 let check_program_access m a len =
   if not (valid m a && (len <= 1 || valid m (a + len - 1))) then
     raise (Segfault a)
+
+(* Positions ascend with addresses in both orientations (the down-region
+   mapping is [a - sr_limit + cap], still monotone), so little-endian
+   word primitives apply to the flat store directly. *)
+
+(** Read [len] <= 8 bytes at shadow address [a]; the whole range must lie
+    inside region [r]. *)
+let sr_read_word r a len =
+  let pos = sr_pos r a in
+  if pos >= 0 && pos + len <= Bytes.length r.sr_data then
+    match len with
+    | 8 -> Int64.to_int (Bytes.get_int64_le r.sr_data pos)
+    | 1 -> Char.code (Bytes.unsafe_get r.sr_data pos)
+    | 2 -> Bytes.get_uint16_le r.sr_data pos
+    | 4 -> Int32.to_int (Bytes.get_int32_le r.sr_data pos) land 0xffffffff
+    | _ ->
+        let v = ref 0 in
+        for i = len - 1 downto 0 do
+          v := (!v lsl 8) lor Char.code (Bytes.unsafe_get r.sr_data (pos + i))
+        done;
+        !v
+  else if pos + len <= 0 || pos >= Bytes.length r.sr_data then 0
+  else begin
+    (* partially covered: per-byte, uncovered bytes read as zero *)
+    let v = ref 0 in
+    for i = len - 1 downto 0 do
+      v := (!v lsl 8) lor sr_read_byte r (a + i)
+    done;
+    !v
+  end
+
+let sr_write_word r a len v =
+  let pos = sr_pos r a in
+  let pos =
+    if pos >= 0 && pos + len <= Bytes.length r.sr_data then pos
+    else begin
+      (* growing to cover the extreme end covers the whole range: the
+         other end is bounded by the region edge the store is anchored
+         at *)
+      sr_grow r (if r.sr_down then a else a + len - 1);
+      sr_pos r a
+    end
+  in
+  (match len with
+  | 8 -> Bytes.set_int64_le r.sr_data pos (Int64.of_int v)
+  | 1 -> Bytes.unsafe_set r.sr_data pos (Char.unsafe_chr (v land 0xff))
+  | 2 -> Bytes.set_uint16_le r.sr_data pos (v land 0xffff)
+  | 4 -> Bytes.set_int32_le r.sr_data pos (Int32.of_int v)
+  | _ ->
+      let v = ref v in
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set r.sr_data (pos + i) (Char.unsafe_chr (!v land 0xff));
+        v := !v asr 8
+      done);
+  sr_mark_page r a;
+  if len > 1 then sr_mark_page r (a + len - 1)
 
 (* --- page lookup --- *)
 
@@ -114,15 +313,26 @@ let page_for_write m idx =
     p
   end
 
-(* --- raw byte access (no validity check) --- *)
+(* --- raw byte access (no validity check) ---
+
+   Every accessor first routes shadow-segment addresses to the flat
+   regions; shadow addresses outside the three program-segment images
+   (observer probes of nonsensical locations) stay on the paged path. *)
 
 let read_byte m a =
-  let p = page_for_read m (a lsr page_bits) in
-  if p == no_page then 0 else Char.code (Bytes.unsafe_get p (a land page_mask))
+  if a >= Layout.shadow_base && sr_index a >= 0 then
+    sr_read_byte (Array.unsafe_get m.sregions (sr_index a)) a
+  else
+    let p = page_for_read m (a lsr page_bits) in
+    if p == no_page then 0
+    else Char.code (Bytes.unsafe_get p (a land page_mask))
 
 let write_byte m a v =
-  let p = page_for_write m (a lsr page_bits) in
-  Bytes.unsafe_set p (a land page_mask) (Char.unsafe_chr (v land 0xff))
+  if a >= Layout.shadow_base && sr_index a >= 0 then
+    sr_write_byte (Array.unsafe_get m.sregions (sr_index a)) a v
+  else
+    let p = page_for_write m (a lsr page_bits) in
+    Bytes.unsafe_set p (a land page_mask) (Char.unsafe_chr (v land 0xff))
 
 (* byte-loop fallbacks for accesses that straddle a page boundary (or
    have an irregular width); also the reference the fast paths must
@@ -144,6 +354,16 @@ let write_int_slow m a len v =
 
 (** Little-endian unsigned read of [len] (1, 2, 4 or 8) bytes. *)
 let read_int m a len =
+  if a >= Layout.shadow_base then begin
+    let i = sr_index a in
+    if i >= 0 then begin
+      let r = Array.unsafe_get m.sregions i in
+      if a + len <= r.sr_limit then sr_read_word r a len
+      else read_int_slow m a len (* straddles a region edge *)
+    end
+    else read_int_slow m a len
+  end
+  else
   let off = a land page_mask in
   if off + len <= page_size then
     let p = page_for_read m (a lsr page_bits) in
@@ -164,6 +384,16 @@ let read_int m a len =
   else read_int_slow m a len
 
 let write_int m a len v =
+  if a >= Layout.shadow_base then begin
+    let i = sr_index a in
+    if i >= 0 then begin
+      let r = Array.unsafe_get m.sregions i in
+      if a + len <= r.sr_limit then sr_write_word r a len v
+      else write_int_slow m a len v
+    end
+    else write_int_slow m a len v
+  end
+  else
   let off = a land page_mask in
   if off + len <= page_size then
     let p = page_for_write m (a lsr page_bits) in
@@ -201,18 +431,54 @@ let write_i64_slow m a (v : int64) =
   done
 
 let read_i64 m a =
-  let off = a land page_mask in
-  if off + 8 <= page_size then
-    let p = page_for_read m (a lsr page_bits) in
-    if p == no_page then 0L else Bytes.get_int64_le p off
-  else read_i64_slow m a
+  if a >= Layout.shadow_base then begin
+    let i = sr_index a in
+    if i >= 0 then begin
+      let r = Array.unsafe_get m.sregions i in
+      let pos = sr_pos r a in
+      if a + 8 <= r.sr_limit && pos >= 0 && pos + 8 <= Bytes.length r.sr_data
+      then Bytes.get_int64_le r.sr_data pos
+      else if a + 8 <= r.sr_limit && (pos + 8 <= 0 || pos >= Bytes.length r.sr_data)
+      then 0L
+      else read_i64_slow m a
+    end
+    else read_i64_slow m a
+  end
+  else
+    let off = a land page_mask in
+    if off + 8 <= page_size then
+      let p = page_for_read m (a lsr page_bits) in
+      if p == no_page then 0L else Bytes.get_int64_le p off
+    else read_i64_slow m a
 
 let write_i64 m a (v : int64) =
-  let off = a land page_mask in
-  if off + 8 <= page_size then
-    let p = page_for_write m (a lsr page_bits) in
-    Bytes.set_int64_le p off v
-  else write_i64_slow m a v
+  if a >= Layout.shadow_base then begin
+    let i = sr_index a in
+    if i >= 0 then begin
+      let r = Array.unsafe_get m.sregions i in
+      if a + 8 <= r.sr_limit then begin
+        let pos = sr_pos r a in
+        let pos =
+          if pos >= 0 && pos + 8 <= Bytes.length r.sr_data then pos
+          else begin
+            sr_grow r (if r.sr_down then a else a + 7);
+            sr_pos r a
+          end
+        in
+        Bytes.set_int64_le r.sr_data pos v;
+        sr_mark_page r a;
+        sr_mark_page r (a + 7)
+      end
+      else write_i64_slow m a v
+    end
+    else write_i64_slow m a v
+  end
+  else
+    let off = a land page_mask in
+    if off + 8 <= page_size then
+      let p = page_for_write m (a lsr page_bits) in
+      Bytes.set_int64_le p off v
+    else write_i64_slow m a v
 
 let read_f64 m a = Int64.float_of_bits (read_i64 m a)
 let write_f64 m a v = write_i64 m a (Int64.bits_of_float v)
@@ -226,6 +492,22 @@ let write_f32 m a v =
     Scans page-at-a-time: an untouched page is all zeroes, i.e. an
     immediate terminator. *)
 let read_cstring ?(max = 1 lsl 20) m a =
+  if a + max > Layout.shadow_base then begin
+    (* byte-at-a-time via the routed accessor: coherent with the flat
+       shadow store (observer-side probes only) *)
+    let buf = Buffer.create 32 in
+    let rec go i =
+      if i >= max then Buffer.contents buf
+      else
+        match read_byte m (a + i) with
+        | 0 -> Buffer.contents buf
+        | c ->
+            Buffer.add_char buf (Char.chr (c land 0xff));
+            go (i + 1)
+    in
+    go 0
+  end
+  else
   let buf = Buffer.create 32 in
   let rec go i =
     if i >= max then Buffer.contents buf
@@ -247,6 +529,9 @@ let read_cstring ?(max = 1 lsl 20) m a =
   go 0
 
 let write_string m a s =
+  if a + String.length s > Layout.shadow_base then
+    String.iteri (fun i c -> write_byte m (a + i) (Char.code c)) s
+  else
   let len = String.length s in
   let rec go i =
     if i < len then begin
@@ -268,7 +553,13 @@ let write_cstring m a s =
     scratch buffer page-chunk-wise, then scatter — correct for both
     copy directions, and only the destination pages materialize. *)
 let blit m ~src ~dst ~len =
-  if len > 0 then begin
+  if len > 0 && (src + len > Layout.shadow_base || dst + len > Layout.shadow_base)
+  then begin
+    (* routed per-byte copy, overlap-safe via the gather buffer *)
+    let tmp = Bytes.init len (fun i -> Char.chr (read_byte m (src + i) land 0xff)) in
+    Bytes.iteri (fun i c -> write_byte m (dst + i) (Char.code c)) tmp
+  end
+  else if len > 0 then begin
     let tmp = Bytes.make len '\000' in
     let i = ref 0 in
     while !i < len do
@@ -291,7 +582,11 @@ let blit m ~src ~dst ~len =
   end
 
 let fill m a len v =
-  if len > 0 then begin
+  if len > 0 && a + len > Layout.shadow_base then
+    for i = 0 to len - 1 do
+      write_byte m (a + i) v
+    done
+  else if len > 0 then begin
     let c = Char.chr (v land 0xff) in
     let i = ref 0 in
     while !i < len do

@@ -56,6 +56,22 @@ val sign_extend : int -> int -> int
 
 val read_i64 : t -> int -> int64
 val write_i64 : t -> int -> int64 -> unit
+
+(** {2 Byte-loop reference paths}
+
+    The word-granular accessors above take fast paths — direct
+    multi-byte loads/stores within a page, and flat-region words in the
+    shadow space — and fall back to these byte loops only for accesses
+    that straddle a page or region edge.  The byte loops are the
+    semantic reference: the qcheck equivalence suite asserts that fast
+    and slow paths agree on values *and* on page materialization
+    ({!resident_bytes}) for arbitrary access sequences. *)
+
+val read_int_slow : t -> int -> int -> int
+val write_int_slow : t -> int -> int -> int -> unit
+val read_i64_slow : t -> int -> int64
+val write_i64_slow : t -> int -> int64 -> unit
+
 val read_f64 : t -> int -> float
 val write_f64 : t -> int -> float -> unit
 val read_f32 : t -> int -> float

@@ -323,6 +323,72 @@ let suite =
            && Mem.read_i64 m_fast a = v
            && Mem.resident_bytes m_fast = Mem.resident_bytes m_ref));
     QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "flat shadow words: fast paths match byte-loop fallbacks on \
+            value and residency (in-region, region-edge, unaligned)"
+         ~count:300
+         (* each op: (write?, 64-bit lane?, address selector, width
+            selector, value).  The selector rotates through three
+            address families: page-straddling program addresses, shadow
+            addresses inside a flat region (unaligned), and shadow
+            addresses straddling the globals/heap region edge — where
+            the word path must hand off to the byte loop. *)
+         QCheck.(
+           list_of_size (Gen.int_range 1 60)
+             (pair (triple bool bool (int_bound 100_000))
+                (pair (int_bound 3) int)))
+         (fun ops ->
+           let page = Mem.page_size in
+           let addr_of sel =
+             match sel mod 3 with
+             | 0 -> 0x1000_0000 + (page - 1 - (sel mod 8)) + (sel mod 7 * page)
+             | 1 ->
+                 (* inside the globals shadow region, deliberately
+                    unaligned relative to the 16-byte metadata grain *)
+                 L.shadow_addr (L.globals_base + (sel mod 4096)) + (sel mod 13)
+             | _ ->
+                 (* straddle [sr_limit] of the stack shadow region (its
+                    backing store is anchored there, so the edge is
+                    cheap to touch); addresses past the limit fall off
+                    the flat path onto paged memory mid-access *)
+                 L.shadow_base + (2 * L.stack_top) - 4 + (sel mod 8)
+           in
+           (* m_fast is driven through the word accessors (flat-region
+              fast path for shadow addresses); m_slow through the
+              exported byte-loop references.  Every read must agree on
+              both memories, and materialization accounting must match
+              at the end. *)
+           let m_fast = Mem.create () in
+           let m_slow = Mem.create () in
+           List.for_all
+             (fun ((is_write, is64, sel), (wi, v)) ->
+               let a = addr_of sel in
+               if is64 then
+                 let v64 = Int64.of_int v in
+                 if is_write then begin
+                   Mem.write_i64 m_fast a v64;
+                   Mem.write_i64_slow m_slow a v64;
+                   true
+                 end
+                 else
+                   let f = Mem.read_i64 m_fast a in
+                   f = Mem.read_i64_slow m_slow a
+                   && f = Mem.read_i64_slow m_fast a
+               else
+                 let len = [| 1; 2; 4; 8 |].(wi) in
+                 if is_write then begin
+                   Mem.write_int m_fast a len v;
+                   Mem.write_int_slow m_slow a len v;
+                   true
+                 end
+                 else
+                   let f = Mem.read_int m_fast a len in
+                   f = Mem.read_int_slow m_slow a len
+                   && f = Mem.read_int_slow m_fast a len)
+             ops
+           && Mem.resident_bytes m_fast = Mem.resident_bytes m_slow));
+    QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"memory matches a Bytes model" ~count:100
          QCheck.(
            list (pair (int_bound 2000) (int_bound 255)))
