@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-check experiments examples fuzz-smoke \
-	profile-smoke vmspeed-smoke adversarial-smoke coverage verify clean
+	profile-smoke vmspeed-smoke adversarial-smoke serve-smoke coverage \
+	verify clean
 
 all: build
 
@@ -79,6 +80,37 @@ adversarial-smoke:
 	grep -q 'regression seeds: caught' /tmp/adv1.txt
 	@echo "adversarial-smoke: no escapes, jobs-independent"
 
+# the checking service end to end, through the real binary: a fixed
+# mixed job stream (ok runs, a trap, a baseline scheme, fuzz,
+# adversarial, profile, an unknown type, a garbage line) served at
+# --jobs 1 and --jobs 2.  Result rows are compared modulo the "ms"
+# timing field and delivery order (completion order is nondeterministic
+# under jobs>=2) — everything else must be byte-identical.
+serve-smoke:
+	@printf '%s\n' \
+	  '{"id":1,"type":"run","source":"int main() { int a[4]; a[2] = 5; return a[2]; }"}' \
+	  '{"id":2,"type":"run","source":"int main() { int a[4]; return a[9]; }"}' \
+	  '{"id":3,"type":"run","source":"int main() { return 0; }","scheme":"unprotected"}' \
+	  '{"id":4,"type":"fuzz","seed":7,"count":2}' \
+	  '{"id":5,"type":"adversarial","seed":3,"count":1}' \
+	  '{"id":6,"type":"profile","source":"int main() { int a[8]; int i; for (i = 0; i < 8; i = i + 1) a[i] = i; return a[7]; }"}' \
+	  '{"id":7,"type":"bad-type"}' \
+	  'garbage line' \
+	  > /tmp/serve_jobs.ndjson
+	dune exec bin/softbound_cli.exe -- serve < /tmp/serve_jobs.ndjson \
+	  2>/dev/null | sed 's/,"ms":[0-9.eE+-]*//' | sort > /tmp/serve1.txt
+	dune exec bin/softbound_cli.exe -- serve --jobs 2 --timeout-ms 60000 \
+	  < /tmp/serve_jobs.ndjson 2>/dev/null \
+	  | sed 's/,"ms":[0-9.eE+-]*//' | sort > /tmp/serve2.txt
+	diff /tmp/serve1.txt /tmp/serve2.txt
+	grep -q '"outcome":"exit 5"' /tmp/serve1.txt
+	grep -q 'bounds violation' /tmp/serve1.txt
+	grep -q '"scheme":"unprotected"' /tmp/serve1.txt
+	grep -q '"error":"unknown job type' /tmp/serve1.txt
+	grep -q 'malformed JSON' /tmp/serve1.txt
+	grep -q '"type":"profile","ok":true' /tmp/serve1.txt
+	@echo "serve-smoke: protocol stable, jobs-independent modulo timing"
+
 # quick profiler pass over two kernels: exercises the observability
 # layer end to end (site attribution, JSON export, trace ring)
 profile-smoke:
@@ -113,6 +145,7 @@ verify:
 	@if [ -f /tmp/elim.keep ]; then mv /tmp/elim.keep BENCH_elim.json; fi
 	$(MAKE) profile-smoke
 	$(MAKE) vmspeed-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) adversarial-smoke
 

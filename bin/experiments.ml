@@ -8,7 +8,7 @@ let usage () =
   prerr_endline
     "usage: experiments \
      <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
-     breakdown|vmspeed|adversarial|bench-check|all> \
+     breakdown|vmspeed|serve|adversarial|bench-check|all> \
      [--quick] [--jobs N] [--iters N]";
   exit 2
 
@@ -41,7 +41,8 @@ let () =
   let targets =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
-        "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed"; "adversarial" ]
+        "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed"; "serve";
+        "adversarial" ]
     else targets
   in
   List.iter
@@ -76,6 +77,15 @@ let () =
             output_string oc (Harness.Exp_vmspeed.to_json ~quick ~iters rows);
             close_out oc;
             Harness.Exp_vmspeed.render rows
+        | "serve" ->
+            (* sustained-load service benchmark; --quick shrinks the
+               stream from 10k to 600 jobs *)
+            let total = if quick then Some 600 else None in
+            let rows = Harness.Exp_serve.run ~quick ?total () in
+            let oc = open_out "BENCH_serve.json" in
+            output_string oc (Harness.Exp_serve.to_json ?total rows);
+            close_out oc;
+            Harness.Exp_serve.render ?total rows
         | "bench-check" ->
             (* validate the committed BENCH_*.json artifacts *)
             let report, ok = Harness.Bench_check.run () in

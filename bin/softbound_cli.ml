@@ -452,10 +452,102 @@ let fuzz_cmd =
       const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg
       $ jobs_arg $ adversarial_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let doc =
+    "long-running checking service: line-delimited JSON jobs on stdin (or \
+     a Unix socket), one JSON result line per job, streamed in completion \
+     order with the job id echoed back"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Each request is one JSON object per line with an $(b,id) (string \
+         or number, echoed back verbatim) and a $(b,type) of $(b,run), \
+         $(b,fuzz), $(b,profile) or $(b,adversarial).  Jobs are dispatched \
+         across a persistent pool of worker domains; a malformed or \
+         crashing job yields an error row, never a dead daemon.  The \
+         daemon exits when stdin reaches end-of-file (after draining the \
+         queue) or on SIGTERM/SIGINT.  See README.md for the full \
+         protocol reference.";
+    ]
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing jobs in parallel (0 = all cores). \
+             Result order is completion order, so it varies with N; ids \
+             tie rows to requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"K"
+          ~doc:
+            "Bounded queue depth: reading pauses (backpressure) while \
+             $(docv) jobs are waiting.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-job wall-clock budget; a job past it is \
+             abandoned at the next VM poll and answered with a timeout \
+             error row.  Jobs may override with their own timeout_ms \
+             field.")
+  in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of \
+             stdin/stdout, serving one client connection at a time until \
+             SIGTERM.")
+  in
+  let f jobs queue timeout_ms socket =
+    let jobs = if jobs = 0 then Parutil.available_jobs () else jobs in
+    let stop = Atomic.make false in
+    List.iter
+      (fun s ->
+        Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+      [ Sys.sigterm; Sys.sigint ];
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let stop_fn () = Atomic.get stop in
+    match socket with
+    | Some path ->
+        Harness.Serve.serve_socket ~jobs ~cap:queue
+          ?default_timeout_ms:timeout_ms ~stop:stop_fn path;
+        exit 0
+    | None ->
+        let read = Harness.Serve.read_lines ~stop:stop_fn Unix.stdin in
+        let write s =
+          print_string s;
+          flush stdout
+        in
+        let st =
+          Harness.Serve.serve ~jobs ~cap:queue ?default_timeout_ms:timeout_ms
+            ~read ~write ()
+        in
+        Printf.eprintf "serve: %d ok, %d failed, %d rejected (%d accepted)\n"
+          st.Harness.Serve.completed st.Harness.Serve.errored
+          st.Harness.Serve.rejected st.Harness.Serve.accepted;
+        exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(const f $ jobs_arg $ queue_arg $ timeout_arg $ socket_arg)
+
 let main =
   let doc = "SoftBound: complete spatial memory safety for C (simulated)" in
   Cmd.group
     (Cmd.info "softbound" ~version:"1.0.0" ~doc)
-    [ run_cmd; check_cmd; dump_cmd; profile_cmd; fuzz_cmd ]
+    [ run_cmd; check_cmd; dump_cmd; profile_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

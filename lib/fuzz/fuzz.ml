@@ -50,12 +50,12 @@ type outcome = O_tested | O_skipped | O_finding of finding_report
     regenerated from [seed]/[k] and the oracle builds fresh pipelines
     and VM states, so outcomes are independent of evaluation order —
     which is what lets a campaign fan out across domains. *)
-let eval_case ?(shrink = true) ?max_steps ?(shrink_budget = 250) ~seed k :
-    bool * outcome =
+let eval_case ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250) ~seed k
+    : bool * outcome =
   let case = case_of ~seed ~index:k in
   let is_trap = case.Gen.expect <> Gen.Safe in
   let verdict =
-    try Oracle.check ?max_steps ~expect:case.Gen.expect case.Gen.prog
+    try Oracle.check ?max_steps ?poll ~expect:case.Gen.expect case.Gen.prog
     with e ->
       Oracle.Bug
         {
@@ -94,7 +94,7 @@ let eval_case ?(shrink = true) ?max_steps ?(shrink_budget = 250) ~seed k :
   in
   (is_trap, outcome)
 
-let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
+let run_campaign ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250)
     ?(progress = fun (_ : int) -> ()) ?(jobs = 1) ~seed ~count () : report =
   (* [jobs <= 1] runs inline on this domain; otherwise cases fan out via
      {!Parutil.parmap}, whose results come back in case order — so the
@@ -105,10 +105,10 @@ let run_campaign ?(shrink = true) ?max_steps ?(shrink_budget = 250)
     if jobs <= 1 then
       List.init count (fun k ->
           progress k;
-          eval_case ~shrink ?max_steps ~shrink_budget ~seed k)
+          eval_case ~shrink ?max_steps ?poll ~shrink_budget ~seed k)
     else
       Parutil.parmap ~jobs
-        (eval_case ~shrink ?max_steps ~shrink_budget ~seed)
+        (eval_case ~shrink ?max_steps ?poll ~shrink_budget ~seed)
         (List.init count Fun.id)
   in
   let tested = ref 0 and skipped = ref 0 and traps = ref 0 in

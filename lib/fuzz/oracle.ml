@@ -101,13 +101,16 @@ let frontend_error (f : unit -> 'a) : ('a, string) result =
   | Sbir.Ir.Invalid m -> Error (Printf.sprintf "ir: %s" m)
 
 (** Print, compile, and cross-check one generated program. *)
-let check ?(max_steps = 20_000_000) ~(expect : Gen.expect) (prog : A.program) :
-    verdict =
+let check ?(max_steps = 20_000_000) ?poll ~(expect : Gen.expect)
+    (prog : A.program) : verdict =
+  (* [poll] threads straight into every configuration's VM run, so a
+     serve fuzz job's wall-clock deadline interrupts the oracle
+     mid-campaign instead of waiting out the step budget *)
   let src = Cminus.Pretty.program_string prog in
   match frontend_error (fun () -> Softbound.compile src) with
   | Error msg -> Bug { cls = "frontend-reject"; detail = msg; runs = [] }
   | Ok m -> (
-      let cfg = { St.default_config with St.max_steps } in
+      let cfg = { St.default_config with St.max_steps; poll } in
       let attempt () =
         let u = Softbound.run_unprotected ~cfg m in
         let fulls =

@@ -1,135 +1,20 @@
 (* Validator for the committed machine-readable benchmark artifacts.
 
-   The BENCH_*.json files are hand-emitted (no JSON library in the
-   tree), so nothing guarantees they stay well-formed as the emitters
-   evolve.  [run] parses each file with a small recursive-descent JSON
-   reader and checks the schema the downstream tooling relies on:
-   the experiment tag, the presence of the per-row record arrays, the
-   aggregate (geomean) fields, and — for the VM-throughput artifact —
-   that both execution engines are recorded along with the baseline
-   block and the speedup summary.  `make bench-check` (part of `make
+   The BENCH_*.json files are hand-emitted, so nothing guarantees they
+   stay well-formed as the emitters evolve.  [run] parses each file
+   with the shared {!Json} reader and checks the schema the downstream
+   tooling relies on: the experiment tag, the presence of the per-row
+   record arrays, the aggregate (geomean) fields, and — for the
+   VM-throughput artifact — that both execution engines are recorded
+   along with the baseline block and the speedup summary.  The serve
+   artifact additionally pins the width matrix (jobs/sec and latency
+   percentiles per domain count).  `make bench-check` (part of `make
    verify`) fails on any violation. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
+open Json
 
-exception Bad of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then s.[!pos] else '\255' in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if peek () = c then advance ()
-    else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance (); Buffer.contents b
-      | '\\' -> (
-          advance ();
-          let c = peek () in
-          advance ();
-          match c with
-          | 'n' -> Buffer.add_char b '\n'; go ()
-          | 't' -> Buffer.add_char b '\t'; go ()
-          | 'r' -> Buffer.add_char b '\r'; go ()
-          | 'b' -> Buffer.add_char b '\b'; go ()
-          | 'f' -> Buffer.add_char b '\012'; go ()
-          | 'u' ->
-              (* keep the escape verbatim; key comparisons are ASCII *)
-              Buffer.add_string b "\\u";
-              go ()
-          | c -> Buffer.add_char b c; go ())
-      | '\255' -> fail "unterminated string"
-      | c -> advance (); Buffer.add_char b c; go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while is_num (peek ()) do advance () done;
-    let lit = String.sub s start (!pos - start) in
-    match float_of_string_opt lit with
-    | Some f -> Num f
-    | None -> fail ("bad number " ^ lit)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then (advance (); Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); members ((k, v) :: acc)
-            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or } in object"
-          in
-          members []
-    | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then (advance (); List [])
-        else
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); elements (v :: acc)
-            | ']' -> advance (); List (List.rev (v :: acc))
-            | _ -> fail "expected , or ] in array"
-          in
-          elements []
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | 'n' -> literal "null" Null
-    | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
-    | _ -> fail "unexpected character"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* --- schema checks --- *)
-
-let field obj k =
-  match obj with
-  | Obj kvs -> List.assoc_opt k kvs
-  | _ -> None
+let parse = Json.parse
+let field = Json.field
 
 let errs : string list ref = ref []
 let bad file msg = errs := Printf.sprintf "%s: %s" file msg :: !errs
@@ -312,6 +197,35 @@ let check_vmspeed file obj =
         engines
   | None -> ()
 
+(* the sustained-load service benchmark: a row per worker-pool width,
+   each carrying throughput and latency percentiles, plus the mix and
+   loss accounting the acceptance criteria quote *)
+let check_serve file obj =
+  experiment_tag file obj "serve";
+  (match require file obj "jobs_total" with
+  | Some (Num _) -> ()
+  | Some _ -> bad file "jobs_total is not a number"
+  | None -> ());
+  (match require file obj "mix" with
+  | Some (Obj (_ :: _ as kinds)) ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Num _ -> ()
+          | _ -> bad file (Printf.sprintf "mix.%s is not a number" k))
+        kinds
+  | Some _ -> bad file "mix is not an object"
+  | None -> ());
+  (match require_rows file obj "widths" with
+  | Some rows ->
+      rows_have file rows
+        [
+          "jobs"; "wall_seconds"; "jobs_per_sec"; "p50_ms"; "p99_ms";
+          "errors"; "lost"; "duplicated";
+        ]
+  | None -> ());
+  require_num file obj "speedup_max_vs_1"
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -323,6 +237,7 @@ let targets =
     ("BENCH_elim.json", check_elim);
     ("BENCH_breakdown.json", check_breakdown);
     ("BENCH_vmspeed.json", check_vmspeed);
+    ("BENCH_serve.json", check_serve);
   ]
 
 (** Validate every committed benchmark artifact; returns the report and

@@ -41,9 +41,16 @@ let sb_store_hash =
    emits the same IR for shadow-space and hash-table runs — so the
    cache key normalizes it away: the 8 scheme configurations of the
    ablation matrix (full/store × shadow/hash × elim on/off) share 4
-   transforms per program.  Modules are compared by physical identity
-   (the experiments compile once and re-run many schemes over the same
-   value), options structurally. *)
+   transforms per program.
+
+   Modules are keyed by CONTENT — a digest of the printed IR — with a
+   physical-identity memo in front so the common case (the experiments
+   compile once and re-run many schemes over the same value) never
+   re-prints the module.  Pure physical keying was a bug: two compiles
+   of identical source text (every serve request, repeated CLI calls in
+   one process) produced structurally equal but physically distinct
+   modules, and each one re-instrumented from scratch.  Options compare
+   structurally, as before. *)
 
 let transform_count = ref 0
 
@@ -67,17 +74,36 @@ let norm_opts (o : Softbound.Config.options) =
 
 let cache_capacity = 32
 
+(* physical value -> content digest, so the digest of a module the
+   process keeps re-using is computed exactly once.  Bounded like the
+   caches it fronts; entries beyond the cap age out FIFO. *)
+let digest_memo_capacity = 64
+let digest_memo : (Ir.modul * string) list ref = ref []
+
+let module_digest (m : Ir.modul) : string =
+  match List.find_opt (fun (m', _) -> m' == m) !digest_memo with
+  | Some (_, d) -> d
+  | None ->
+      let d = Digest.string (Sbir.Pretty_ir.dump_module m) in
+      let pruned =
+        if List.length !digest_memo >= digest_memo_capacity then
+          List.filteri (fun i _ -> i < digest_memo_capacity - 1) !digest_memo
+        else !digest_memo
+      in
+      digest_memo := (m, d) :: pruned;
+      d
+
 let cache :
-    ((Ir.modul * Softbound.Config.options) * (Ir.modul * int)) list ref =
+    ((string * Softbound.Config.options) * (Ir.modul * int)) list ref =
   ref []
 
 let instrument_cached ?(opts = Softbound.Config.default) (m : Ir.modul) :
     Ir.modul * int =
   with_lock @@ fun () ->
-  let kopts = norm_opts opts in
+  let key = (module_digest m, norm_opts opts) in
   let rec find acc = function
     | [] -> None
-    | (((m', o'), v) as e) :: rest when m' == m && o' = kopts ->
+    | ((k', v) as e) :: rest when k' = key ->
         (* move the hit to the front (LRU) *)
         cache := e :: List.rev_append acc rest;
         Some v
@@ -93,7 +119,7 @@ let instrument_cached ?(opts = Softbound.Config.default) (m : Ir.modul) :
           List.filteri (fun i _ -> i < cache_capacity - 1) !cache
         else !cache
       in
-      cache := ((m, kopts), v) :: pruned;
+      cache := (key, v) :: pruned;
       v
 
 let run ?(argv = []) ?(inputs = []) ?(max_steps = 2_000_000_000)
@@ -203,6 +229,40 @@ let compile_workload (w : Workloads.workload) : Ir.modul =
       let m = Softbound.compile w.Workloads.source in
       Hashtbl.add compiled_workloads w.Workloads.name m;
       m
+
+(* Source text -> compiled module, keyed by content digest.  Returning
+   the SAME module value for identical text is what lets every
+   physical-identity fast path downstream (the digest memo above, the
+   closure engine's compiled-module cache) hit when the serve daemon
+   sees the same program again, request after request. *)
+let source_cache_capacity = 64
+let source_compile_count = ref 0
+let source_cache : (string * Ir.modul) list ref = ref []
+
+let compile_source_cached (src : string) : Ir.modul =
+  with_lock @@ fun () ->
+  let key = Digest.string src in
+  let rec find acc = function
+    | [] -> None
+    | ((k', m) as e) :: rest when String.equal k' key ->
+        source_cache := e :: List.rev_append acc rest;
+        Some m
+    | e :: rest -> find (e :: acc) rest
+  in
+  match find [] !source_cache with
+  | Some m -> m
+  | None ->
+      incr source_compile_count;
+      let m = Softbound.compile src in
+      let pruned =
+        if List.length !source_cache >= source_cache_capacity then
+          List.filteri (fun i _ -> i < source_cache_capacity - 1) !source_cache
+        else !source_cache
+      in
+      source_cache := (key, m) :: pruned;
+      m
+
+let source_compiles_performed () = with_lock (fun () -> !source_compile_count)
 
 (** Fraction of memory operations that move pointer values (Figure 1's
     metric). *)

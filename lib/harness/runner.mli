@@ -37,15 +37,29 @@ val run :
 
 val instrument_cached :
   ?opts:Softbound.Config.options -> Ir.modul -> Ir.modul * int
-(** Transform-result cache, keyed by module identity and the
-    transform-relevant options (the metadata facility is normalized
-    away — shadow and hash runs share one transform).  Returns the
+(** Transform-result cache, keyed by module CONTENT (a digest of the
+    printed IR, memoized per physical value) and the transform-relevant
+    options (the metadata facility is normalized away — shadow and hash
+    runs share one transform).  Structurally identical modules hit the
+    same entry even when compiled separately, which is what keeps the
+    serve daemon from re-instrumenting every request.  Returns the
     instrumented module and its assigned-site count. *)
 
 val transforms_performed : unit -> int
 (** Process-wide count of actual (non-cached) transform runs — the
     regression hook for "the transform runs once per (program, elim)
     pair". *)
+
+val compile_source_cached : string -> Ir.modul
+(** Compile MiniC source through a digest-keyed LRU: identical text
+    yields the identical (physically equal) module value, so repeated
+    submissions share one compile, one transform, and one closure-engine
+    compilation.  Frontend errors (lex/parse/type/lower) propagate to
+    the caller and are never cached. *)
+
+val source_compiles_performed : unit -> int
+(** Process-wide count of actual (non-cached) source compiles — the
+    cache-hit regression hook for {!compile_source_cached}. *)
 
 exception
   Workload_failed of {

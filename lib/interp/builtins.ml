@@ -232,6 +232,85 @@ let format_into w ~put ~fmt ~fmt_meta ~va_ptr ~va_meta ~va_count =
 let vi v = VI v
 let ret0 = []
 
+(* ------------------------------------------------------------------ *)
+(* C-style longest-valid-prefix numeric scanning                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The conversion family (strtol, atoi, atol, atof) must parse the
+   longest valid numeric *prefix* and ignore trailing junk — C
+   semantics, not OCaml's whole-string [int_of_string], which returns 0
+   for "42abc" and wrongly accepts OCaml-only syntax like "0x2A" (under
+   base 10) and "1_000". *)
+
+let is_c_space c = c = ' ' || (c >= '\t' && c <= '\r')
+
+(** [scan_long ~base s] skips leading C whitespace and an optional
+    sign, then consumes the longest run of digits valid in [base].
+    Returns [(value, consumed)] where [consumed] is the number of bytes
+    of [s] eaten including whitespace and sign — or 0 when no digit was
+    found, matching strtol's endptr = nptr contract.  [base = 0] keeps
+    this interpreter's historical reading (decimal). *)
+let scan_long ?(base = 10) (s : string) : int * int =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && is_c_space s.[!i] do incr i done;
+  let sign =
+    if !i < n && s.[!i] = '-' then (incr i; -1)
+    else if !i < n && s.[!i] = '+' then (incr i; 1)
+    else 1
+  in
+  let base = if base = 0 then 10 else base in
+  let digit c =
+    if c >= '0' && c <= '9' then Char.code c - 48
+    else if c >= 'a' && c <= 'z' then Char.code c - 87
+    else if c >= 'A' && c <= 'Z' then Char.code c - 55
+    else 99
+  in
+  let acc = ref 0 in
+  let start = !i in
+  while !i < n && digit s.[!i] < base do
+    acc := (!acc * base) + digit s.[!i];
+    incr i
+  done;
+  if !i = start then (0, 0) else (sign * !acc, !i)
+
+(** [scan_double s]: C's strtod shape — whitespace, sign, digits, an
+    optional fraction, an optional exponent (consumed only when it has
+    at least one digit of its own).  Returns [(value, consumed)], with
+    [consumed = 0] when no mantissa digit was found. *)
+let scan_double (s : string) : float * int =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n && is_c_space s.[!i] do incr i done;
+  let mstart = !i in
+  if !i < n && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+  let int_digits = ref 0 in
+  while !i < n && is_digit s.[!i] do incr int_digits; incr i done;
+  let frac_digits = ref 0 in
+  if !i < n && s.[!i] = '.' then begin
+    let dot = !i in
+    incr i;
+    while !i < n && is_digit s.[!i] do incr frac_digits; incr i done;
+    (* a bare "." after the integer part is still valid C ("3." = 3.0),
+       but "." with no digits on either side is not a number at all *)
+    if !int_digits = 0 && !frac_digits = 0 then i := dot
+  end;
+  if !int_digits = 0 && !frac_digits = 0 then (0.0, 0)
+  else begin
+    (if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+       let e = !i in
+       incr i;
+       if !i < n && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+       let exp_digits = ref 0 in
+       while !i < n && is_digit s.[!i] do incr exp_digits; incr i done;
+       if !exp_digits = 0 then i := e
+     end);
+    (* the consumed slice is built from validated characters only, so
+       OCaml's float_of_string cannot reject it or read it differently *)
+    (float_of_string (String.sub s mstart (!i - mstart)), !i)
+  end
+
 (** Names of all builtins (both plain and wrapper forms resolve here). *)
 let table : (string, unit) Hashtbl.t = Hashtbl.create 128
 
@@ -614,28 +693,9 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
       let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
-      (* parse: optional spaces, sign, digits in the given base *)
-      let i = ref 0 in
-      let n = String.length s in
-      while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
-      let sign = if !i < n && s.[!i] = '-' then (incr i; -1)
-                 else if !i < n && s.[!i] = '+' then (incr i; 1) else 1 in
-      let base = if base = 0 then 10 else base in
-      let digit c =
-        if c >= '0' && c <= '9' then Char.code c - 48
-        else if c >= 'a' && c <= 'z' then Char.code c - 87
-        else if c >= 'A' && c <= 'Z' then Char.code c - 55
-        else 99
-      in
-      let acc = ref 0 in
-      let start = !i in
-      while !i < n && digit s.[!i] < base do
-        acc := (!acc * base) + digit s.[!i];
-        incr i
-      done;
-      let consumed = if !i > start then !i else 0 in
+      let v, consumed = scan_long ~base s in
       if endp <> 0 then begin
-        let tail = p + (if consumed = 0 then 0 else consumed) in
+        let tail = p + consumed in
         check_write w ~ptr:endp ~meta:(meta_of 1) ~size:8;
         range_access st endp 8 ~is_store:true;
         Mem.write_int st.mem endp 8 tail;
@@ -644,21 +704,23 @@ let dispatch st ~(name : string) ~(args : value list) : value list =
         if w.checked then
           meta_store st endp (fst (meta_of 0)) (snd (meta_of 0))
       end;
-      [ vi (sign * !acc) ]
+      [ vi v ]
   (* ---- conversion ---- *)
   | "atoi" | "atol" ->
+      (* same longest-valid-prefix scan as strtol(s, NULL, 10):
+         atoi("42abc") = 42, atoi("0x2A") = 0, atoi("1_000") = 1 *)
       let p = argi 0 in
       let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
-      let v = try Int64.to_int (Int64.of_string (String.trim s)) with _ -> 0 in
+      let v, _ = scan_long s in
       [ vi v ]
   | "atof" ->
       let p = argi 0 in
       let len = checked_strlen w ~ptr:p ~meta:(meta_of 0) in
       range_access st p (len + 1) ~is_store:false;
       let s = Mem.read_cstring st.mem p in
-      let v = try float_of_string (String.trim s) with _ -> 0.0 in
+      let v, _ = scan_double s in
       [ VF v ]
   (* ---- io ---- *)
   | "printf" ->

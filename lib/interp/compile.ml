@@ -58,10 +58,14 @@ type compiled = {
 (* ------------------------------------------------------------------ *)
 
 (* identical counters in identical order to the decoding engine's step
-   loop, so [Step_limit] fires at exactly the same instruction *)
+   loop, so [Step_limit] fires at exactly the same instruction — and the
+   poll hook observes the same step counts on both engines *)
 let[@inline] tick st =
   st.steps <- st.steps + 1;
   if st.steps > st.cfg.max_steps then raise (Trap Step_limit);
+  (match st.cfg.poll with
+  | Some p when st.steps land poll_mask = 0 -> p ()
+  | _ -> ());
   st.stats.insts <- st.stats.insts + 1
 
 (* ------------------------------------------------------------------ *)

@@ -215,6 +215,13 @@ let engine_of_string = function
   | "closure" -> Some Eng_closure
   | _ -> None
 
+(** How often (in steps) an installed {!config.poll} hook runs: every
+    step whose count masks to zero.  16K steps is well under a
+    millisecond on either engine, fine-grained enough for per-job
+    wall-clock timeouts while keeping the no-hook fast path to a single
+    predictable branch. *)
+let poll_mask = 16383
+
 type config = {
   max_steps : int;
   engine : engine;
@@ -233,6 +240,12 @@ type config = {
           ([--trace=N]); 0 disables tracing *)
   inputs : string list;  (** lines served by [sim_recv] *)
   argv : string list;
+  poll : (unit -> unit) option;
+      (** cooperative interruption hook, run every {!poll_mask}+1 steps
+          by both engines.  It may raise to abort the run — the serve
+          daemon uses it for per-job wall-clock deadlines and
+          cancellation on shutdown.  Never affects simulated outputs:
+          step/cycle accounting is identical with or without it. *)
   ht_entries_init : int;
       (** initial hash-table capacity (rounded up to a power of two);
           the table resizes itself past this, so small values only cost
@@ -252,6 +265,7 @@ let default_config =
     trace_depth = 0;
     inputs = [];
     argv = [];
+    poll = None;
     ht_entries_init = ht_default_entries;
   }
 

@@ -1254,6 +1254,9 @@ let step_once ld : bool =
   | fr :: _ ->
       st.steps <- st.steps + 1;
       if st.steps > st.cfg.max_steps then raise (Trap Step_limit);
+      (match st.cfg.poll with
+      | Some p when st.steps land poll_mask = 0 -> p ()
+      | _ -> ());
       st.stats.insts <- st.stats.insts + 1;
       let insts = fr.fr_code.(fr.fr_block) in
       if fr.fr_inst < Array.length insts then begin
@@ -1276,6 +1279,7 @@ let step_once ld : bool =
 let run_until_done ld : int =
   let st = ld.st in
   let max_steps = st.cfg.max_steps in
+  let poll = st.cfg.poll in
   try
     let live = ref true in
     while !live do
@@ -1288,6 +1292,9 @@ let run_until_done ld : int =
           while !straight do
             st.steps <- st.steps + 1;
             if st.steps > max_steps then raise (Trap Step_limit);
+            (match poll with
+            | Some p when st.steps land poll_mask = 0 -> p ()
+            | _ -> ());
             st.stats.insts <- st.stats.insts + 1;
             let k = fr.fr_inst in
             if k < n then begin

@@ -11,15 +11,12 @@
    [jobs <= 1] short-circuits to [List.map f] on the calling domain —
    the sequential path stays the plain one, with no spawn at all. *)
 
+(** Persistent worker pool for long-running services (re-exported so
+    library clients see it as [Parutil.Pool]). *)
+module Pool = Pool
+
 (** What the runtime considers a sensible upper bound for [~jobs]. *)
 let available_jobs () = Domain.recommended_domain_count ()
-
-exception Worker_failed of exn
-
-let () =
-  Printexc.register_printer (function
-    | Worker_failed e -> Some ("parallel worker failed: " ^ Printexc.to_string e)
-    | _ -> None)
 
 let parmap ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let n = List.length xs in
@@ -28,17 +25,29 @@ let parmap ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
     let items = Array.of_list xs in
     let out : 'b option array = Array.make n None in
     let next = Atomic.make 0 in
-    (* first failure wins; later items are still drained so join never
-       blocks on a poisoned queue *)
-    let failure = Atomic.make None in
+    (* Failures are recorded per item index, and the LOWEST-index one is
+       re-raised after the join — exactly the failure a sequential run
+       would hit first.  Recording whichever worker's exception won a
+       compare-and-set race made a failing run's report depend on
+       scheduling, violating the jobs-independence contract.
+
+       The early stop keeps its soundness from the monotonic cursor: by
+       the time any worker observes a failure at index j and sets
+       [failed], every index below j has already been handed out, and
+       the worker holding it finishes the item (recording its failure,
+       if any) before it checks the flag — so the minimum recorded index
+       equals the overall minimum failing index, every run. *)
+    let failures : exn option array = Array.make n None in
+    let failed = Atomic.make false in
     let rec work () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         (match f items.(i) with
         | v -> out.(i) <- Some v
         | exception e ->
-            ignore (Atomic.compare_and_set failure None (Some (Worker_failed e))));
-        if Atomic.get failure = None then work ()
+            failures.(i) <- Some e;
+            Atomic.set failed true);
+        if not (Atomic.get failed) then work ()
       end
     in
     let spawned =
@@ -46,7 +55,7 @@ let parmap ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
     in
     work ();
     List.iter Domain.join spawned;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.iter (function Some e -> raise e | None -> ()) failures;
     Array.to_list
       (Array.map
          (function Some v -> v | None -> assert false)

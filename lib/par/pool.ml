@@ -1,0 +1,131 @@
+(* A persistent worker pool over OCaml 5 domains.
+
+   {!Parutil.parmap} is fork/join: it spawns domains for one batch and
+   tears them down.  A long-running service cannot afford that per
+   request, so [Pool] keeps [jobs] worker domains alive for its whole
+   lifetime and feeds them through one shared bounded queue — idle
+   workers steal the next job the moment they finish their current one,
+   so an expensive job never blocks the queue behind it, only its own
+   worker.
+
+   Contract:
+   - [submit] enqueues a thunk and BLOCKS while the queue is at
+     capacity — backpressure, so a fast producer (a client streaming
+     10k jobs) cannot balloon the daemon's memory.
+   - results stream in COMPLETION order through [emit], which the pool
+     serializes: [emit] is never called concurrently with itself.
+   - a raising job is routed through [on_error] and the pool keeps
+     running; worker domains never die early.
+   - [shutdown] closes the queue, lets the workers drain it (or drops
+     what is still queued with [~drain:false]), and joins every domain.
+     Idempotent. *)
+
+type 'r t = {
+  cap : int;  (** queue capacity; submit blocks at this depth *)
+  emit : 'r -> unit;
+  on_error : exn -> 'r;
+  q : (unit -> 'r) Queue.t;
+  mutable closed : bool;  (** no further submissions *)
+  mutable dropped : int;  (** jobs discarded by a non-draining shutdown *)
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable workers : unit Domain.t list;
+  emit_m : Mutex.t;
+}
+
+let rec worker (t : 'r t) : unit =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  if Queue.is_empty t.q then begin
+    (* closed and drained: let the next waiter see the same state *)
+    Mutex.unlock t.m;
+    Condition.broadcast t.not_empty
+  end
+  else begin
+    let job = Queue.pop t.q in
+    Mutex.unlock t.m;
+    Condition.signal t.not_full;
+    let r = try job () with e -> t.on_error e in
+    Mutex.lock t.emit_m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.emit_m)
+      (fun () -> t.emit r);
+    worker t
+  end
+
+let create ?(cap = 128) ~jobs ~(on_error : exn -> 'r) ~(emit : 'r -> unit) ()
+    : 'r t =
+  let t =
+    {
+      cap = max 1 cap;
+      emit;
+      on_error;
+      q = Queue.create ();
+      closed = false;
+      dropped = 0;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      workers = [];
+      emit_m = Mutex.create ();
+    }
+  in
+  t.workers <- List.init (max 1 jobs) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let width (t : 'r t) : int = List.length t.workers
+
+(** [submit t job]: enqueue [job]; blocks while the queue is full.
+    Returns [false] (without enqueueing) once the pool is shut down. *)
+let submit (t : 'r t) (job : unit -> 'r) : bool =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.closed then false
+    else if Queue.length t.q >= t.cap then begin
+      Condition.wait t.not_full t.m;
+      wait ()
+    end
+    else begin
+      Queue.push job t.q;
+      true
+    end
+  in
+  let accepted = wait () in
+  Mutex.unlock t.m;
+  if accepted then Condition.signal t.not_empty;
+  accepted
+
+(** Emit a result from the CALLING thread, serialized with worker
+    emissions — for rows that bypass the queue (protocol errors answered
+    inline) but must still interleave cleanly with streamed results. *)
+let emit_now (t : 'r t) (r : 'r) : unit =
+  Mutex.lock t.emit_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_m) (fun () -> t.emit r)
+
+(** Jobs accepted but not yet handed to a worker. *)
+let queued (t : 'r t) : int =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+(** Close the queue and join every worker.  [~drain:true] (the default)
+    runs everything already accepted; [~drain:false] discards the
+    still-queued jobs (counting them) and only waits for in-flight ones.
+    Returns the number of discarded jobs. *)
+let shutdown ?(drain = true) (t : 'r t) : int =
+  Mutex.lock t.m;
+  t.closed <- true;
+  if not drain then begin
+    t.dropped <- t.dropped + Queue.length t.q;
+    Queue.clear t.q
+  end;
+  Mutex.unlock t.m;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  t.dropped

@@ -23,4 +23,5 @@ let () =
       ("engines", Test_engines.suite);
       ("adversary", Test_adversary.suite);
       ("parallel", Test_par.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -23,13 +23,34 @@ let suite =
         Alcotest.(check (list int))
           "singleton" [ 42 ]
           (P.parmap ~jobs:8 (fun x -> x) [ 42 ]));
-    tc "parmap: worker exception surfaces as Worker_failed" (fun () ->
-        let boom _ = failwith "boom" in
-        Alcotest.check_raises "sequential path re-raises directly"
-          (Failure "boom") (fun () -> ignore (P.parmap ~jobs:1 boom [ 1; 2 ]));
-        match P.parmap ~jobs:2 boom [ 1; 2; 3 ] with
-        | _ -> Alcotest.fail "expected Worker_failed"
-        | exception P.Worker_failed _ -> ());
+    tc "parmap: failures report identically at any jobs width" (fun () ->
+        (* several items fail with distinct errors; every width must
+           report the lowest-index failure, like the sequential run *)
+        let f x = if x mod 3 = 1 then failwith (Printf.sprintf "boom-%d" x) else x in
+        let xs = List.init 20 Fun.id in
+        List.iter
+          (fun jobs ->
+            Alcotest.check_raises
+              (Printf.sprintf "jobs=%d reports the index-1 failure" jobs)
+              (Failure "boom-1")
+              (fun () -> ignore (P.parmap ~jobs f xs)))
+          [ 1; 2; 3; 8 ]);
+    tc "parmap: failure determinism is repeatable under racing" (fun () ->
+        (* jitter the work so different domains hit their failures in
+           different wall-clock orders; the report must not move *)
+        let f x =
+          let spin = (x * 37) mod 11 in
+          let acc = ref 0 in
+          for i = 0 to spin * 1000 do acc := !acc + i done;
+          ignore !acc;
+          if x = 7 || x = 13 || x = 18 then failwith (Printf.sprintf "f%d" x)
+          else x
+        in
+        let xs = List.init 24 Fun.id in
+        for _ = 1 to 20 do
+          Alcotest.check_raises "always the lowest index (7)" (Failure "f7")
+            (fun () -> ignore (P.parmap ~jobs:4 f xs))
+        done);
     tc "parmap: available_jobs is positive" (fun () ->
         Alcotest.(check bool) "positive" true (P.available_jobs () > 0));
     tc "fuzz campaign: jobs=3 report equals jobs=1, outcome for outcome"
