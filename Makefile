@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-check experiments examples fuzz-smoke \
-	profile-smoke vmspeed-smoke adversarial-smoke serve-smoke coverage \
-	verify clean
+	profile-smoke vmspeed-smoke adversarial-smoke serve-smoke \
+	schemes-smoke coverage verify clean
 
 all: build
 
@@ -111,6 +111,30 @@ serve-smoke:
 	grep -q '"type":"profile","ok":true' /tmp/serve1.txt
 	@echo "serve-smoke: protocol stable, jobs-independent modulo timing"
 
+# the N-scheme matrix end to end: the schemes experiment at quick sizes
+# under --jobs 1 and --jobs 2 (the artifact is purely simulated, so the
+# two runs must be byte-identical), schema spot checks including the
+# completeness-gap cells, and a bounded N-scheme differential-oracle
+# campaign — every scheme lock-step against the unprotected run, any
+# unexplained divergence fails.  The committed full-size
+# BENCH_schemes.json is preserved.
+schemes-smoke:
+	@cp -f BENCH_schemes.json /tmp/schemes.keep 2>/dev/null || true
+	dune exec bin/experiments.exe -- schemes --quick > /dev/null
+	@cp BENCH_schemes.json /tmp/schemes1.json
+	dune exec bin/experiments.exe -- schemes --quick --jobs 2 > /dev/null
+	@cp BENCH_schemes.json /tmp/schemes2.json
+	@if [ -f /tmp/schemes.keep ]; then mv /tmp/schemes.keep BENCH_schemes.json; \
+	  else rm -f BENCH_schemes.json; fi
+	diff /tmp/schemes1.json /tmp/schemes2.json
+	grep -q '"experiment": "schemes"' /tmp/schemes1.json
+	grep -q '"attack": "sub-object-overflow"' /tmp/schemes1.json
+	grep -q '"softbound-full-shadow": true' /tmp/schemes1.json
+	grep -q '"cguard": false' /tmp/schemes1.json
+	grep -q '"l4-pointer"' /tmp/schemes1.json
+	dune exec bin/softbound_cli.exe -- fuzz --schemes --seed 1 --count 200
+	@echo "schemes-smoke: matrix deterministic, oracle clean"
+
 # quick profiler pass over two kernels: exercises the observability
 # layer end to end (site attribution, JSON export, trace ring)
 profile-smoke:
@@ -148,6 +172,7 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) adversarial-smoke
+	$(MAKE) schemes-smoke
 
 examples:
 	dune exec examples/quickstart.exe

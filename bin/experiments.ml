@@ -8,7 +8,7 @@ let usage () =
   prerr_endline
     "usage: experiments \
      <table1|table3|table4|fig1|fig2|mscc|memory|sweep|ablations|elim|\
-     breakdown|vmspeed|serve|adversarial|bench-check|all> \
+     breakdown|vmspeed|serve|adversarial|schemes|bench-check|all> \
      [--quick] [--jobs N] [--iters N]";
   exit 2
 
@@ -42,7 +42,7 @@ let () =
     if List.mem "all" targets then
       [ "table1"; "table3"; "table4"; "fig1"; "fig2"; "mscc"; "memory";
         "sweep"; "ablations"; "elim"; "breakdown"; "vmspeed"; "serve";
-        "adversarial" ]
+        "adversarial"; "schemes" ]
     else targets
   in
   List.iter
@@ -71,6 +71,12 @@ let () =
             output_string oc (Harness.Exp_breakdown.to_json rows);
             close_out oc;
             Harness.Exp_breakdown.render rows
+        | "schemes" ->
+            let matrix = Harness.Exp_schemes.run ~quick ~jobs () in
+            let oc = open_out "BENCH_schemes.json" in
+            output_string oc (Harness.Exp_schemes.to_json matrix);
+            close_out oc;
+            Harness.Exp_schemes.render matrix
         | "vmspeed" ->
             let rows = Harness.Exp_vmspeed.run ~quick ~iters ~jobs () in
             let oc = open_out "BENCH_vmspeed.json" in

@@ -39,10 +39,16 @@ let facility_arg =
   Arg.(
     value
     & opt (enum [ ("shadow", Softbound.Shadow_space);
-                  ("hash", Softbound.Hash_table) ])
+                  ("hash", Softbound.Hash_table);
+                  ("obj-header", Softbound.Obj_header);
+                  ("frame-tag", Softbound.Frame_tag);
+                  ("wide-inline", Softbound.Wide_inline) ])
         Softbound.Shadow_space
     & info [ "facility" ] ~docv:"F"
-        ~doc:"Metadata organization: $(b,shadow) or $(b,hash).")
+        ~doc:
+          "Metadata organization: $(b,shadow), $(b,hash), or a \
+           related-work cost model — $(b,obj-header) (CGuard), \
+           $(b,frame-tag) (FRAMER), $(b,wide-inline) (L4 Pointer).")
 
 let unprotected_arg =
   Arg.(
@@ -424,7 +430,17 @@ let fuzz_cmd =
              action classified caught/confined/escaped.  Exit status is \
              nonzero on any escape.")
   in
-  let f seed count no_minimize max_steps jobs adversarial =
+  let schemes_arg =
+    Arg.(
+      value & flag
+      & info [ "schemes" ]
+          ~doc:
+            "Run the N-scheme matrix oracle: each case also runs under \
+             every registry scheme (CGuard, FRAMER, L4 Pointer, MSCC, and \
+             the baseline checkers), and any divergence not explained by a \
+             scheme's documented completeness gap is a finding.")
+  in
+  let f seed count no_minimize max_steps jobs adversarial schemes =
     let jobs = if jobs = 0 then Parutil.available_jobs () else jobs in
     if adversarial then begin
       let r = Fuzz.Adversary.run_campaign ~jobs ~seed ~count () in
@@ -440,8 +456,8 @@ let fuzz_cmd =
         flush stderr)
     in
     let r =
-      Fuzz.run_campaign ~shrink:(not no_minimize) ~max_steps ~progress ~jobs
-        ~seed ~count ()
+      Fuzz.run_campaign ~shrink:(not no_minimize) ~matrix:schemes ~max_steps
+        ~progress ~jobs ~seed ~count ()
     in
     print_string (Fuzz.render r);
     exit (if r.Fuzz.findings = [] then 0 else 1)
@@ -450,7 +466,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const f $ seed_arg $ count_arg $ no_minimize_arg $ max_steps_arg
-      $ jobs_arg $ adversarial_arg)
+      $ jobs_arg $ adversarial_arg $ schemes_arg)
 
 (* ---- serve ---- *)
 

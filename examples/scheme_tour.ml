@@ -2,9 +2,10 @@
 
    Runs the treeadd kernel (the most pointer-intensive workload) under
    the uninstrumented baseline, all four SoftBound configurations, the
-   MSCC-style transform, and the three baseline checkers, printing the
-   cost profile of each — a compact, runnable version of the trade-off
-   story Figures 1–2 and section 6.5 tell.
+   MSCC-style transform, the related-work schemes (CGuard, FRAMER, L4
+   Pointer), and the three baseline checkers, printing the cost profile
+   of each — a compact, runnable version of the trade-off story
+   Figures 1–2 and section 6.5 tell.
 
    Run with:  dune exec examples/scheme_tour.exe [workload] *)
 
@@ -16,6 +17,9 @@ let schemes : (string * Harness.Runner.scheme) list =
     ("softbound shadow/store", Harness.Runner.Softbound Harness.Runner.sb_store_shadow);
     ("softbound hash/store", Harness.Runner.Softbound Harness.Runner.sb_store_hash);
     ("mscc-style", Harness.Runner.Mscc);
+    ("cguard", Harness.Runner.Cguard);
+    ("framer", Harness.Runner.Framer);
+    ("l4-pointer", Harness.Runner.L4_pointer);
     ("jones-kelly", Harness.Runner.Jones_kelly);
     ("memcheck-like", Harness.Runner.Memcheck);
     ("mudflap-like", Harness.Runner.Mudflap);

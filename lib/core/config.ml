@@ -9,8 +9,18 @@
     much lower overhead. *)
 type mode = Full_checking | Store_only
 
-(** Metadata organization (paper section 5.1). *)
-type facility = Hash_table | Shadow_space
+(** Metadata organization.  [Hash_table] and [Shadow_space] are the
+    paper's two organizations (section 5.1); the other three model the
+    related-work schemes' metadata placements (see {!Schemes}):
+    [Obj_header] a CGuard-style header just before the object,
+    [Frame_tag] a FRAMER-style frame tag in the pointer's top byte,
+    [Wide_inline] an L4-Pointer-style 128-bit wide pointer. *)
+type facility =
+  | Hash_table
+  | Shadow_space
+  | Obj_header
+  | Frame_tag
+  | Wide_inline
 
 type options = {
   mode : mode;
@@ -64,6 +74,9 @@ let store_only = { default with mode = Store_only }
 let facility_name = function
   | Hash_table -> "hash-table"
   | Shadow_space -> "shadow-space"
+  | Obj_header -> "obj-header"
+  | Frame_tag -> "frame-tag"
+  | Wide_inline -> "wide-inline"
 
 let mode_name = function
   | Full_checking -> "full"

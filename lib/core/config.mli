@@ -9,11 +9,21 @@
     write) at a much lower overhead. *)
 type mode = Full_checking | Store_only
 
-(** Metadata organization (paper section 5.1): open-addressing hash
-    table (24-byte tagged entries, ~9 x86 instructions per lookup) or
-    tag-less shadow space (16 bytes per pointer-aligned word, ~5
-    instructions per lookup). *)
-type facility = Hash_table | Shadow_space
+(** Metadata organization.  [Hash_table] (open-addressing, 24-byte
+    tagged entries, ~9 x86 instructions per lookup) and [Shadow_space]
+    (tag-less, 16 bytes per pointer-aligned word, ~5 instructions) are
+    the paper's two organizations (section 5.1).  The other three model
+    the related-work schemes' metadata placements (see {!Schemes}):
+    [Obj_header] is a CGuard-style 16-byte header just before the
+    object, [Frame_tag] a FRAMER-style frame tag carried in the
+    pointer's top byte, [Wide_inline] an L4-Pointer-style 128-bit wide
+    pointer with inline base/bound. *)
+type facility =
+  | Hash_table
+  | Shadow_space
+  | Obj_header
+  | Frame_tag
+  | Wide_inline
 
 type options = {
   mode : mode;

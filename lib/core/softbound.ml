@@ -16,7 +16,12 @@ module Transform = Transform
 module Elim = Elim
 
 type mode = Config.mode = Full_checking | Store_only
-type facility = Config.facility = Hash_table | Shadow_space
+type facility = Config.facility =
+  | Hash_table
+  | Shadow_space
+  | Obj_header
+  | Frame_tag
+  | Wide_inline
 type options = Config.options
 
 let default_options = Config.default
@@ -45,6 +50,9 @@ let instrument_with_sites ?(opts = Config.default) (m : Ir.modul) :
 let facility_of = function
   | Config.Hash_table -> Interp.State.Hash_table
   | Config.Shadow_space -> Interp.State.Shadow_space
+  | Config.Obj_header -> Interp.State.Obj_header
+  | Config.Frame_tag -> Interp.State.Frame_tag
+  | Config.Wide_inline -> Interp.State.Wide_inline
 
 (** Run an *uninstrumented* module (the baseline the paper normalizes
     against). *)

@@ -29,6 +29,7 @@ type finding_report = {
 type report = {
   seed : int;
   count : int;
+  matrix : bool;  (** ran under the N-scheme oracle *)
   tested : int;  (** cases that ran to a verdict *)
   skipped : int;  (** cases dropped for hitting resource limits *)
   trap_cases : int;  (** cases carrying an injected violation *)
@@ -49,13 +50,21 @@ type outcome = O_tested | O_skipped | O_finding of finding_report
 (** Evaluate case [k] to an outcome.  Self-contained: the case is
     regenerated from [seed]/[k] and the oracle builds fresh pipelines
     and VM states, so outcomes are independent of evaluation order —
-    which is what lets a campaign fan out across domains. *)
-let eval_case ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250) ~seed k
-    : bool * outcome =
+    which is what lets a campaign fan out across domains.  With
+    [~matrix:true] the case runs under {!Oracle.check_matrix} (the
+    N-scheme oracle) instead of the seven-configuration {!Oracle.check}. *)
+let eval_case ?(shrink = true) ?(matrix = false) ?max_steps ?poll
+    ?(shrink_budget = 250) ~seed k : bool * outcome =
   let case = case_of ~seed ~index:k in
   let is_trap = case.Gen.expect <> Gen.Safe in
+  let oracle prog =
+    if matrix then
+      Oracle.check_matrix ?max_steps ?poll ~expect:case.Gen.expect
+        ~sub_object:case.Gen.sub_object prog
+    else Oracle.check ?max_steps ?poll ~expect:case.Gen.expect prog
+  in
   let verdict =
-    try Oracle.check ?max_steps ?poll ~expect:case.Gen.expect case.Gen.prog
+    try oracle case.Gen.prog
     with e ->
       Oracle.Bug
         {
@@ -75,7 +84,7 @@ let eval_case ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250) ~seed k
           else
             let small =
               try
-                Shrink.minimize ?max_steps ~budget:shrink_budget
+                Shrink.minimize ~oracle ?max_steps ~budget:shrink_budget
                   ~expect:case.Gen.expect ~cls:f.Oracle.cls case.Gen.prog
               with _ -> case.Gen.prog
             in
@@ -94,8 +103,9 @@ let eval_case ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250) ~seed k
   in
   (is_trap, outcome)
 
-let run_campaign ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250)
-    ?(progress = fun (_ : int) -> ()) ?(jobs = 1) ~seed ~count () : report =
+let run_campaign ?(shrink = true) ?(matrix = false) ?max_steps ?poll
+    ?(shrink_budget = 250) ?(progress = fun (_ : int) -> ()) ?(jobs = 1) ~seed
+    ~count () : report =
   (* [jobs <= 1] runs inline on this domain; otherwise cases fan out via
      {!Parutil.parmap}, whose results come back in case order — so the
      fold below (and hence the report) is identical either way.
@@ -105,10 +115,10 @@ let run_campaign ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250)
     if jobs <= 1 then
       List.init count (fun k ->
           progress k;
-          eval_case ~shrink ?max_steps ?poll ~shrink_budget ~seed k)
+          eval_case ~shrink ~matrix ?max_steps ?poll ~shrink_budget ~seed k)
     else
       Parutil.parmap ~jobs
-        (eval_case ~shrink ?max_steps ?poll ~shrink_budget ~seed)
+        (eval_case ~shrink ~matrix ?max_steps ?poll ~shrink_budget ~seed)
         (List.init count Fun.id)
   in
   let tested = ref 0 and skipped = ref 0 and traps = ref 0 in
@@ -126,6 +136,7 @@ let run_campaign ?(shrink = true) ?max_steps ?poll ?(shrink_budget = 250)
   {
     seed;
     count;
+    matrix;
     tested = !tested;
     skipped = !skipped;
     trap_cases = !traps;
@@ -150,7 +161,8 @@ let render (r : report) : string =
   let b = Buffer.create 1024 in
   Buffer.add_string b
     (Printf.sprintf
-       "fuzz: seed=%d count=%d tested=%d skipped=%d injected=%d findings=%d\n"
+       "fuzz%s: seed=%d count=%d tested=%d skipped=%d injected=%d findings=%d\n"
+       (if r.matrix then " (N-scheme matrix)" else "")
        r.seed r.count r.tested r.skipped r.trap_cases (List.length r.findings));
   List.iter (fun f -> Buffer.add_string b (render_finding f)) r.findings;
   Buffer.contents b

@@ -26,7 +26,16 @@ module C = Cminus.Ctypes
 
 type expect = Safe | Trap_read | Trap_write
 
-type case = { prog : A.program; expect : expect; note : string }
+type case = {
+  prog : A.program;
+  expect : expect;
+  note : string;
+  sub_object : bool;
+      (** the injected violation stays inside its allocation (a struct
+          field overflow): only shrunken per-pointer bounds can see it,
+          and the N-scheme oracle requires object-granularity schemes
+          to stay silent on it *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* AST shorthands                                                       *)
@@ -872,7 +881,12 @@ let gen_p_helper ctx : unit =
 (* Out-of-bounds injection                                              *)
 (* ------------------------------------------------------------------ *)
 
-type injection = { istmt : A.stmt; iexpect : expect; inote : string }
+type injection = {
+  istmt : A.stmt;
+  iexpect : expect;
+  inote : string;
+  isub_object : bool;
+}
 
 let targetable v =
   v.alive
@@ -895,18 +909,20 @@ let build_injection ctx boundary : injection =
   let v = Rng.pick r cands in
   let d = Rng.int r 3 in
   let write = Rng.bool r in
-  let mk ?(rd_cast = false) lv note =
+  let mk ?(rd_cast = false) ?(sub = false) lv note =
     if write then
       {
         istmt = sexpr (asn lv (ei 7));
         iexpect = Trap_write;
         inote = Printf.sprintf "oob-write %s" note;
+        isub_object = sub;
       }
     else
       {
         istmt = acc_add (if rd_cast then cast lng lv else lv);
         iexpect = Trap_read;
         inote = Printf.sprintf "oob-read %s" note;
+        isub_object = sub;
       }
   in
   match v.vi with
@@ -938,13 +954,14 @@ let build_injection ctx boundary : injection =
           istmt = sexpr (call "strcpy" [ id v.vn; strlit (String.make cap 'z') ]);
           iexpect = Trap_write;
           inote = Printf.sprintf "strcpy overflow into %s[%d]" v.vn cap;
+          isub_object = false;
         }
       else
         mk (idx (id v.vn) (ei (cap + d))) (Printf.sprintf "%s[%d/%d]" v.vn (cap + d) cap)
   | S0_v bl ->
       (* one past the [b] field: still inside the struct object, so only
          shrunken (sub-object) bounds can catch it *)
-      mk
+      mk ~sub:true
         (idx (fld (id v.vn) "b") (ei (bl + Rng.int r 2)))
         (Printf.sprintf "%s.b[%d/%d] (field overflow)" v.vn bl bl)
   | S1_v c ->
@@ -1063,5 +1080,6 @@ let generate (r : Rng.t) ~(oob : bool) : case =
   in
   let prog = { A.defs = List.rev (main :: ctx.gdefs_rev); penv = env } in
   match inj with
-  | None -> { prog; expect = Safe; note = "safe" }
-  | Some (_, i) -> { prog; expect = i.iexpect; note = i.inote }
+  | None -> { prog; expect = Safe; note = "safe"; sub_object = false }
+  | Some (_, i) ->
+      { prog; expect = i.iexpect; note = i.inote; sub_object = i.isub_object }

@@ -122,16 +122,24 @@ let program_variants (p : A.program) : A.program list =
 
 (** Minimize [p] while the oracle keeps reporting class [cls] for the
     same expectation.  Returns the smallest program found within the
-    oracle-call [budget]. *)
-let minimize ?(budget = 250) ?max_steps ~(expect : Gen.expect) ~(cls : string)
-    (p : A.program) : A.program =
+    oracle-call [budget].  [oracle] overrides the verdict function
+    (default {!Oracle.check} with [expect]) — the matrix campaign
+    passes {!Oracle.check_matrix} so per-scheme classes shrink under
+    the oracle that found them. *)
+let minimize ?(budget = 250) ?max_steps ?oracle ~(expect : Gen.expect)
+    ~(cls : string) (p : A.program) : A.program =
+  let verdict_of =
+    match oracle with
+    | Some f -> f
+    | None -> fun prog -> Oracle.check ?max_steps ~expect prog
+  in
   let budget = ref budget in
   let keeps prog =
     !budget > 0
     &&
     begin
       decr budget;
-      match Oracle.check ?max_steps ~expect prog with
+      match verdict_of prog with
       | Oracle.Bug f -> f.Oracle.cls = cls
       | Oracle.Ok_ | Oracle.Skip _ -> false
     end

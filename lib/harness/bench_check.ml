@@ -226,6 +226,90 @@ let check_serve file obj =
   | None -> ());
   require_num file obj "speedup_max_vs_1"
 
+(* the N-scheme matrix: a coverage block pinning the completeness-gap
+   story (SoftBound full sees the sub-object overflow, the
+   object-granularity schemes must not), plus per-workload per-scheme
+   cost records with the attribution buckets *)
+let check_schemes file obj =
+  experiment_tag file obj "schemes";
+  let bool_cell ctx det k =
+    match field det k with
+    | Some (Bool b) -> Some b
+    | Some _ ->
+        bad file (Printf.sprintf "%s.%s is not a bool" ctx k);
+        None
+    | None ->
+        bad file (Printf.sprintf "%s: missing cell %s" ctx k);
+        None
+  in
+  (match require_rows file obj "coverage" with
+  | Some rows ->
+      let cell attack k =
+        List.find_map
+          (fun row ->
+            match (field row "attack", field row "detected") with
+            | Some (Str a), Some det when a = attack ->
+                bool_cell ("coverage." ^ attack) det k
+            | _ -> None)
+          rows
+      in
+      let expect attack k want =
+        match cell attack k with
+        | Some b when b = want -> ()
+        | Some _ ->
+            bad file
+              (Printf.sprintf "coverage: %s/%s should be %b" attack k want)
+        | None ->
+            bad file (Printf.sprintf "coverage: no cell %s/%s" attack k)
+      in
+      (* SoftBound's completeness edge: full checking detects every
+         attack class, including the intra-object one... *)
+      List.iter
+        (fun attack -> expect attack "softbound-full-shadow" true)
+        [
+          "sub-object-overflow"; "adjacent-heap-overflow"; "heap-underflow";
+          "off-by-one-read";
+        ];
+      (* ...which every whole-object-bounds scheme must miss *)
+      List.iter
+        (fun k -> expect "sub-object-overflow" k false)
+        [ "mscc"; "cguard"; "framer"; "l4-pointer"; "jones-kelly";
+          "memcheck-like"; "mudflap-like" ];
+      (* store-only checking is blind to the read attack by design *)
+      expect "off-by-one-read" "softbound-store-shadow" false
+  | None -> ());
+  match require_rows file obj "workloads" with
+  | Some rows ->
+      rows_have file rows [ "base_cycles" ];
+      List.iteri
+        (fun i row ->
+          match field row "schemes" with
+          | Some (Obj (_ :: _ as srows)) ->
+              List.iter
+                (fun (sname, s) ->
+                  List.iter
+                    (fun k ->
+                      match field s k with
+                      | Some (Num _) -> ()
+                      | _ ->
+                          bad file
+                            (Printf.sprintf "row %d: schemes.%s.%s missing" i
+                               sname k))
+                    [
+                      "cycles"; "overhead"; "check"; "metadata"; "wrapper";
+                      "residual";
+                    ];
+                  match field s "clean" with
+                  | Some (Bool _) -> ()
+                  | _ ->
+                      bad file
+                        (Printf.sprintf "row %d: schemes.%s.clean missing" i
+                           sname))
+                srows
+          | _ -> bad file (Printf.sprintf "row %d: missing schemes" i))
+        rows
+  | None -> ()
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -238,6 +322,7 @@ let targets =
     ("BENCH_breakdown.json", check_breakdown);
     ("BENCH_vmspeed.json", check_vmspeed);
     ("BENCH_serve.json", check_serve);
+    ("BENCH_schemes.json", check_schemes);
   ]
 
 (** Validate every committed benchmark artifact; returns the report and

@@ -14,13 +14,20 @@ type row = {
   shadow_full : float;
   hash_store : float;
   shadow_store : float;
+  cguard : float;
+  framer : float;
+  l4_pointer : float;
+      (** related-work scheme columns (print-only context for the
+          SoftBound shape checks; the committed scheme artifact is
+          BENCH_schemes.json) *)
 }
 
 let run_one ?(quick = false) (w : Workloads.workload) : row =
   let m = Runner.compile_workload w in
   let argv = if quick then w.Workloads.quick_args else [] in
   let base = Runner.run ~argv Runner.Unprotected m in
-  let ov opts = Runner.overhead (Runner.run ~argv (Runner.Softbound opts) m) base in
+  let ovs scheme = Runner.overhead (Runner.run ~argv scheme m) base in
+  let ov opts = ovs (Runner.Softbound opts) in
   {
     workload = w;
     base_cycles = base.stats.Interp.State.cycles;
@@ -28,6 +35,9 @@ let run_one ?(quick = false) (w : Workloads.workload) : row =
     shadow_full = ov Runner.sb_full_shadow;
     hash_store = ov Runner.sb_store_hash;
     shadow_store = ov Runner.sb_store_shadow;
+    cguard = ovs Runner.Cguard;
+    framer = ovs Runner.Framer;
+    l4_pointer = ovs Runner.L4_pointer;
   }
 
 let run ?(quick = false) () : row list =
@@ -44,7 +54,7 @@ let render (rows : row list) : string =
     (Texttable.render
        ~headers:
          [ "benchmark"; "base Mcycles"; "hash/full"; "shadow/full";
-           "hash/store"; "shadow/store" ]
+           "hash/store"; "shadow/store"; "cguard"; "framer"; "l4-ptr" ]
        (List.map
           (fun r ->
             [
@@ -54,6 +64,9 @@ let render (rows : row list) : string =
               Texttable.pct r.shadow_full;
               Texttable.pct r.hash_store;
               Texttable.pct r.shadow_store;
+              Texttable.pct r.cguard;
+              Texttable.pct r.framer;
+              Texttable.pct r.l4_pointer;
             ])
           rows
        @ [
@@ -64,6 +77,9 @@ let render (rows : row list) : string =
              Texttable.pct (avg (fun r -> r.shadow_full) rows);
              Texttable.pct (avg (fun r -> r.hash_store) rows);
              Texttable.pct (avg (fun r -> r.shadow_store) rows);
+             Texttable.pct (avg (fun r -> r.cguard) rows);
+             Texttable.pct (avg (fun r -> r.framer) rows);
+             Texttable.pct (avg (fun r -> r.l4_pointer) rows);
            ];
          ]));
   (* shape checks against the paper *)

@@ -10,6 +10,9 @@ type scheme =
   | Memcheck
   | Mudflap
   | Mscc
+  | Cguard
+  | Framer
+  | L4_pointer
 
 let scheme_name = function
   | Unprotected -> "unprotected"
@@ -21,6 +24,9 @@ let scheme_name = function
   | Memcheck -> "memcheck-like"
   | Mudflap -> "mudflap-like"
   | Mscc -> "mscc-like"
+  | Cguard -> "cguard"
+  | Framer -> "framer"
+  | L4_pointer -> "l4-pointer"
 
 (* The four SoftBound configurations of Figure 2. *)
 let sb_full_shadow = Softbound.Config.default
@@ -126,19 +132,24 @@ let run ?(argv = []) ?(inputs = []) ?(max_steps = 2_000_000_000)
     ?(cfg = Interp.State.default_config) (scheme : scheme) (m : Ir.modul) :
     Interp.Vm.result =
   let base = { cfg with Interp.State.argv; inputs; max_steps } in
+  let run_transform opts =
+    let m', _sites = instrument_cached ~opts m in
+    let cfg =
+      {
+        base with
+        Interp.State.meta =
+          Some (Softbound.facility_of opts.Softbound.Config.facility);
+        store_only = opts.Softbound.Config.mode = Softbound.Config.Store_only;
+      }
+    in
+    Interp.Engine.run ~cfg m'
+  in
   match scheme with
   | Unprotected -> Softbound.run_unprotected ~cfg:base m
-  | Softbound opts ->
-      let m', _sites = instrument_cached ~opts m in
-      let cfg =
-        {
-          base with
-          Interp.State.meta =
-            Some (Softbound.facility_of opts.Softbound.Config.facility);
-          store_only = opts.Softbound.Config.mode = Softbound.Config.Store_only;
-        }
-      in
-      Interp.Engine.run ~cfg m'
+  | Softbound opts -> run_transform opts
+  | Cguard -> run_transform (Schemes.Cguard.options ())
+  | Framer -> run_transform (Schemes.Framer.options ())
+  | L4_pointer -> run_transform (Schemes.L4_pointer.options ())
   | Mscc -> Baselines.Mscc.run ~cfg:base m
   | Jones_kelly ->
       Softbound.run_unprotected

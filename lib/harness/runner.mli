@@ -3,8 +3,9 @@
 
 module Ir = Sbir.Ir
 
-(** A protection scheme: nothing, a SoftBound configuration, or one of
-    the baseline tools. *)
+(** A protection scheme: nothing, a SoftBound configuration, one of the
+    baseline tools, or one of the related-work schemes from {!Schemes}
+    (CGuard object headers, FRAMER frame tags, L4 wide pointers). *)
 type scheme =
   | Unprotected
   | Softbound of Softbound.Config.options
@@ -12,6 +13,9 @@ type scheme =
   | Memcheck
   | Mudflap
   | Mscc
+  | Cguard
+  | Framer
+  | L4_pointer
 
 val scheme_name : scheme -> string
 

@@ -82,7 +82,26 @@ type checker = {
 (* Metadata facility (paper section 5.1)                                *)
 (* ------------------------------------------------------------------ *)
 
-type meta_facility = Hash_table | Shadow_space
+(** The two SoftBound organizations from section 5.1, plus three
+    related-work facilities modeled for the scheme matrix.  The three
+    extras keep the shadow space as the physical backing store (the
+    simulated program layout is unchanged, so their correctness is
+    identical to [Shadow_space]); what differs is the charged cycle
+    cost and the cache traffic pattern of each metadata operation:
+
+    - [Obj_header] (CGuard): bounds live in a 16-byte header just
+      before the object; a lookup derefs the header, an update is a
+      tag move in the pointer's spare bits (no memory traffic).
+    - [Frame_tag] (FRAMER): a tag in the pointer's top byte locates a
+      frame header; lookups decode the tag then deref the header.
+    - [Wide_inline] (L4 Pointer): base/bound ride inline in a 128-bit
+      pointer; lookups/updates touch the word next to the pointer. *)
+type meta_facility =
+  | Hash_table
+  | Shadow_space
+  | Obj_header
+  | Frame_tag
+  | Wide_inline
 
 (** Default number of hash-table entries (power of two) at startup.
     24-byte entries: tag, base, bound.  The table grows by doubling
@@ -282,6 +301,10 @@ type stats = {
   mutable ht_resizes : int;
   mutable calls : int;
   mutable max_frames : int;
+  mutable ck_cycles : int;
+      (** cycles charged by a plugged-in baseline checker's [ck_handle]
+          — lets the breakdown attribute a plugin scheme's bookkeeping
+          to the "check" bucket *)
 }
 
 let mk_stats () =
@@ -298,6 +321,7 @@ let mk_stats () =
     ht_resizes = 0;
     calls = 0;
     max_frames = 0;
+    ck_cycles = 0;
   }
 
 type t = {
@@ -385,6 +409,7 @@ let checker_event st ev =
   | Some ck -> (
       let cost, viol = ck.ck_handle ev in
       charge st cost;
+      st.stats.ck_cycles <- st.stats.ck_cycles + cost;
       match viol with
       | Some detail ->
           let addr =
@@ -436,6 +461,61 @@ let ht_index st addr = (addr lsr 3) land (st.ht_entries - 1)
 
 let ht_region_limit = L.shadow_base - L.hashtable_base
 
+(* The three related-work facilities (CGuard header, FRAMER frame tag,
+   L4 wide pointer) are *cost models* layered over the shadow space: the
+   base/bound words are physically stored at [L.shadow_addr addr], so
+   every lookup returns exactly what a shadow-space run would — what
+   differs is the cycles charged and where the cache traffic lands.
+   [cache_access] only consults the simulated cache (it never touches
+   memory), so pointing it at a header/frame/wide-slot address models
+   that facility's locality without perturbing program state. *)
+
+let modeled_load st fac addr : int * int =
+  let sa = L.shadow_addr addr in
+  let mb = Mem.read_int st.mem sa 8 in
+  let me = Mem.read_int st.mem (sa + 8) 8 in
+  (match fac with
+  | Obj_header ->
+      (* CGuard: deref the 16-byte header just before the object the
+         pointer's tag names; null metadata has no header to touch *)
+      charge st Cost.header_lookup;
+      if mb <> 0 then begin
+        cache_access st (mb - 16);
+        cache_access st (mb - 8)
+      end
+  | Frame_tag ->
+      (* FRAMER: decode the top-byte tag, then deref the enclosing
+         frame's header (the frame-aligned address below the base) *)
+      charge st Cost.frame_lookup;
+      if mb <> 0 then begin
+        let fh = mb land lnot 15 in
+        cache_access st fh;
+        cache_access st (fh + 8)
+      end
+  | Wide_inline ->
+      (* L4 Pointer: base/bound are the upper half of the 128-bit
+         pointer, adjacent to the slot just loaded *)
+      charge st Cost.wide_lookup;
+      cache_access st (addr + 8)
+  | Hash_table | Shadow_space -> assert false);
+  (mb, me)
+
+let modeled_store st fac addr base bound : unit =
+  (match fac with
+  | Obj_header ->
+      (* the object tag travels in the pointer's spare bits: no extra
+         memory traffic on a pointer store *)
+      charge st Cost.header_update
+  | Frame_tag -> charge st Cost.frame_update
+  | Wide_inline ->
+      (* storing a wide pointer writes the adjacent upper half too *)
+      charge st Cost.wide_update;
+      cache_access st (addr + 8)
+  | Hash_table | Shadow_space -> assert false);
+  let sa = L.shadow_addr addr in
+  Mem.write_int st.mem sa 8 base;
+  Mem.write_int st.mem (sa + 8) 8 bound
+
 let meta_load ?(site = 0) st addr : int * int =
   st.stats.meta_loads <- st.stats.meta_loads + 1;
   let cy0 = st.stats.cycles in
@@ -448,6 +528,8 @@ let meta_load ?(site = 0) st addr : int * int =
       cache_access st sa;
       cache_access st (sa + 8);
       (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
+  | Some ((Obj_header | Frame_tag | Wide_inline) as fac) ->
+      modeled_load st fac addr
   | Some Hash_table ->
       charge st Cost.hash_lookup;
       let tag = addr + 1 in
@@ -544,6 +626,8 @@ let meta_load_cell ?(site = 0) st (cell : meta_cell) addr : int * int =
         cache_access st sa;
         cache_access st (sa + 8);
         (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
+    | Some ((Obj_header | Frame_tag | Wide_inline) as fac) ->
+        modeled_load st fac addr
     | Some Hash_table ->
         charge st Cost.hash_lookup;
         let tag = addr + 1 in
@@ -681,6 +765,8 @@ let meta_store ?(site = 0) st addr base bound : unit =
       cache_access st (sa + 8);
       Mem.write_int st.mem sa 8 base;
       Mem.write_int st.mem (sa + 8) 8 bound
+  | Some ((Obj_header | Frame_tag | Wide_inline) as fac) ->
+      modeled_store st fac addr base bound
   | Some Hash_table ->
       charge st Cost.hash_update;
       ht_insert st ~addr ~base ~bound ~account:true);
@@ -697,7 +783,9 @@ let meta_store ?(site = 0) st addr base bound : unit =
 let meta_peek st addr : int * int =
   match st.cfg.meta with
   | None -> (0, 0)
-  | Some Shadow_space ->
+  | Some (Shadow_space | Obj_header | Frame_tag | Wide_inline) ->
+      (* the modeled facilities are shadow-backed, so peeking reads the
+         same words *)
       let sa = L.shadow_addr addr in
       (Mem.read_int st.mem sa 8, Mem.read_int st.mem (sa + 8) 8)
   | Some Hash_table ->

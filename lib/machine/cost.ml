@@ -50,6 +50,44 @@ let shadow_lookup_mem_ops = 2
 let shadow_update = 6
 let shadow_update_mem_ops = 2
 
+(** CGuard-style object-header lookup: the bounds live in a 16-byte
+    header placed immediately before the object, so a metadata load is
+    an add (header address) plus two loads that issue independently —
+    cheaper than either SoftBound facility but tied to the object, not
+    the pointer. *)
+let header_lookup = 4
+
+let header_lookup_mem_ops = 2
+
+(** CGuard-style metadata "update" on a pointer store: the object tag
+    travels in the pointer's spare bits, so propagating it is a single
+    mask/or — no memory traffic. *)
+let header_update = 1
+
+(** FRAMER-style frame-tag decode: recover the frame header from the
+    tagged pointer (shift, mask, add, compare for the small/large-frame
+    split, then two loads from the header) — ~8 cycle-equivalents, the
+    per-access price of keeping pointers one word wide. *)
+let frame_lookup = 8
+
+let frame_lookup_mem_ops = 2
+
+(** FRAMER tag propagation on a pointer store: the tag rides in the
+    pointer's top byte, one mask/or. *)
+let frame_update = 1
+
+(** L4-Pointer-style wide-pointer decode: base and bound are inline in
+    the 128-bit pointer, so a metadata "lookup" is the extract of the
+    upper half — one extra load adjacent to the pointer plus a shift. *)
+let wide_lookup = 2
+
+let wide_lookup_mem_ops = 1
+
+(** Writing a wide pointer stores both halves: one extra store. *)
+let wide_update = 2
+
+let wide_update_mem_ops = 1
+
 (** Cost of one libc runtime call's fixed overhead. *)
 let libc_call = 4
 

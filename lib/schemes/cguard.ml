@@ -1,0 +1,37 @@
+(* CGuard-style scheme: bounds in a header just before the object.
+
+   CGuard (PAPERS.md) allocates every object with a 16-byte header
+   holding the object's limits and checks each access against the
+   header of the object the accessed pointer belongs to.  The pointer
+   carries only an object tag (in spare bits), so the scheme's bounds
+   are *object-granularity*: a pointer derived from a struct field
+   still answers to the whole allocation's header, and intra-object
+   (sub-object) overflows go unnoticed — the gap SoftBound's shrunk
+   per-pointer bounds close (paper section 3.1, Table 4).
+
+   Modeled here as the SoftBound transform with [shrink_bounds] off
+   (whole-object bounds on every derived pointer) over the
+   [Obj_header] runtime facility (header-deref cost and cache traffic
+   on lookups, free tag propagation on pointer stores). *)
+
+(** Test hook for the oracle's injected-bug regression: when set, the
+    scheme silently skips read checks (degrading to store-only), which
+    the N-scheme differential oracle must flag as an unexplained
+    divergence.  Never set outside tests. *)
+let test_skip_read_checks = ref false
+
+let options () : Softbound.Config.options =
+  {
+    Softbound.Config.default with
+    facility = Softbound.Config.Obj_header;
+    shrink_bounds = false;
+    mode =
+      (if !test_skip_read_checks then Softbound.Config.Store_only
+       else Softbound.Config.Full_checking);
+  }
+
+let name = "cguard"
+
+let summary =
+  "bounds in a 16-byte header before the object; object-granularity \
+   (misses sub-object overflows)"

@@ -1,0 +1,26 @@
+(* FRAMER-style scheme: frame-tagged software capabilities.
+
+   FRAMER (PAPERS.md) keeps pointers one machine word wide by encoding
+   a tag in the otherwise-unused top byte; the tag locates the header
+   of the power-of-two-aligned "frame" enclosing the object, and the
+   header supplies the object's bounds.  Like every object-table
+   scheme, the recovered bounds cover the whole allocation, so
+   sub-object overflows are invisible (Table 4's gap); unlike a table,
+   lookup is a tag decode plus one header dereference.
+
+   Modeled as the SoftBound transform with [shrink_bounds] off over
+   the [Frame_tag] facility (tag-decode + frame-header cost on
+   lookups, one-instruction tag propagation on pointer stores). *)
+
+let options () : Softbound.Config.options =
+  {
+    Softbound.Config.default with
+    facility = Softbound.Config.Frame_tag;
+    shrink_bounds = false;
+  }
+
+let name = "framer"
+
+let summary =
+  "frame tag in the pointer's top byte locates an object header; \
+   object-granularity (misses sub-object overflows)"

@@ -1,0 +1,28 @@
+(* L4-Pointer-style scheme: 128-bit wide pointers, no hardware support.
+
+   L4 Pointer (PAPERS.md) widens every pointer to 128 bits, carrying
+   base and bound inline next to the address — the fat-pointer lineage
+   (CCured, Cyclone) without hardware tags.  Metadata access is nearly
+   free (the upper half sits beside the pointer), paid for with doubled
+   pointer memory traffic and the layout incompatibility wide pointers
+   are known for.  The inline bounds describe the allocation the
+   pointer was derived from, whole-object granularity: the production
+   schemes in this family do not narrow bounds on interior-pointer
+   creation, so sub-object overflows pass (Table 4).
+
+   Modeled as the SoftBound transform with [shrink_bounds] off over
+   the [Wide_inline] facility (cheap lookups/updates whose cache
+   traffic lands on the word adjacent to the pointer slot). *)
+
+let options () : Softbound.Config.options =
+  {
+    Softbound.Config.default with
+    facility = Softbound.Config.Wide_inline;
+    shrink_bounds = false;
+  }
+
+let name = "l4-pointer"
+
+let summary =
+  "128-bit wide pointers with inline base/bound; whole-object bounds \
+   (misses sub-object overflows), doubled pointer traffic"

@@ -27,6 +27,15 @@ let write_file path s =
 let compile name =
   Softbound.compile (read_file (Filename.concat dir (name ^ ".c")))
 
+(* the related-work schemes pinned by test_schemes.ml: same two attack
+   programs, instrumented with each scheme's option profile *)
+let scheme_opts =
+  [
+    ("cguard", Schemes.Cguard.options ());
+    ("framer", Schemes.Framer.options ());
+    ("l4-pointer", Schemes.L4_pointer.options ());
+  ]
+
 let () =
   List.iter
     (fun name ->
@@ -40,5 +49,19 @@ let () =
       let pt = Harness.Profile.profile ~label ~cfg ~with_baseline:false m in
       write_file
         (Filename.concat dir (name ^ ".trace.txt"))
-        (Obs.dump_trace pt.Harness.Profile.result.Interp.Vm.obs))
+        (Obs.dump_trace pt.Harness.Profile.result.Interp.Vm.obs);
+      List.iter
+        (fun (sname, opts) ->
+          let ps = Harness.Profile.profile ~label ~opts m in
+          write_file
+            (Filename.concat dir
+               (Printf.sprintf "%s.%s.profile.json" name sname))
+            (Harness.Profile.to_json ps);
+          let pst =
+            Harness.Profile.profile ~label ~opts ~cfg ~with_baseline:false m
+          in
+          write_file
+            (Filename.concat dir (Printf.sprintf "%s.%s.trace.txt" name sname))
+            (Obs.dump_trace pst.Harness.Profile.result.Interp.Vm.obs))
+        scheme_opts)
     [ "oob_write"; "oob_read" ]

@@ -27,7 +27,12 @@ let planted_divergence () =
        a[i] = i; long acc = spin(10); acc += a[5]; printf(\"%ld\\n\", acc); \
        return 0; }"
   in
-  { Gen.prog; expect = Gen.Safe; note = "planted oob read labelled safe" }
+  {
+    Gen.prog;
+    expect = Gen.Safe;
+    note = "planted oob read labelled safe";
+    sub_object = false;
+  }
 
 let stmt_count (p : Cminus.Ast.program) =
   let rec sc (s : Cminus.Ast.stmt) =

@@ -20,6 +20,7 @@ let () =
       ("formal", Test_formal.suite);
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
+      ("schemes", Test_schemes.suite);
       ("engines", Test_engines.suite);
       ("adversary", Test_adversary.suite);
       ("parallel", Test_par.suite);
