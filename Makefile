@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench bench-check experiments examples fuzz-smoke \
 	profile-smoke vmspeed-smoke adversarial-smoke serve-smoke \
-	schemes-smoke coverage verify clean
+	schemes-smoke elim-smoke coverage verify clean
 
 all: build
 
@@ -135,6 +135,40 @@ schemes-smoke:
 	dune exec bin/softbound_cli.exe -- fuzz --schemes --seed 1 --count 200
 	@echo "schemes-smoke: matrix deterministic, oracle clean"
 
+# check-widening smoke: the elim ablation at quick sizes must emit the
+# widening columns, and the artifact must be byte-identical at --jobs 1
+# and --jobs 2 (its numbers are purely simulated).  A fixed affine-loop
+# program profiled through the real binary must report widened spans
+# (checks_widened > 0) and identical simulated output with widening on
+# and off.  The committed full-size BENCH_elim.json is preserved.
+elim-smoke:
+	@cp -f BENCH_elim.json /tmp/elim.keep 2>/dev/null || true
+	dune exec bin/experiments.exe -- elim --quick > /dev/null
+	@cp BENCH_elim.json /tmp/elim1.json
+	dune exec bin/experiments.exe -- elim --quick --jobs 2 > /dev/null
+	@cp BENCH_elim.json /tmp/elim2.json
+	@if [ -f /tmp/elim.keep ]; then mv /tmp/elim.keep BENCH_elim.json; \
+	  else rm -f BENCH_elim.json; fi
+	diff /tmp/elim1.json /tmp/elim2.json
+	grep -q '"checks_widened"' /tmp/elim1.json
+	grep -q '"overhead_no_widen"' /tmp/elim1.json
+	grep -q '"host_cpus"' /tmp/elim1.json
+	@printf '%s\n' \
+	  'int main(void) { int a[64]; int i; int s = 0;' \
+	  'for (i = 0; i < 64; i = i + 1) a[i] = i;' \
+	  'for (i = 0; i < 64; i = i + 1) s += a[i];' \
+	  'printf("%d\n", s); return 0; }' \
+	  > /tmp/affine_loop.c
+	dune exec bin/softbound_cli.exe -- profile /tmp/affine_loop.c --json \
+	  > /tmp/affine_prof.json
+	grep -Eq '"checks_widened": [1-9]' /tmp/affine_prof.json
+	dune exec bin/softbound_cli.exe -- run /tmp/affine_loop.c \
+	  > /tmp/affine_on.txt
+	dune exec bin/softbound_cli.exe -- run /tmp/affine_loop.c --no-widen \
+	  > /tmp/affine_off.txt
+	diff /tmp/affine_on.txt /tmp/affine_off.txt
+	@echo "elim-smoke: widening active, jobs-independent, on/off identical"
+
 # quick profiler pass over two kernels: exercises the observability
 # layer end to end (site attribution, JSON export, trace ring)
 profile-smoke:
@@ -164,9 +198,7 @@ verify:
 	dune build
 	dune runtest
 	$(MAKE) bench-check
-	@cp -f BENCH_elim.json /tmp/elim.keep 2>/dev/null || true
-	dune exec bin/experiments.exe -- elim --quick
-	@if [ -f /tmp/elim.keep ]; then mv /tmp/elim.keep BENCH_elim.json; fi
+	$(MAKE) elim-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) vmspeed-smoke
 	$(MAKE) serve-smoke

@@ -55,7 +55,12 @@ let () =
         | "fig1" -> Harness.Exp_fig1.(render (run ~quick ()))
         | "fig2" -> Harness.Exp_fig2.(render (run ~quick ()))
         | "mscc" -> Harness.Exp_mscc.(render (run ~quick ()))
-        | "memory" -> Harness.Exp_memory.(render (run ~quick ()))
+        | "memory" ->
+            let rows = Harness.Exp_memory.run ~quick () in
+            let oc = open_out "BENCH_memory.json" in
+            output_string oc (Harness.Exp_memory.to_json rows);
+            close_out oc;
+            Harness.Exp_memory.render rows
         | "sweep" -> Harness.Exp_sweep.(render (run ()))
         | "ablations" -> Harness.Exp_ablation.render ()
         | "elim" ->

@@ -80,6 +80,16 @@ let no_elim_arg =
           "Disable the redundant-check elimination / metadata-lookup \
            hoisting pass over the instrumented code.")
 
+let no_widen_arg =
+  Arg.(
+    value & flag
+    & info [ "no-widen" ]
+        ~doc:
+          "Disable the induction-variable check-widening and in-block \
+           coalescing sub-passes of the elimination pass (keeps \
+           hoisting and CSE) — the widening ablation's control \
+           configuration.")
+
 let fptr_sigs_arg =
   Arg.(
     value & flag
@@ -133,7 +143,8 @@ let prog_args =
     value & pos_right 0 string []
     & info [] ~docv:"ARGS" ~doc:"Arguments passed to the program's main().")
 
-let opts_of ?(fptr_sigs = false) ?(no_elim = false) mode facility no_shrink =
+let opts_of ?(fptr_sigs = false) ?(no_elim = false) ?(no_widen = false) mode
+    facility no_shrink =
   {
     Softbound.Config.default with
     mode;
@@ -141,9 +152,11 @@ let opts_of ?(fptr_sigs = false) ?(no_elim = false) mode facility no_shrink =
     shrink_bounds = not no_shrink;
     fptr_signatures = fptr_sigs;
     eliminate_checks = not no_elim;
+    widen_checks = not no_widen;
   }
 
-let scheme_of unprotected checker mode facility no_shrink fptr_sigs no_elim =
+let scheme_of unprotected checker mode facility no_shrink fptr_sigs no_elim
+    no_widen =
   if unprotected then Harness.Runner.Unprotected
   else
     match checker with
@@ -153,7 +166,7 @@ let scheme_of unprotected checker mode facility no_shrink fptr_sigs no_elim =
     | Some `Mscc -> Harness.Runner.Mscc
     | None ->
         Harness.Runner.Softbound
-          (opts_of ~fptr_sigs ~no_elim mode facility no_shrink)
+          (opts_of ~fptr_sigs ~no_elim ~no_widen mode facility no_shrink)
 
 let report_err f =
   try f () with
@@ -178,12 +191,12 @@ let report_err f =
 let run_cmd =
   let doc = "compile, (optionally) instrument, and execute a program" in
   let f src unprotected checker mode facility no_shrink fptr_sigs no_elim
-      engine stats trace no_obs args =
+      no_widen engine stats trace no_obs args =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let scheme =
           scheme_of unprotected checker mode facility no_shrink fptr_sigs
-            no_elim
+            no_elim no_widen
         in
         let cfg =
           {
@@ -223,7 +236,8 @@ let run_cmd =
     Term.(
       const f $ src_arg $ unprotected_arg $ checker_arg $ mode_arg
       $ facility_arg $ no_shrink_arg $ fptr_sigs_arg $ no_elim_arg
-      $ engine_arg $ stats_arg $ trace_arg $ no_obs_arg $ prog_args)
+      $ no_widen_arg $ engine_arg $ stats_arg $ trace_arg $ no_obs_arg
+      $ prog_args)
 
 (* ---- check ---- *)
 
@@ -232,12 +246,12 @@ let check_cmd =
     "run under SoftBound (full checking unless $(b,--mode) overrides); \
      exit 0 iff no spatial violation"
   in
-  let f src mode facility no_elim engine =
+  let f src mode facility no_elim no_widen engine =
     report_err (fun () ->
         let m = Softbound.compile (read_file src) in
         let r =
           Softbound.run_protected
-            ~opts:(opts_of ~no_elim mode facility false)
+            ~opts:(opts_of ~no_elim ~no_widen mode facility false)
             ~cfg:{ Interp.State.default_config with engine }
             m
         in
@@ -254,7 +268,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const f $ src_arg $ mode_arg $ facility_arg $ no_elim_arg $ engine_arg)
+    Term.(
+      const f $ src_arg $ mode_arg $ facility_arg $ no_elim_arg $ no_widen_arg
+      $ engine_arg)
 
 (* ---- dump-ir ---- *)
 
@@ -268,12 +284,14 @@ let dump_cmd =
   let no_inline =
     Arg.(value & flag & info [ "no-inline" ] ~doc:"Skip the inliner.")
   in
-  let f src instr no_inline mode facility no_elim =
+  let f src instr no_inline mode facility no_elim no_widen =
     report_err (fun () ->
         let m = Softbound.compile ~inline:(not no_inline) (read_file src) in
         let m =
           if instr then
-            Softbound.instrument ~opts:(opts_of ~no_elim mode facility false) m
+            Softbound.instrument
+              ~opts:(opts_of ~no_elim ~no_widen mode facility false)
+              m
           else m
         in
         print_string (Sbir.Pretty_ir.dump_module m))
@@ -282,7 +300,7 @@ let dump_cmd =
     (Cmd.info "dump-ir" ~doc)
     Term.(
       const f $ src_arg $ instrumented $ no_inline $ mode_arg $ facility_arg
-      $ no_elim_arg)
+      $ no_elim_arg $ no_widen_arg)
 
 (* ---- profile ---- *)
 
@@ -331,8 +349,8 @@ let profile_cmd =
       & info [ "quick" ]
           ~doc:"With $(b,--workload): use the reduced argument set.")
   in
-  let f src workload list_workloads mode facility no_shrink no_elim engine
-      trace json top quick args =
+  let f src workload list_workloads mode facility no_shrink no_elim no_widen
+      engine trace json top quick args =
     if list_workloads then begin
       List.iter print_endline Workloads.names;
       exit 0
@@ -359,7 +377,7 @@ let profile_cmd =
               prerr_endline "profile: need a FILE or --workload NAME";
               exit 2
         in
-        let opts = opts_of ~no_elim mode facility no_shrink in
+        let opts = opts_of ~no_elim ~no_widen mode facility no_shrink in
         let cfg =
           { Interp.State.default_config with trace_depth = trace; engine }
         in
@@ -379,8 +397,8 @@ let profile_cmd =
     (Cmd.info "profile" ~doc)
     Term.(
       const f $ src_opt_arg $ workload_arg $ list_workloads_arg $ mode_arg
-      $ facility_arg $ no_shrink_arg $ no_elim_arg $ engine_arg $ trace_arg
-      $ json_arg $ top_arg $ quick_arg $ prog_args)
+      $ facility_arg $ no_shrink_arg $ no_elim_arg $ no_widen_arg $ engine_arg
+      $ trace_arg $ json_arg $ top_arg $ quick_arg $ prog_args)
 
 (* ---- fuzz ---- *)
 

@@ -26,6 +26,7 @@ let options : Softbound.Config.options =
     fptr_signatures = false;
     prune_liveness = false;
     eliminate_checks = false;
+    widen_checks = false;
   }
 
 (** Run a module under the MSCC-style transformation. *)

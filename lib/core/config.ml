@@ -54,6 +54,13 @@ type options = {
           redundancy half of the section 6.1 optimizer re-run
           ([prune_liveness] is the liveness half).  Off reproduces the
           uncleaned instrumentation for the ablation experiment. *)
+  widen_checks : bool;
+      (** within {!Elim}, run the induction-variable check-widening and
+          in-block coalescing sub-passes (SCEV-lite loop span checks).
+          Off (CLI [--no-widen]) keeps hoisting/CSE but leaves every
+          per-iteration check in place — the widening ablation's
+          control configuration.  No effect when [eliminate_checks] is
+          off. *)
 }
 
 let default =
@@ -67,6 +74,7 @@ let default =
     fptr_signatures = false; (* matches the paper's prototype *)
     prune_liveness = true;
     eliminate_checks = true;
+    widen_checks = true;
   }
 
 let store_only = { default with mode = Store_only }

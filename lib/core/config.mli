@@ -53,6 +53,13 @@ type options = {
           hoisting pass ({!Elim}) over the instrumented code — the
           redundancy half of the section 6.1 optimizer re-run
           ([prune_liveness] is the liveness half) *)
+  widen_checks : bool;
+      (** within {!Elim}, run the induction-variable check-widening and
+          in-block coalescing sub-passes (SCEV-lite loop span checks).
+          Off (CLI [--no-widen]) keeps hoisting/CSE but leaves every
+          per-iteration check in place — the widening ablation's
+          control configuration.  No effect when [eliminate_checks] is
+          off. *)
 }
 
 val default : options

@@ -59,6 +59,7 @@
 
 module Ir = Sbir.Ir
 module Dom = Sbir.Dom
+module Scev = Sbir.Scev
 open Ir
 
 (* ------------------------------------------------------------------ *)
@@ -77,7 +78,9 @@ let defs_of (i : inst) : reg list =
       [ r ]
   | Call { rets; _ } -> rets
   | MetaLoad (r1, r2, _, _) -> [ r1; r2 ]
-  | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ -> []
+  | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _
+  | CheckSpan _ ->
+      []
 
 let ops_of (i : inst) : operand list =
   match i with
@@ -95,6 +98,8 @@ let ops_of (i : inst) : operand list =
   | Check (p, b, e, _, _) | CheckFptr (p, b, e, _, _)
   | MetaStore (p, b, e, _) ->
       [ p; b; e ]
+  | CheckSpan { sp_first; sp_count; sp_base; sp_bound; _ } ->
+      [ sp_first; sp_count; sp_base; sp_bound ]
 
 let term_ops (t : terminator) : operand list =
   match t with
@@ -430,6 +435,398 @@ let hoist_loops ~meta_floor (f : func) : func =
   !f
 
 (* ------------------------------------------------------------------ *)
+(* Pass 1b: induction-variable check widening                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A per-iteration [Check] whose address is affine in the loop's
+   induction variable ([Scev.affine_addr]) is replaced by a single
+   [CheckSpan] in the preheader covering the whole arithmetic
+   progression.  Legality (beyond [Scev.analyze]'s loop-shape and
+   no-observable-effects refusals): the check's block must dominate
+   every latch (so the original runs exactly once per iteration), and
+   the base/bound operands must be loop-invariant.  A check sitting in
+   the header itself runs once more than the body — on the final,
+   failing guard evaluation — so its span count is the trip count plus
+   one.  The span's first-failing element is the program-order first
+   failure (violations of an ascending progression form a prefix below
+   base or a suffix above bound), so the trap address, site and message
+   match the unwidened run's exactly; see DESIGN.md section 12 for the
+   argument and the store-only-mode caveat. *)
+
+let widen_one (f : func) (dom : Dom.t) (loops : Dom.loop list)
+    (loop : Dom.loop) : func option =
+  (* innermost loops only: a block of a multi-loop nest can execute
+     many times per iteration of the outer loop, breaking the
+     exactly-once-per-iteration accounting *)
+  if
+    List.exists
+      (fun l' -> l' != loop && loop.Dom.body.(l'.Dom.header))
+      loops
+  then None
+  else
+    match Scev.analyze f dom loop with
+    | None -> None
+    | Some sc ->
+        let cands = ref [] in
+        Array.iteri
+          (fun b blk ->
+            if loop.Dom.body.(b) && Dom.reachable dom b then
+              List.iteri
+                (fun i inst ->
+                  match inst with
+                  | Check (p, base, bound, w, site)
+                    when Scev.invariant_op sc base
+                         && Scev.invariant_op sc bound
+                         && List.for_all
+                              (fun l -> Dom.dominates dom b l)
+                              loop.Dom.latches -> (
+                      match Scev.affine_addr sc (b, i) p with
+                      | Some af ->
+                          cands :=
+                            ((b, i), (p, base, bound, w, site), af,
+                             b = loop.Dom.header)
+                            :: !cands
+                      | None -> ())
+                  | _ -> ())
+                blk.insts)
+          f.fblocks;
+        let cands = List.rev !cands in
+        if cands = [] then None
+        else
+          match find_preheader dom loop with
+          | None -> Some (insert_preheader f loop)
+          | Some pre ->
+              let nregs = ref f.fnregs in
+              let fresh () =
+                let r = !nregs in
+                incr nregs;
+                r
+              in
+              let cnt_insts, cnt_op = Scev.emit_count sc ~fresh in
+              let hdr_insts, hdr_op =
+                if List.exists (fun (_, _, _, h) -> h) cands then
+                  let hc = fresh () in
+                  ([ Bin (hc, Add, I64, cnt_op, ImmI 1) ], Reg hc)
+                else ([], cnt_op)
+              in
+              let spans =
+                List.concat_map
+                  (fun (_, (p, base, bound, w, site), af, in_header) ->
+                    let chain, first = Scev.clone_chain sc ~fresh af p in
+                    chain
+                    @ [
+                        CheckSpan
+                          {
+                            sp_first = first;
+                            sp_count = (if in_header then hdr_op else cnt_op);
+                            sp_stride = af.Scev.af_stride;
+                            sp_width = w;
+                            sp_base = base;
+                            sp_bound = bound;
+                            sp_site = site;
+                            sp_sites = [||];
+                          };
+                      ])
+                  cands
+              in
+              let removed = Hashtbl.create 8 in
+              List.iter
+                (fun (pos, _, _, _) -> Hashtbl.replace removed pos ())
+                cands;
+              let fblocks =
+                Array.mapi
+                  (fun b blk ->
+                    let insts =
+                      List.filteri
+                        (fun i _ -> not (Hashtbl.mem removed (b, i)))
+                        blk.insts
+                    in
+                    let insts =
+                      if b = pre then insts @ cnt_insts @ hdr_insts @ spans
+                      else insts
+                    in
+                    { blk with insts })
+                  f.fblocks
+              in
+              Some { f with fblocks; fnregs = !nregs }
+
+let widen_round (f : func) : func option =
+  let dom = Dom.compute f in
+  let loops = Dom.natural_loops dom in
+  let rec go = function
+    | [] -> None
+    | loop :: rest -> (
+        match widen_one f dom loops loop with
+        | Some f' -> Some f'
+        | None -> go rest)
+  in
+  go loops
+
+let widen_loops (f : func) : func =
+  (* Each round either inserts one preheader or removes every widenable
+     check of one loop, so this terminates well inside the budget. *)
+  let budget = ref (16 + (4 * Array.length f.fblocks)) in
+  let f = ref f in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    match widen_round !f with
+    | Some f' -> f := f'
+    | None -> continue_ := false
+  done;
+  !f
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1c: within-block check coalescing                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Checks in one block on the same base/bound whose addresses are the
+   same linear form at constant offsets with a uniform ascending gap —
+   [a[i]] and [a[i+1]] — merge into one [CheckSpan] at the first
+   check's position carrying every member's site id.  Addresses are
+   compared by symbolic linear forms over versioned register leaves, so
+   a redefinition of any involved register simply stops the match.  Any
+   instruction that can trap or produce output between two members
+   would make the merged check's earlier trap observable, so calls,
+   register-divisor divisions and foreign checks close every open
+   group (loads and stores between members are allowed and share the
+   store-only-mode caveat of DESIGN.md section 12). *)
+
+module Lin = struct
+  type leaf =
+    | LReg of reg * int  (** register at a definition version *)
+    | LSlot of int  (** address of a frame slot — constant per call *)
+    | LGlob of string
+    | LGlobEnd of string
+    | LFunc of string
+
+  (* linear form: constant + sum of coefficient * leaf, leaves sorted *)
+  type t = { terms : (leaf * int) list; k : int }
+
+  let const k = { terms = []; k }
+  let leaf l = { terms = [ (l, 1) ]; k = 0 }
+
+  let add a b =
+    let rec merge xs ys =
+      match (xs, ys) with
+      | [], l | l, [] -> l
+      | (lx, cx) :: tx, (ly, cy) :: ty ->
+          let c = compare lx ly in
+          if c = 0 then
+            if cx + cy = 0 then merge tx ty
+            else (lx, cx + cy) :: merge tx ty
+          else if c < 0 then (lx, cx) :: merge tx ys
+          else (ly, cy) :: merge xs ty
+    in
+    { terms = merge a.terms b.terms; k = a.k + b.k }
+
+  let scale s e =
+    if s = 0 then const 0
+    else { terms = List.map (fun (l, c) -> (l, c * s)) e.terms; k = e.k * s }
+
+  let sub a b = add a (scale (-1) b)
+end
+
+let coalesce_block (blk : block) : block =
+  let version : (reg, int) Hashtbl.t = Hashtbl.create 16 in
+  let ver r = try Hashtbl.find version r with Not_found -> 0 in
+  let bump r = Hashtbl.replace version r (ver r + 1) in
+  (* current symbolic value of a register, at its current version *)
+  let vals : (reg, Lin.t) Hashtbl.t = Hashtbl.create 16 in
+  let expr_of (op : operand) : Lin.t option =
+    match op with
+    | ImmI c -> Some (Lin.const c)
+    | ImmF _ -> None
+    | Glob g -> Some (Lin.leaf (Lin.LGlob g))
+    | GlobEnd g -> Some (Lin.leaf (Lin.LGlobEnd g))
+    | Func g -> Some (Lin.leaf (Lin.LFunc g))
+    | Reg r -> (
+        match Hashtbl.find_opt vals r with
+        | Some e -> Some e
+        | None -> Some (Lin.leaf (Lin.LReg (r, ver r))))
+  in
+  (* value of a register being defined, before versions are bumped; only
+     wide-typed arithmetic is tracked (narrow results truncate) *)
+  let def_expr (inst : inst) : (reg * Lin.t option) option =
+    let wide = function I64 | U64 | P -> true | _ -> false in
+    match inst with
+    | Mov (r, ty, o) -> Some (r, if wide ty then expr_of o else None)
+    | Slotaddr (r, s) -> Some (r, Some (Lin.leaf (Lin.LSlot s)))
+    | Gep (r, a, b, _) ->
+        let e =
+          match (expr_of a, expr_of b) with
+          | Some ea, Some eb -> Some (Lin.add ea eb)
+          | _ -> None
+        in
+        Some (r, e)
+    | Cast (r, to_, from_, o) ->
+        Some (r, if wide to_ && wide from_ then expr_of o else None)
+    | Bin (r, op, ty, a, b) ->
+        let e =
+          if not (wide ty) then None
+          else
+            match (op, expr_of a, expr_of b) with
+            | Add, Some ea, Some eb -> Some (Lin.add ea eb)
+            | Sub, Some ea, Some eb -> Some (Lin.sub ea eb)
+            | Mul, Some ea, Some { Lin.terms = []; k } ->
+                Some (Lin.scale k ea)
+            | Mul, Some { Lin.terms = []; k }, Some eb ->
+                Some (Lin.scale k eb)
+            | Shl, Some ea, Some { Lin.terms = []; k }
+              when k >= 0 && k < 32 ->
+                Some (Lin.scale (1 lsl k) ea)
+            | _ -> None
+        in
+        Some (r, e)
+    | _ -> None
+  in
+  let assign r e =
+    bump r;
+    match e with
+    | Some e -> Hashtbl.replace vals r e
+    | None -> Hashtbl.remove vals r
+  in
+  (* open coalescing groups *)
+  let module G = struct
+    type t = {
+      key : Lin.t * Lin.t * int * (Lin.leaf * int) list;
+      mutable members : (int * int * int) list;  (* (idx, const, site), rev *)
+      mutable gap : int;  (* 0 until the second member fixes it *)
+      first : span_check;  (* span template from the first member *)
+    }
+  end in
+  let groups : G.t list ref = ref [] in
+  (* rewrites: idx -> Some span (replace) / None (delete) *)
+  let rewrites : (int, inst option) Hashtbl.t = Hashtbl.create 8 in
+  let close (g : G.t) =
+    match g.G.members with
+    | (_ :: _ :: _) as members ->
+        let members = List.rev members in
+        let i0, _, _ = List.hd members in
+        let sites = List.map (fun (_, _, s) -> s) members in
+        Hashtbl.replace rewrites i0
+          (Some
+             (CheckSpan
+                {
+                  g.G.first with
+                  sp_count = ImmI (List.length members);
+                  sp_stride = g.G.gap;
+                  sp_sites = Array.of_list sites;
+                }));
+        List.iter
+          (fun (i, _, _) -> if i <> i0 then Hashtbl.replace rewrites i None)
+          (List.tl members)
+    | _ -> ()
+  in
+  let close_all () =
+    List.iter close !groups;
+    groups := []
+  in
+  List.iteri
+    (fun idx inst ->
+      match inst with
+      | Check (p, base, bound, w, site) -> (
+          (match (expr_of p, expr_of base, expr_of bound) with
+          | None, _, _ | _, None, _ | _, _, None -> close_all ()
+          | Some e, Some be, Some de -> (
+              (* keyed on the symbolic values of base/bound (not their
+                 register identity: straight-line accesses re-derive the
+                 same slot/global address into fresh registers) *)
+              let key = (be, de, w, e.Lin.terms) in
+              let mine, others =
+                List.partition (fun g -> g.G.key = key) !groups
+              in
+              (* a check is a potential trap: no foreign group may span
+                 across it *)
+              List.iter close others;
+              match mine with
+              | g :: _ -> (
+                  let _, last_k, _ = List.hd g.G.members in
+                  let d = e.Lin.k - last_k in
+                  let extends =
+                    d >= 1 && (g.G.gap = 0 || d = g.G.gap)
+                  in
+                  if extends then begin
+                    g.G.gap <- d;
+                    g.G.members <- (idx, e.Lin.k, site) :: g.G.members;
+                    groups := [ g ]
+                  end
+                  else begin
+                    close g;
+                    groups :=
+                      [
+                        {
+                          G.key;
+                          members = [ (idx, e.Lin.k, site) ];
+                          gap = 0;
+                          first =
+                            {
+                              sp_first = p;
+                              sp_count = ImmI 1;
+                              sp_stride = 0;
+                              sp_width = w;
+                              sp_base = base;
+                              sp_bound = bound;
+                              sp_site = site;
+                              sp_sites = [||];
+                            };
+                        };
+                      ]
+                  end)
+              | [] ->
+                  groups :=
+                    [
+                      {
+                        G.key;
+                        members = [ (idx, e.Lin.k, site) ];
+                        gap = 0;
+                        first =
+                          {
+                            sp_first = p;
+                            sp_count = ImmI 1;
+                            sp_stride = 0;
+                            sp_width = w;
+                            sp_base = base;
+                            sp_bound = bound;
+                            sp_site = site;
+                            sp_sites = [||];
+                          };
+                      };
+                    ]));
+          ())
+      | CheckFptr _ | CheckSpan _ -> close_all ()
+      | Call { rets; _ } ->
+          close_all ();
+          List.iter (fun r -> assign r None) rets
+      | Bin (_, (Div | Rem), _, _, d) ->
+          (match d with ImmI c when c <> 0 -> () | _ -> close_all ());
+          (match def_expr inst with
+          | Some (r, e) -> assign r e
+          | None -> ())
+      | _ -> (
+          match def_expr inst with
+          | Some (r, e) -> assign r e
+          | None -> List.iter (fun r -> assign r None) (defs_of inst)))
+    blk.insts;
+  close_all ();
+  if Hashtbl.length rewrites = 0 then blk
+  else
+    let insts =
+      List.mapi
+        (fun i x ->
+          match Hashtbl.find_opt rewrites i with
+          | Some (Some span) -> Some span
+          | Some None -> None
+          | None -> Some x)
+        blk.insts
+      |> List.filter_map Fun.id
+    in
+    { blk with insts }
+
+let coalesce_blocks (f : func) : func =
+  { f with fblocks = Array.map coalesce_block f.fblocks }
+
+(* ------------------------------------------------------------------ *)
 (* Pass 2: within-block metadata-lookup CSE                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -586,8 +983,10 @@ let check_cse (f : func) : func =
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let elim_func ~(meta_floor : int) (f : func) : func =
+let elim_func ~(meta_floor : int) ?(widen = true) (f : func) : func =
   let f = hoist_loops ~meta_floor f in
+  let f = if widen then widen_loops f else f in
+  let f = if widen then coalesce_blocks f else f in
   let f = local_metaload_cse f in
   let f = check_cse f in
   f
@@ -603,3 +1002,23 @@ let count_checks =
   count_insts (function Check _ | CheckFptr _ -> true | _ -> false)
 
 let count_metaloads = count_insts (function MetaLoad _ -> true | _ -> false)
+
+(** Loop-widened spans: one preheader check standing for a whole loop's
+    per-iteration checks (empty [sp_sites]). *)
+let count_widened =
+  count_insts (function
+    | CheckSpan { sp_sites; _ } -> Array.length sp_sites = 0
+    | _ -> false)
+
+(** Checks saved by in-block coalescing: members beyond the first of
+    each multi-site span. *)
+let count_coalesced (f : func) : int =
+  Array.fold_left
+    (fun acc blk ->
+      List.fold_left
+        (fun acc inst ->
+          match inst with
+          | CheckSpan { sp_sites; _ } -> acc + max 0 (Array.length sp_sites - 1)
+          | _ -> acc)
+        acc blk.insts)
+    0 f.fblocks

@@ -4,23 +4,32 @@
     transformation (section 6.1); [Config.prune_liveness] is the
     liveness half.
 
-    Three sub-passes: loop-invariant hoisting of metadata lookups,
+    Sub-passes, in order: loop-invariant hoisting of metadata lookups,
     metadata propagation, and (when loop entry provably implies they
-    execute) bounds checks into loop preheaders; within-block reuse of
-    an earlier [MetaLoad] from the same address; and a forward
-    available-checks dataflow that drops a [Check] reached by an
-    identical dominating check of at least its width with no intervening
-    redefinition.  Elimination never weakens detection: a dropped check
-    is implied by one that already ran, and a hoisted check aborts
-    exactly when its first in-loop execution would have.
+    execute) bounds checks into loop preheaders; induction-variable
+    check {e widening}, which replaces the per-iteration checks of a
+    counted loop whose addresses are affine in the induction variable
+    ({!Sbir.Scev}) by one preheader [CheckSpan] over the whole
+    progression; within-block {e coalescing} of same-base
+    constant-offset checks ([a[i]] and [a[i+1]] share one span);
+    within-block reuse of an earlier [MetaLoad] from the same address;
+    and a forward available-checks dataflow that drops a [Check]
+    reached by an identical dominating check of at least its width with
+    no intervening redefinition.  Elimination never weakens detection:
+    a dropped check is implied by one that already ran, a hoisted check
+    aborts exactly when its first in-loop execution would have, and a
+    span traps — at the same address, site and message — exactly when
+    some covered original check would have (DESIGN.md section 12).
 
     Enabled by {!Config.options.eliminate_checks} (default on);
     disabling it reproduces the uncleaned instrumentation for the
-    ablation experiment. *)
+    ablation experiment.  {!Config.options.widen_checks} (CLI
+    [--no-widen]) gates the widening and coalescing sub-passes alone,
+    for the ablation's control rows. *)
 
 module Ir = Sbir.Ir
 
-val elim_func : meta_floor:int -> Ir.func -> Ir.func
+val elim_func : meta_floor:int -> ?widen:bool -> Ir.func -> Ir.func
 (** Optimize one instrumented function.  [meta_floor] is the function's
     register count {e before} instrumentation: registers at or above it
     were introduced by the transformation, which is how the pass tells
@@ -33,3 +42,11 @@ val count_checks : Ir.func -> int
 
 val count_metaloads : Ir.func -> int
 (** Static number of [MetaLoad] instructions, for tests. *)
+
+val count_widened : Ir.func -> int
+(** Static number of loop-widened [CheckSpan] instructions (spans with
+    no per-element site table). *)
+
+val count_coalesced : Ir.func -> int
+(** Static number of checks saved by in-block coalescing: for each
+    multi-site span, its member count minus one. *)

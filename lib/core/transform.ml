@@ -108,7 +108,8 @@ let compute_slot_direct (f : func) : bool array =
               defined_other.(r2) <- true
           | Call { rets; _ } ->
               List.iter (fun r -> defined_other.(r) <- true) rets
-          | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ ->
+          | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _
+          | CheckSpan _ ->
               ())
         b.insts)
     f.fblocks;
@@ -334,7 +335,7 @@ let transform_inst ctx (f : func) (inst : inst) (acc : inst list) : inst list =
             (CheckFptr (op, b, e, h, next_site ctx) :: acc, op)
       in
       Call { rets; callee; sg; hints; args } :: acc
-  | Check _ | CheckFptr _ | MetaLoad _ | MetaStore _ ->
+  | Check _ | CheckFptr _ | MetaLoad _ | MetaStore _ | CheckSpan _ ->
       (* idempotence guard: transforming already-transformed code is a
          programming error *)
       invalid_arg "Transform: module already instrumented"
@@ -516,7 +517,8 @@ let transform_with_sites ?(opts = Config.default) (m : modul) : modul * int =
            registers from program registers for the elimination pass. *)
         let f =
           if opts.Config.eliminate_checks then
-            Elim.elim_func ~meta_floor:f0.fnregs f
+            Elim.elim_func ~meta_floor:f0.fnregs
+              ~widen:opts.Config.widen_checks f
           else f
         in
         Hashtbl.replace mfuncs f.fname f;

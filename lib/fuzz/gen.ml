@@ -767,6 +767,80 @@ let scene_condacc ctx : A.stmt list =
   if Rng.bool r then [ stm (A.Sif (cond_expr ctx 2, sblock t, Some (sblock f))) ]
   else [ stm (A.Sif (cond_expr ctx 2, sblock t, None)) ]
 
+(* Counted loops with affine accesses, shaped for the induction-variable
+   check-widening sub-pass (Elim passes 1b/1c).  Emits both the
+   canonical widenable forms — up-counting unit/constant-stride loops
+   over [a\[i\]], [a\[i+1\]] (in-block coalescing food) and pointer
+   walks — and the legality-refusal shapes the pass must leave alone:
+   early [break], a call in the loop body, and down-counting.  Safe by
+   construction: every trip count is bounded by the array's extent. *)
+let rec scene_affine ctx : A.stmt list =
+  let r = ctx.r in
+  let arrs =
+    live_vars ctx (fun v ->
+        match v.vi with Arr_v (t, l) -> Some (v.vn, t, l) | _ -> None)
+  in
+  match arrs with
+  | [] -> scene_array ~force_long:true ctx @ scene_affine ctx
+  | cands ->
+      let a, _ety, len = Rng.pick r cands in
+      let i = fresh ctx "i" in
+      add_var ctx i (Int_v C.ILong);
+      let di = sdecl lng i (Some (ei 0)) in
+      (* for (i = lo; i <cmp> hi; i = i + step) { body } *)
+      let sfor lo cmp hi step body =
+        stm
+          (A.Sfor
+             ( A.Fexpr (asn (id i) (ei lo)),
+               Some (bin cmp (id i) (ei hi)),
+               Some (asn (id i) (bin A.Badd (id i) (ei step))),
+               sblock body ))
+      in
+      let body =
+        match Rng.int r 5 with
+        | 0 ->
+            (* widenable + coalescible: a[i] and a[i+1] share a base *)
+            sfor 0 A.Blt (len - 1) 1
+              [
+                sexpr (asn (idx (id a) (id i)) (int_expr ctx 1));
+                acc_add (idx (id a) (bin A.Badd (id i) (ei 1)));
+              ]
+        | 1 ->
+            (* widenable: constant stride > 1 *)
+            let step = Rng.pick r [ 2; 4 ] in
+            sfor 0 A.Blt len step [ acc_add (idx (id a) (id i)) ]
+        | 2 ->
+            (* widenable: pointer walk with a store *)
+            sfor 0 A.Blt len 1
+              [ sexpr (opasn A.Badd (deref (bin A.Badd (id a) (id i))) (ei 1)) ]
+        | 3 ->
+            (* refusal: early break — trip count is not exact *)
+            sfor 0 A.Blt len 1
+              [
+                acc_add (idx (id a) (id i));
+                stm
+                  (A.Sif
+                     (cond_expr ctx 1, sblock [ stm A.Sbreak ], None));
+              ]
+        | _ ->
+            (* refusal: down-counting (negative stride) *)
+            sfor (len - 1) A.Bge 0 (-1) [ acc_add (idx (id a) (id i)) ]
+      in
+      let called =
+        (* refusal: same loop shape but with a call in the body *)
+        match ctx.helpers with
+        | hs when hs <> [] && Rng.chance r ~pct:40 ->
+            [
+              sfor 0 A.Blt len 1
+                [
+                  acc_add
+                    (call (Rng.pick r hs) [ idx (id a) (id i); ei 3 ]);
+                ];
+            ]
+        | _ -> []
+      in
+      (di :: body :: called)
+
 let gen_scene ctx : A.stmt list =
   let f =
     Rng.weighted ctx.r
@@ -787,6 +861,7 @@ let gen_scene ctx : A.stmt list =
         (3, scene_while);
         (3, scene_dbl);
         (4, scene_condacc);
+        (7, scene_affine);
       ]
   in
   f ctx

@@ -59,13 +59,15 @@ let rows_have file rows keys =
         keys)
     rows
 
-let on_off file ctx g =
+let keys_num file ctx g keys =
   List.iter
     (fun k ->
       match field g k with
       | Some (Num _) -> ()
       | _ -> bad file (Printf.sprintf "%s.%s missing" ctx k))
-    [ "on"; "off" ]
+    keys
+
+let on_off file ctx g = keys_num file ctx g [ "on"; "off" ]
 
 let check_elim file obj =
   experiment_tag file obj "elim-ablation";
@@ -74,21 +76,30 @@ let check_elim file obj =
       List.iter
         (fun grp ->
           match field geo grp with
-          | Some g -> on_off file ("geomean_overhead." ^ grp) g
+          | Some g ->
+              keys_num file
+                ("geomean_overhead." ^ grp)
+                g
+                [ "on"; "no_widen"; "off" ]
           | None -> bad file ("geomean_overhead missing " ^ grp))
         [ "shadow_full"; "hash_full"; "shadow_store"; "hash_store" ]
   | None -> ());
   match require_rows file obj "kernels" with
   | Some rows ->
-      rows_have file rows [ "base_cycles" ];
+      rows_have file rows
+        [ "base_cycles"; "checks_widened"; "checks_coalesced" ];
       List.iteri
         (fun i row ->
-          List.iter
-            (fun k ->
-              match field row k with
-              | Some g -> on_off file (Printf.sprintf "row %d: %s" i k) g
-              | None -> bad file (Printf.sprintf "row %d: missing %s" i k))
-            [ "checks"; "meta_loads" ])
+          (match field row "checks" with
+          | Some g ->
+              keys_num file
+                (Printf.sprintf "row %d: checks" i)
+                g
+                [ "on"; "no_widen"; "off" ]
+          | None -> bad file (Printf.sprintf "row %d: missing checks" i));
+          match field row "meta_loads" with
+          | Some g -> on_off file (Printf.sprintf "row %d: meta_loads" i) g
+          | None -> bad file (Printf.sprintf "row %d: missing meta_loads" i))
         rows;
       List.iteri
         (fun i row ->
@@ -96,14 +107,13 @@ let check_elim file obj =
             (fun grp ->
               match field row grp with
               | Some g ->
-                  List.iter
-                    (fun k ->
-                      match field g k with
-                      | Some (Num _) -> ()
-                      | _ ->
-                          bad file
-                            (Printf.sprintf "row %d: %s.%s missing" i grp k))
-                    [ "on"; "off"; "overhead_on"; "overhead_off" ]
+                  keys_num file
+                    (Printf.sprintf "row %d: %s" i grp)
+                    g
+                    [
+                      "on"; "no_widen"; "off"; "overhead_on";
+                      "overhead_no_widen"; "overhead_off";
+                    ]
               | None -> bad file (Printf.sprintf "row %d: missing %s" i grp))
             [ "shadow_full"; "hash_full"; "shadow_store"; "hash_store" ])
         rows
@@ -310,6 +320,19 @@ let check_schemes file obj =
         rows
   | None -> ()
 
+(* the memory artifact: measured resident sets for the paper's two
+   facilities plus the related-work schemes' analytic metadata bytes *)
+let check_memory file obj =
+  experiment_tag file obj "memory";
+  match require_rows file obj "workloads" with
+  | Some rows ->
+      rows_have file rows
+        [
+          "base_resident"; "hash_resident"; "shadow_resident"; "heap_allocs";
+          "cguard_meta_bytes"; "framer_meta_bytes"; "l4_ptr_meta_bytes";
+        ]
+  | None -> ()
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -323,6 +346,7 @@ let targets =
     ("BENCH_vmspeed.json", check_vmspeed);
     ("BENCH_serve.json", check_serve);
     ("BENCH_schemes.json", check_schemes);
+    ("BENCH_memory.json", check_memory);
   ]
 
 (** Validate every committed benchmark artifact; returns the report and
@@ -336,7 +360,12 @@ let run () : string * bool =
       | text -> (
           match parse text with
           | exception Bad m -> bad file ("malformed JSON: " ^ m)
-          | obj -> check file obj))
+          | obj ->
+              (* every artifact records the host parallelism it was
+                 produced with — the context for any wall-clock or
+                 jobs-scaling figure in it *)
+              require_num file obj "host_cpus";
+              check file obj))
     targets;
   match List.rev !errs with
   | [] ->

@@ -134,6 +134,7 @@ let to_json (rows : row list) : string =
   let buf = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n  \"experiment\": \"overhead-breakdown\",\n";
+  add "  \"host_cpus\": %d,\n" (Parutil.available_jobs ());
   add "  \"unit\": \"simulated cycles\",\n";
   add "  \"workloads\": [\n";
   List.iteri

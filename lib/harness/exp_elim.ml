@@ -12,8 +12,10 @@
 
 type cell = {
   cycles_on : int;
+  cycles_nw : int;  (** elimination on, check widening off (control) *)
   cycles_off : int;
   ov_on : float;  (** overhead vs uninstrumented, elimination on *)
+  ov_nw : float;  (** overhead, elimination on but [widen_checks] off *)
   ov_off : float;  (** overhead vs uninstrumented, elimination off *)
 }
 
@@ -25,33 +27,49 @@ type row = {
   shadow_store : cell;
   hash_store : cell;
   checks_on : int;  (** dynamic checks executed, shadow/full, elim on *)
+  checks_nw : int;  (** same with the widening sub-passes disabled *)
   checks_off : int;
   metaloads_on : int;  (** dynamic metadata lookups, shadow/full, elim on *)
   metaloads_off : int;
+  widened : int;  (** static loop-widened spans, shadow/full *)
+  coalesced : int;  (** static checks folded into in-block spans *)
 }
 
 let without_elim o = { o with Softbound.Config.eliminate_checks = false }
+let without_widen o = { o with Softbound.Config.widen_checks = false }
 
 let run_one ?(quick = false) (w : Workloads.workload) : row =
   let m = Runner.compile_workload w in
   let argv = if quick then w.Workloads.quick_args else [] in
   let base = Runner.run ~argv Runner.Unprotected m in
-  let pair opts =
+  let triple opts =
     let on = Runner.run ~argv (Runner.Softbound opts) m in
+    let nw = Runner.run ~argv (Runner.Softbound (without_widen opts)) m in
     let off = Runner.run ~argv (Runner.Softbound (without_elim opts)) m in
     ( {
         cycles_on = on.stats.Interp.State.cycles;
+        cycles_nw = nw.stats.Interp.State.cycles;
         cycles_off = off.stats.Interp.State.cycles;
         ov_on = Runner.overhead on base;
+        ov_nw = Runner.overhead nw base;
         ov_off = Runner.overhead off base;
       },
       on,
+      nw,
       off )
   in
-  let shadow_full, sf_on, sf_off = pair Runner.sb_full_shadow in
-  let hash_full, _, _ = pair Runner.sb_full_hash in
-  let shadow_store, _, _ = pair Runner.sb_store_shadow in
-  let hash_store, _, _ = pair Runner.sb_store_hash in
+  let shadow_full, sf_on, sf_nw, sf_off = triple Runner.sb_full_shadow in
+  let hash_full, _, _, _ = triple Runner.sb_full_hash in
+  let shadow_store, _, _, _ = triple Runner.sb_store_shadow in
+  let hash_store, _, _, _ = triple Runner.sb_store_hash in
+  let widened, coalesced =
+    let mi, _ = Runner.instrument_cached ~opts:Runner.sb_full_shadow m in
+    Hashtbl.fold
+      (fun _ f (w, c) ->
+        ( w + Softbound.Elim.count_widened f,
+          c + Softbound.Elim.count_coalesced f ))
+      mi.Sbir.Ir.mfuncs (0, 0)
+  in
   {
     workload = w;
     base_cycles = base.stats.Interp.State.cycles;
@@ -60,9 +78,12 @@ let run_one ?(quick = false) (w : Workloads.workload) : row =
     shadow_store;
     hash_store;
     checks_on = sf_on.stats.Interp.State.checks;
+    checks_nw = sf_nw.stats.Interp.State.checks;
     checks_off = sf_off.stats.Interp.State.checks;
     metaloads_on = sf_on.stats.Interp.State.meta_loads;
     metaloads_off = sf_off.stats.Interp.State.meta_loads;
+    widened;
+    coalesced;
   }
 
 let run ?(quick = false) ?(jobs = 1) () : row list =
@@ -90,24 +111,29 @@ let render (rows : row list) : string =
   Buffer.add_string buf
     (Texttable.render
        ~headers:
-         [ "benchmark"; "shadow/full on"; "shadow/full off"; "saved";
-           "checks on/off"; "meta-loads on/off" ]
+         [ "benchmark"; "shadow/full on"; "no-widen"; "shadow/full off";
+           "saved"; "checks on/nw/off"; "widened"; "coalesced" ]
        (List.map
           (fun r ->
             let c = r.shadow_full in
             [
               r.workload.Workloads.name;
               Texttable.pct c.ov_on;
+              Texttable.pct c.ov_nw;
               Texttable.pct c.ov_off;
               Texttable.pct (c.ov_off -. c.ov_on);
-              Printf.sprintf "%d/%d" r.checks_on r.checks_off;
-              Printf.sprintf "%d/%d" r.metaloads_on r.metaloads_off;
+              Printf.sprintf "%d/%d/%d" r.checks_on r.checks_nw r.checks_off;
+              Printf.sprintf "%d" r.widened;
+              Printf.sprintf "%d" r.coalesced;
             ])
           rows));
   let gm cell_of v = geomean_ov cell_of v rows in
   let line name cell_of =
-    Printf.sprintf "  %-13s %s -> %s  (geomean overhead off -> on)\n" name
+    Printf.sprintf
+      "  %-13s %s -> %s -> %s  (geomean overhead off -> no-widen -> on)\n"
+      name
       (Texttable.pct (gm cell_of (fun c -> c.ov_off)))
+      (Texttable.pct (gm cell_of (fun c -> c.ov_nw)))
       (Texttable.pct (gm cell_of (fun c -> c.ov_on)))
   in
   Buffer.add_string buf "\ngeometric-mean overheads across the 15 kernels:\n";
@@ -130,44 +156,53 @@ let render (rows : row list) : string =
 let to_json (rows : row list) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"experiment\": \"elim-ablation\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cpus\": %d,\n" (Parutil.available_jobs ()));
   Buffer.add_string buf "  \"unit\": \"simulated cycles\",\n";
   Buffer.add_string buf "  \"kernels\": [\n";
   List.iteri
     (fun i r ->
       let cell name c =
         Printf.sprintf
-          "      \"%s\": { \"on\": %d, \"off\": %d, \"overhead_on\": %.4f, \
+          "      \"%s\": { \"on\": %d, \"no_widen\": %d, \"off\": %d, \
+           \"overhead_on\": %.4f, \"overhead_no_widen\": %.4f, \
            \"overhead_off\": %.4f }"
-          name c.cycles_on c.cycles_off c.ov_on c.ov_off
+          name c.cycles_on c.cycles_nw c.cycles_off c.ov_on c.ov_nw c.ov_off
       in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\n      \"name\": \"%s\",\n      \"base_cycles\": %d,\n\
             %s,\n%s,\n%s,\n%s,\n\
-           \      \"checks\": { \"on\": %d, \"off\": %d },\n\
-           \      \"meta_loads\": { \"on\": %d, \"off\": %d }\n    }%s\n"
+           \      \"checks\": { \"on\": %d, \"no_widen\": %d, \"off\": %d },\n\
+           \      \"meta_loads\": { \"on\": %d, \"off\": %d },\n\
+           \      \"checks_widened\": %d,\n\
+           \      \"checks_coalesced\": %d\n    }%s\n"
            r.workload.Workloads.name r.base_cycles
            (cell "shadow_full" r.shadow_full)
            (cell "hash_full" r.hash_full)
            (cell "shadow_store" r.shadow_store)
            (cell "hash_store" r.hash_store)
-           r.checks_on r.checks_off r.metaloads_on r.metaloads_off
+           r.checks_on r.checks_nw r.checks_off r.metaloads_on r.metaloads_off
+           r.widened r.coalesced
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
+  let geo cell_of =
+    Printf.sprintf
+      "{ \"on\": %.4f, \"no_widen\": %.4f, \"off\": %.4f }"
+      (geomean_ov cell_of (fun c -> c.ov_on) rows)
+      (geomean_ov cell_of (fun c -> c.ov_nw) rows)
+      (geomean_ov cell_of (fun c -> c.ov_off) rows)
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "  \"geomean_overhead\": {\n\
-       \    \"shadow_full\": { \"on\": %.4f, \"off\": %.4f },\n\
-       \    \"hash_full\": { \"on\": %.4f, \"off\": %.4f },\n\
-       \    \"shadow_store\": { \"on\": %.4f, \"off\": %.4f },\n\
-       \    \"hash_store\": { \"on\": %.4f, \"off\": %.4f }\n  }\n}\n"
-       (geomean_ov (fun r -> r.shadow_full) (fun c -> c.ov_on) rows)
-       (geomean_ov (fun r -> r.shadow_full) (fun c -> c.ov_off) rows)
-       (geomean_ov (fun r -> r.hash_full) (fun c -> c.ov_on) rows)
-       (geomean_ov (fun r -> r.hash_full) (fun c -> c.ov_off) rows)
-       (geomean_ov (fun r -> r.shadow_store) (fun c -> c.ov_on) rows)
-       (geomean_ov (fun r -> r.shadow_store) (fun c -> c.ov_off) rows)
-       (geomean_ov (fun r -> r.hash_store) (fun c -> c.ov_on) rows)
-       (geomean_ov (fun r -> r.hash_store) (fun c -> c.ov_off) rows));
+       \    \"shadow_full\": %s,\n\
+       \    \"hash_full\": %s,\n\
+       \    \"shadow_store\": %s,\n\
+       \    \"hash_store\": %s\n  }\n}\n"
+       (geo (fun r -> r.shadow_full))
+       (geo (fun r -> r.hash_full))
+       (geo (fun r -> r.shadow_store))
+       (geo (fun r -> r.hash_store)));
   Buffer.contents buf

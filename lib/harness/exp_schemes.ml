@@ -182,6 +182,7 @@ let to_json ((rows, cov) : row list * coverage list) : string =
   let buf = Buffer.create 16384 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n  \"experiment\": \"schemes\",\n";
+  add "  \"host_cpus\": %d,\n" (Parutil.available_jobs ());
   add "  \"unit\": \"simulated cycles\",\n";
   add "  \"coverage\": [\n";
   List.iteri

@@ -255,6 +255,8 @@ let to_json ?total (rows : width_row list) : string =
   let total = Option.value total ~default:default_total in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"experiment\": \"serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cpus\": %d,\n" (Parutil.available_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_total\": %d,\n" total);
   Buffer.add_string buf
     (Printf.sprintf "  \"cores\": %d,\n" (Parutil.available_jobs ()));

@@ -269,6 +269,8 @@ let to_json ?(quick = false) ?(iters = 1) (rows : row list) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"experiment\": \"vmspeed\",\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"host_cpus\": %d,\n" (Parutil.available_jobs ()));
+  Buffer.add_string buf
     "  \"unit\": \"simulated cycles per host second\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"quick\": %b,\n  \"iters\": %d,\n" quick iters);

@@ -15,6 +15,11 @@ type t = {
   opts : Softbound.Config.options;
   sites_assigned : int;  (** ids handed out by the transformation *)
   sites : Obs.site_info list;  (** surviving sites, ascending id *)
+  widened : int;
+      (** static count of loop-widened span checks Elim emitted *)
+  coalesced : int;
+      (** static count of per-iteration checks folded into in-block
+          coalesced spans (members beyond the first) *)
   base : Interp.Vm.result option;  (** unprotected baseline run *)
   result : Interp.Vm.result;  (** the instrumented run *)
 }
@@ -33,7 +38,20 @@ let profile ?(label = "program") ?(opts = Softbound.Config.default)
     }
   in
   let result = Interp.Engine.run ~cfg:run_cfg m' in
-  { label; opts; sites_assigned; sites = Obs.sites_of_modul m'; base; result }
+  let widened = ref 0 and coalesced = ref 0 in
+  Ir.iter_funcs m' (fun f ->
+      widened := !widened + Softbound.Elim.count_widened f;
+      coalesced := !coalesced + Softbound.Elim.count_coalesced f);
+  {
+    label;
+    opts;
+    sites_assigned;
+    sites = Obs.sites_of_modul m';
+    widened = !widened;
+    coalesced = !coalesced;
+    base;
+    result;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Derived figures                                                      *)
@@ -105,6 +123,9 @@ let render ?(top = 10) (p : t) : string =
   add "sites: %d assigned, %d surviving, %d elided by Elim\n"
     p.sites_assigned surviving
     (p.sites_assigned - surviving);
+  if p.opts.Softbound.Config.eliminate_checks then
+    add "widening: %d checks_widened, %d checks_coalesced\n" p.widened
+      p.coalesced;
   add "\nper-kind dynamic counts (site-attributed + runtime):\n";
   List.iter
     (fun k ->
@@ -194,6 +215,8 @@ let to_json (p : t) : string =
     "  \"sites\": { \"assigned\": %d, \"surviving\": %d, \"elided\": %d },\n"
     p.sites_assigned surviving
     (p.sites_assigned - surviving);
+  add "  \"widening\": { \"checks_widened\": %d, \"checks_coalesced\": %d },\n"
+    p.widened p.coalesced;
   add "  \"kinds\": {\n";
   List.iteri
     (fun i k ->

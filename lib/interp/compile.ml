@@ -536,6 +536,24 @@ let compile_inst cld (c_funcs : (string, func_chains) Hashtbl.t) (f : Ir.func)
         let pv = ip fr in
         sb_check st ~site ~where ~ptr:pv ~base:bas ~bound:bnd ~size;
         next ld fr
+  | Ir.CheckSpan sp ->
+      let ifirst = ev_int f sp.Ir.sp_first in
+      let icount = ev_int f sp.Ir.sp_count in
+      let ibase = ev_int f sp.Ir.sp_base in
+      let ibound = ev_int f sp.Ir.sp_bound in
+      let stride = sp.Ir.sp_stride and width = sp.Ir.sp_width in
+      let site = sp.Ir.sp_site and sites = sp.Ir.sp_sites in
+      let where = f.Ir.fname in
+      fun ld fr ->
+        let st = ld.st in
+        tick st;
+        let bound = ibound fr in
+        let base = ibase fr in
+        let count = icount fr in
+        let first = ifirst fr in
+        sb_check_span st ~site ~sites ~where ~first ~count ~stride ~width
+          ~base ~bound;
+        next ld fr
   | Ir.CheckFptr (p, b, e, expected_sig, site)
     when pure_operand p && pure_operand b && pure_operand e ->
       let sp, jp = pure_parts f p in

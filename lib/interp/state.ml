@@ -820,6 +820,59 @@ let sb_check ?(site = 0) st ~where ~ptr ~base ~bound ~size =
   if not ok then
     raise (Trap (Bounds_violation { addr = ptr; base; bound; size; where }))
 
+(** Widened span check (Elim's [CheckSpan]): one check covering the
+    arithmetic progression [first + k*stride], k in [0, count), each
+    access [width] bytes.  Vacuously passes when [count <= 0].
+
+    Because the addresses are an arithmetic progression and the legal
+    region is an interval, the set of passing k is itself an interval —
+    so the first failing k (which is exactly the first iteration whose
+    per-iteration check would have trapped in the unwidened program) is
+    computable in O(1).  The trap carries that element's address and the
+    per-access width, making the report byte-identical to the unwidened
+    run's.  Costs a single [Cost.check] however large the span — that is
+    the entire point of the widening pass. *)
+let sb_check_span ?(site = 0) ?(sites = [||]) st ~where ~first ~count ~stride
+    ~width ~base ~bound =
+  st.stats.checks <- st.stats.checks + 1;
+  let cy0 = st.stats.cycles in
+  charge st Cost.check;
+  let fail_k =
+    if count <= 0 then None
+    else if first < base || first + width > bound then Some 0
+    else if stride > 0 then
+      (* k = 0 passes, so failures are only past the high end; the
+         smallest failing k has k*stride > bound - width - first >= 0 *)
+      let k = ((bound - width - first) / stride) + 1 in
+      if k < count then Some k else None
+    else if stride < 0 then
+      (* descending: failures are only below base; first - base >= 0 *)
+      let k = ((first - base) / -stride) + 1 in
+      if k < count then Some k else None
+    else None
+  in
+  let ok = fail_k = None in
+  if st.cfg.obs_enabled then begin
+    Obs.record_op st.obs Obs.KCheck ~site ~cycles:(st.stats.cycles - cy0);
+    if Obs.trace_on st.obs then
+      Obs.trace_event st.obs
+        (Obs.E_check_span { site; first; count; stride; width; base; bound;
+                            ok })
+  end;
+  match fail_k with
+  | None -> ()
+  | Some k ->
+      let addr = first + (k * stride) in
+      let fsite = if k < Array.length sites then sites.(k) else site in
+      (* also trace the failing element as a plain check event, with its
+         original per-access site: a trapping --trace dump then ends on
+         the same line as the unwidened run's *)
+      if st.cfg.obs_enabled && Obs.trace_on st.obs then
+        Obs.trace_event st.obs
+          (Obs.E_check
+             { site = fsite; addr; base; bound; size = width; ok = false });
+      raise (Trap (Bounds_violation { addr; base; bound; size = width; where }))
+
 (* ------------------------------------------------------------------ *)
 (* Output / input / random                                              *)
 (* ------------------------------------------------------------------ *)

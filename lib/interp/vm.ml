@@ -1216,6 +1216,14 @@ let exec_inst ld (fr : frame) (inst : Ir.inst) : unit =
   | Ir.MetaStore (a, b, e, site) ->
       meta_store st ~site (eval_int st fr a) (eval_int st fr b)
         (eval_int st fr e)
+  | Ir.CheckSpan sp ->
+      sb_check_span st ~site:sp.Ir.sp_site ~sites:sp.Ir.sp_sites
+        ~where:fr.fr_func.Ir.fname
+        ~first:(eval_int st fr sp.Ir.sp_first)
+        ~count:(eval_int st fr sp.Ir.sp_count)
+        ~stride:sp.Ir.sp_stride ~width:sp.Ir.sp_width
+        ~base:(eval_int st fr sp.Ir.sp_base)
+        ~bound:(eval_int st fr sp.Ir.sp_bound)
 
 let exec_term ld (fr : frame) (term : Ir.terminator) : unit =
   let st = ld.st in
@@ -1377,6 +1385,9 @@ type result = {
       (** bytes still allocated at exit — instrumentation must not
           change the program's allocation behavior, so differential
           runs compare this across configurations *)
+  heap_allocs : int;
+      (** lifetime heap allocation count — the per-object term of the
+          related-work schemes' analytic metadata-footprint models *)
   obs : Obs.t;
       (** per-site observability counters and (optionally) the event
           ring; a disabled collector when the run had [obs_enabled]
@@ -1398,6 +1409,7 @@ let finish ld outcome : result =
     resident_bytes = Mem.resident_bytes st.mem;
     heap_peak = Machine.Heap.peak_bytes st.heap;
     heap_live = Machine.Heap.live_bytes st.heap;
+    heap_allocs = Machine.Heap.total_allocs st.heap;
     obs = st.obs;
   }
 

@@ -108,8 +108,8 @@ let inline_one (m : modul) (taken : (string, unit) Hashtbl.t) (caller : func)
         | Slotaddr (r, s) -> Slotaddr (rn r, s)
         | MetaLoad (r1, r2, a, site) -> MetaLoad (rn r1, rn r2, a, site)
         | Call c -> Call { c with rets = List.map rn c.rets }
-        | (Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _) as i
-          ->
+        | ( Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _
+          | CheckSpan _ ) as i ->
             i
       in
       let b = caller.fblocks.(bi) in

@@ -142,6 +142,32 @@ type inst =
           lookup for the pointer stored at [addr] *)
   | MetaStore of operand * operand * operand * int
       (** [(addr, base, bound, site)]: metadata-space update *)
+  | CheckSpan of span_check
+      (** Widened bounds check produced by the Elim pass (never by the
+          transformation itself): one check covering a whole arithmetic
+          progression of addresses.  Passes iff [sp_count <= 0] or every
+          address [sp_first + k * sp_stride] for [k] in [0, sp_count)
+          satisfies [sp_base <= a && a + sp_width <= sp_bound].  On
+          failure it traps with the first failing element (in [k] order)
+          so the report is identical to the unwidened per-iteration
+          check's. *)
+[@@deriving show { with_path = false }, eq]
+
+and span_check = {
+  sp_first : operand;  (** address of element 0 *)
+  sp_count : operand;  (** number of elements; <= 0 is a vacuous pass *)
+  sp_stride : int;  (** byte step between elements (may be negative) *)
+  sp_width : int;  (** access size of each element *)
+  sp_base : operand;
+  sp_bound : operand;
+  sp_site : int;
+      (** site of the original [Check] (loop widening) or of the first
+          coalesced check *)
+  sp_sites : int array;
+      (** non-empty only for in-block coalesced checks: the original
+          site of element [k] is [sp_sites.(k)], so trap attribution
+          still names the per-access site *)
+}
 [@@deriving show { with_path = false }, eq]
 
 type terminator =
@@ -252,6 +278,15 @@ let map_inst_operands (f : operand -> operand) (inst : inst) : inst =
   | CheckFptr (p, b, e, h, site) -> CheckFptr (f p, f b, f e, h, site)
   | MetaLoad (r1, r2, a, site) -> MetaLoad (r1, r2, f a, site)
   | MetaStore (a, b, e, site) -> MetaStore (f a, f b, f e, site)
+  | CheckSpan sp ->
+      CheckSpan
+        {
+          sp with
+          sp_first = f sp.sp_first;
+          sp_count = f sp.sp_count;
+          sp_base = f sp.sp_base;
+          sp_bound = f sp.sp_bound;
+        }
 
 let map_term_operands (f : operand -> operand) (t : terminator) : terminator =
   match t with
@@ -327,7 +362,12 @@ let validate_func (f : func) =
           | MetaStore (a, b_, e, _) ->
               check_op a;
               check_op b_;
-              check_op e)
+              check_op e
+          | CheckSpan { sp_first; sp_count; sp_base; sp_bound; _ } ->
+              check_op sp_first;
+              check_op sp_count;
+              check_op sp_base;
+              check_op sp_bound)
         b.insts;
       match b.term with
       | TRet ops -> List.iter check_op ops

@@ -111,7 +111,9 @@ let dst_of = function
       [ r ]
   | MetaLoad (r1, r2, _, _) -> [ r1; r2 ]
   | Call { rets; _ } -> rets
-  | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _ -> []
+  | Store _ | SetBoundMark _ | Check _ | CheckFptr _ | MetaStore _
+  | CheckSpan _ ->
+      []
 
 let propagate_block (b : block) : block =
   let env : penv = Hashtbl.create 16 in
@@ -216,7 +218,9 @@ let dce (f : func) : func =
             | Check (p, b, e, _, _) -> (use p; use b; use e)
             | CheckFptr (p, b, e, _, _) -> (use p; use b; use e)
             | MetaLoad (_, _, a, _) -> use a
-            | MetaStore (a, b, e, _) -> (use a; use b; use e))
+            | MetaStore (a, b, e, _) -> (use a; use b; use e)
+            | CheckSpan { sp_first; sp_count; sp_base; sp_bound; _ } ->
+                use sp_first; use sp_count; use sp_base; use sp_bound)
           b.insts;
         ignore
           (map_term_operands (fun o -> use o; o) b.term))

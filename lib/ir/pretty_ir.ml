@@ -70,6 +70,16 @@ let str_inst = function
   | MetaStore (a, b, e, site) ->
       Printf.sprintf "meta.store [%s] <- (%s, %s) !site(%d)" (str_op a)
         (str_op b) (str_op e) site
+  | CheckSpan sp ->
+      Printf.sprintf
+        "check.span %s count %s stride %d width %d in [%s, %s) !site(%d)%s"
+        (str_op sp.sp_first) (str_op sp.sp_count) sp.sp_stride sp.sp_width
+        (str_op sp.sp_base) (str_op sp.sp_bound) sp.sp_site
+        (if Array.length sp.sp_sites = 0 then ""
+         else
+           Printf.sprintf " !sites(%s)"
+             (String.concat ","
+                (Array.to_list (Array.map string_of_int sp.sp_sites))))
 
 let str_term = function
   | TRet ops -> "ret " ^ String.concat ", " (List.map str_op ops)

@@ -72,6 +72,12 @@ let sites_of_modul (m : Ir.modul) : site_info list =
               | Ir.CheckFptr (_, _, _, _, site) -> add site KCheckFptr
               | Ir.MetaLoad (_, _, _, site) -> add site KMetaLoad
               | Ir.MetaStore (_, _, _, site) -> add site KMetaStore
+              | Ir.CheckSpan { Ir.sp_site; sp_sites; _ } ->
+                  (* a widened span keeps its original site(s) alive in
+                     the census: those accesses are still checked, just
+                     by one widened instruction *)
+                  if Array.length sp_sites = 0 then add sp_site KCheck
+                  else Array.iter (fun s -> add s KCheck) sp_sites
               | _ -> ())
             b.Ir.insts)
         f.Ir.fblocks);
@@ -84,6 +90,8 @@ let sites_of_modul (m : Ir.modul) : site_info list =
 type event =
   | E_check of { site : int; addr : int; base : int; bound : int;
                  size : int; ok : bool }
+  | E_check_span of { site : int; first : int; count : int; stride : int;
+                      width : int; base : int; bound : int; ok : bool }
   | E_fptr_check of { site : int; addr : int; ok : bool }
   | E_meta_load of { site : int; addr : int; base : int; bound : int }
   | E_meta_store of { site : int; addr : int; base : int; bound : int }
@@ -94,6 +102,12 @@ let string_of_event = function
   | E_check { site; addr; base; bound; size; ok } ->
       Printf.sprintf "check      site=%-4d ptr=0x%x size=%d in [0x%x,0x%x) %s"
         site addr size base bound
+        (if ok then "ok" else "VIOLATION")
+  | E_check_span { site; first; count; stride; width; base; bound; ok } ->
+      Printf.sprintf
+        "check.span site=%-4d first=0x%x count=%d stride=%d width=%d in \
+         [0x%x,0x%x) %s"
+        site first count stride width base bound
         (if ok then "ok" else "VIOLATION")
   | E_fptr_check { site; addr; ok } ->
       Printf.sprintf "check.fptr site=%-4d ptr=0x%x %s" site addr

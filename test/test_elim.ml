@@ -34,6 +34,81 @@ let static_metaloads opts src =
 let runs opts src =
   Softbound.run_protected ~opts (Softbound.compile src)
 
+(* ---- induction-variable widening (Elim passes 1b/1c) helpers ---- *)
+
+let no_widen = { on with Softbound.Config.widen_checks = false }
+
+let fold_funcs opts src count =
+  let m = Softbound.instrument ~opts (Softbound.compile src) in
+  Hashtbl.fold (fun _ f acc -> acc + count f) m.Sbir.Ir.mfuncs 0
+
+let widened src = fold_funcs on src Softbound.Elim.count_widened
+let coalesced src = fold_funcs on src Softbound.Elim.count_coalesced
+
+(* A legality-refusal case: the named loop shape must keep all its
+   per-iteration checks (no span emitted anywhere in the program), and
+   behave identically anyway. *)
+let refuses name src =
+  tc ("widening refused: " ^ name) (fun () ->
+      Alcotest.(check int) "no spans emitted" 0 (widened src + coalesced src);
+      let a = runs on src and b = runs no_widen src in
+      Alcotest.(check string) "outcome agrees"
+        (Interp.State.string_of_outcome b.outcome)
+        (Interp.State.string_of_outcome a.outcome);
+      Alcotest.(check string) "stdout agrees" b.stdout_text a.stdout_text)
+
+(* The 500-program widening oracle: generated loop-heavy programs (the
+   generator's affine scene plants canonical counted loops, and ~30% of
+   cases carry an injected violation), run widen-on vs widen-off under
+   a sampled engine x facility point.  Outcome, stdout, and the failing
+   check's site id must be identical. *)
+let obs_cfg =
+  {
+    Interp.State.default_config with
+    Interp.State.obs_enabled = true;
+    trace_depth = 1 lsl 12;
+  }
+
+let fail_site (r : Interp.Vm.result) =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Obs.E_check { site; ok = false; _ } -> Some site
+      | _ -> acc)
+    None
+    (Obs.events r.Interp.Vm.obs)
+
+let widen_agrees (index, eng, fac) =
+  let engine =
+    if eng then Interp.State.Eng_closure else Interp.State.Eng_decode
+  in
+  let facility =
+    List.nth
+      [
+        Softbound.Config.Hash_table;
+        Softbound.Config.Shadow_space;
+        Softbound.Config.Obj_header;
+        Softbound.Config.Frame_tag;
+        Softbound.Config.Wide_inline;
+      ]
+      fac
+  in
+  let case = Fuzz.case_of ~seed:2027 ~index in
+  let m =
+    Softbound.compile (Cminus.Pretty.program_string case.Fuzz.Gen.prog)
+  in
+  let cfg = { obs_cfg with Interp.State.engine } in
+  let run widen_checks =
+    Softbound.run_protected
+      ~opts:{ on with Softbound.Config.facility; widen_checks }
+      ~cfg m
+  in
+  let a = run true and b = run false in
+  Interp.State.string_of_outcome a.outcome
+  = Interp.State.string_of_outcome b.outcome
+  && a.stdout_text = b.stdout_text
+  && fail_site a = fail_site b
+
 (* Read-modify-write accesses produce back-to-back identical checks
    (the load's and the store's), which the available-checks CSE merges;
    the loop-invariant metadata computation for [a] and [p] is hoisted
@@ -150,6 +225,70 @@ let suite =
               (p.name ^ " store-only")
               (v store_off) (v store_on))
           Attacks.Bugbench.all);
+    (* ---------------- induction-variable widening ---------------- *)
+    tc "widening fires on a canonical counted loop" (fun () ->
+        let src =
+          "int main(void) { int a[16]; int i; int s = 0; \
+           for (i = 0; i < 16; i++) a[i] = i; \
+           for (i = 0; i < 16; i++) s += a[i]; \
+           printf(\"%d\\n\", s); return 0; }"
+        in
+        Alcotest.(check bool) "spans emitted" true (widened src > 0);
+        let a = runs on src and b = runs no_widen src in
+        Alcotest.(check string) "stdout agrees" b.stdout_text a.stdout_text;
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer dynamic checks (%d < %d)"
+             a.stats.Interp.State.checks b.stats.Interp.State.checks)
+          true
+          (a.stats.Interp.State.checks < b.stats.Interp.State.checks));
+    tc "coalescing folds same-base consecutive checks" (fun () ->
+        let src =
+          "int main(void) { int a[8]; \
+           a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4; \
+           printf(\"%d\\n\", a[0] + a[3]); return 0; }"
+        in
+        Alcotest.(check bool) "checks coalesced" true (coalesced src > 0);
+        let a = runs on src and b = runs no_widen src in
+        Alcotest.(check string) "stdout agrees" b.stdout_text a.stdout_text);
+    refuses "early break (trip count not exact)"
+      "int main(void) { int a[8]; int i; int s = 0; \
+       for (i = 0; i < 8; i++) { a[i] = i; if (i == 5) break; } \
+       for (i = 0; i < 6; i++) { s += a[i]; if (s > 99) break; } \
+       printf(\"%d\\n\", s); return 0; }";
+    refuses "call inside the loop body"
+      "int main(void) { int a[8]; int i; \
+       for (i = 0; i < 8; i++) { a[i] = i; printf(\"%d \", a[i]); } \
+       printf(\"\\n\"); return 0; }";
+    refuses "unknown trip count (limit redefined in the loop)"
+      "int main(void) { int a[8]; int i; int n = 6; int s = 0; \
+       for (i = 0; i < n; i++) { a[i] = i; s += a[i]; if (i == 2) n = 4; } \
+       printf(\"%d %d\\n\", s, n); return 0; }";
+    refuses "negative stride (down-counting loop)"
+      "int main(void) { int a[8]; int i; int s = 0; \
+       for (i = 7; i >= 0; i = i - 1) a[i] = i; \
+       for (i = 7; i >= 0; i = i - 1) s += a[i]; \
+       printf(\"%d\\n\", s); return 0; }";
+    tc "widened loop traps at the same point as unwidened" (fun () ->
+        let src =
+          "int main(void) { int a[8]; int i; \
+           for (i = 0; i < 12; i++) a[i] = i; return 0; }"
+        in
+        let a = runs on src and b = runs no_widen src in
+        Alcotest.(check string) "same trap message"
+          (Interp.State.string_of_outcome b.outcome)
+          (Interp.State.string_of_outcome a.outcome);
+        Alcotest.(check bool) "detected" true (Softbound.detected a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "widen on/off agree (outcome, stdout, trap site; both engines, \
+            all facilities)"
+         ~count:500
+         QCheck.(
+           triple
+             (make ~print:string_of_int Gen.(int_bound 249))
+             bool (int_range 0 4))
+         widen_agrees);
     (* ---------------- qcheck properties ---------------- *)
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make

@@ -50,6 +50,29 @@ let check_sites (m : Ir.modul) : (int, chk) Hashtbl.t =
         f.Ir.fblocks);
   tbl
 
+(** Site ids covered by a surviving widened/coalesced span check: the
+    stamped site plus, for coalesced spans, every member's site.  A span
+    subsumes its member checks by construction (the widening pass only
+    emits it when the progression covers exactly the member addresses),
+    so an elided [Check] whose id appears here is soundly covered. *)
+let span_sites (m : Ir.modul) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  Ir.iter_funcs m (fun f ->
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              match inst with
+              | Ir.CheckSpan sp ->
+                  Hashtbl.replace tbl sp.Ir.sp_site ();
+                  Array.iter
+                    (fun s -> Hashtbl.replace tbl s ())
+                    sp.Ir.sp_sites
+              | _ -> ())
+            b.Ir.insts)
+        f.Ir.fblocks);
+  tbl
+
 (** Does some surviving check cover the elided one?  [doms]/[loops] are
     computed over the function in the {e pre-elimination} module, where
     both instructions still exist at their original positions. *)
@@ -74,6 +97,7 @@ let assert_static_sound src =
   let pre_m, _ = Softbound.instrument_with_sites ~opts:no_elim m in
   let post_m, _ = Softbound.instrument_with_sites m in
   let pre = check_sites pre_m and post = check_sites post_m in
+  let spanned = span_sites post_m in
   (* site numbering is emission-order, before Elim: identical across
      the two instruments of the same module *)
   Ir.iter_funcs pre_m (fun f ->
@@ -81,7 +105,11 @@ let assert_static_sound src =
       let loops = Dom.natural_loops doms in
       Hashtbl.iter
         (fun site (e : chk) ->
-          if e.c_func = f.Ir.fname && not (Hashtbl.mem post site) then
+          if
+            e.c_func = f.Ir.fname
+            && (not (Hashtbl.mem post site))
+            && not (Hashtbl.mem spanned site)
+          then
             if not (covered ~doms ~loops ~pre ~surviving:post e) then
               Alcotest.failf
                 "unsound elision: site %d (%s B%d#%d, width %d) has no \
@@ -104,6 +132,15 @@ let checked_addrs (r : Interp.Vm.result) : (int * int, int) Hashtbl.t =
           let k = (addr, size) in
           Hashtbl.replace tbl k
             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | Obs.E_check_span { first; count; stride; width; _ } ->
+          (* a widened span check covers the whole progression: expand
+             it back into the per-element pairs the unwidened run emits
+             as individual E_check events *)
+          for k = 0 to count - 1 do
+            let key = (first + (k * stride), width) in
+            Hashtbl.replace tbl key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+          done
       | _ -> ())
     (Obs.events r.Interp.Vm.obs);
   tbl
